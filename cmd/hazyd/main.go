@@ -1,0 +1,86 @@
+// Command hazyd serves a Hazy classification view over TCP — the
+// paper's deployment shape (App. B.1: Hazy as a separate process
+// reached over sockets). It opens (or creates) a database with a
+// papers/feedback/labeled_papers setup and speaks the internal/server
+// text protocol.
+//
+// Usage:
+//
+//	hazyd [-addr :7437] [-db DIR]
+//
+// Then, e.g. with nc:
+//
+//	ADD 1 efficient query optimization for relational databases
+//	TRAIN 1 +1
+//	LABEL 1
+//	UNCERTAIN 5
+//	QUIT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	root "hazy"
+	"hazy/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":7437", "listen address")
+		dbDir = flag.String("db", "", "database directory (default: temp)")
+	)
+	flag.Parse()
+
+	dir := *dbDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "hazyd-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	db, err := root.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	papers, err := db.EntityTableByName("papers")
+	if err != nil {
+		if papers, err = db.CreateEntityTable("papers", "title"); err != nil {
+			fatal(err)
+		}
+	}
+	feedback, err := db.ExampleTableByName("feedback")
+	if err != nil {
+		if feedback, err = db.CreateExampleTable("feedback"); err != nil {
+			fatal(err)
+		}
+	}
+	view, err := db.CreateClassificationView(root.ViewSpec{
+		Name:     "labeled_papers",
+		Entities: "papers",
+		Examples: "feedback",
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hazyd: serving view %q on %s (db: %s)\n", view.Name(), l.Addr(), dir)
+	if err := server.New(view, papers, feedback).Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hazyd:", err)
+	os.Exit(1)
+}

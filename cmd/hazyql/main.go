@@ -1,0 +1,129 @@
+// Command hazyql is a small REPL over Hazy's SQL dialect (§2.1),
+// demonstrating the paper's interface: declare tables, a
+// CREATE CLASSIFICATION VIEW, feed training examples with INSERT, and
+// query the view with SELECT.
+//
+// Usage:
+//
+//	hazyql [-db DIR] [-f script.sql]
+//
+// Statements are ';'-terminated. Try:
+//
+//	CREATE TABLE papers (id BIGINT, title TEXT) KEY id;
+//	CREATE TABLE feedback (id BIGINT, label BIGINT) KEY id;
+//	INSERT INTO papers VALUES (1, 'relational query optimization');
+//	CREATE CLASSIFICATION VIEW labeled KEY id
+//	  ENTITIES FROM papers KEY id
+//	  EXAMPLES FROM feedback KEY id LABEL label
+//	  FEATURE FUNCTION tf_bag_of_words USING SVM;
+//	INSERT INTO feedback VALUES (1, 1);
+//	SELECT class FROM labeled WHERE id = 1;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	root "hazy"
+	"hazy/internal/sqlmini"
+)
+
+func main() {
+	var (
+		dbDir  = flag.String("db", "", "database directory (default: temp)")
+		script = flag.String("f", "", "execute statements from this file, then exit")
+	)
+	flag.Parse()
+
+	dir := *dbDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "hazyql-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	db, err := root.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	eng := sqlmini.NewEngine(db)
+
+	in := os.Stdin
+	interactive := true
+	if *script != "" {
+		f, err := os.Open(*script)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		interactive = false
+	}
+
+	if interactive {
+		fmt.Println("hazyql — Hazy classification views over SQL (';' ends a statement, \\q quits)")
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Print("hazy> ")
+			} else {
+				fmt.Print("  ... ")
+			}
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		if strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";")) == "" {
+			prompt()
+			continue
+		}
+		res, err := eng.Exec(stmt)
+		switch {
+		case err != nil:
+			fmt.Println("error:", err)
+		case res.Msg != "":
+			fmt.Println(res.Msg)
+		default:
+			printResult(res)
+		}
+		prompt()
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func printResult(res *sqlmini.Result) {
+	fmt.Println(strings.Join(res.Cols, " | "))
+	for _, row := range res.Rows {
+		fmt.Println(strings.Join(row, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hazyql:", err)
+	os.Exit(1)
+}

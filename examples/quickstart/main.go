@@ -1,0 +1,115 @@
+// Quickstart: declare a classification view over a table of papers,
+// feed it user feedback through plain inserts, and read labels back —
+// the paper's §2.1 workflow through the Go API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hazy"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hazy-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := hazy.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The In relation: papers to classify.
+	papers, err := db.CreateEntityTable("papers", "title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	titles := map[int64]string{
+		1: "efficient query optimization for relational database systems",
+		2: "a scalable kernel scheduler for multicore operating systems",
+		3: "incremental sql view maintenance with database triggers",
+		4: "low latency kernel interrupt handling in device drivers",
+		5: "query rewriting and index selection for relational database workloads",
+		6: "kernel page replacement policies for operating systems",
+		7: "sql transaction processing in relational database engines",
+		8: "filesystem scheduler tuning inside the operating systems kernel",
+	}
+	for id, title := range titles {
+		if err := papers.InsertText(id, title); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The training-examples relation: user feedback arrives here.
+	feedback, err := db.CreateExampleTable("feedback")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// CREATE CLASSIFICATION VIEW labeled_papers ... (Example 2.1).
+	view, err := db.CreateClassificationView(hazy.ViewSpec{
+		Name:            "labeled_papers",
+		Entities:        "papers",
+		Examples:        "feedback",
+		FeatureFunction: "tf_bag_of_words",
+		Method:          "svm",
+		Arch:            hazy.MainMemory,
+		Strategy:        hazy.Hazy,
+		Mode:            hazy.Eager,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feedback: a few papers labeled database (+1) or not (−1).
+	// Each insert retrains the model incrementally and maintains the
+	// view — the paper's type-2 dynamic data.
+	for _, fb := range []struct {
+		id    int64
+		label int
+	}{{1, +1}, {2, -1}, {3, +1}, {4, -1}} {
+		if err := feedback.InsertExample(fb.id, fb.label); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Single Entity reads: "is paper 5 a database paper?"
+	for _, id := range []int64{5, 6, 7, 8} {
+		label, err := view.Label(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "no "
+		if label > 0 {
+			verdict = "yes"
+		}
+		fmt.Printf("paper %d: database? %s  (%q)\n", id, verdict, titles[id])
+	}
+
+	// All Members: "return all database papers."
+	members, err := view.Members()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database papers: %v\n", members)
+
+	// New entities arriving later are classified on insert (type-1
+	// dynamic data).
+	if err := papers.InsertText(9, "cost based query optimization of sql database views"); err != nil {
+		log.Fatal(err)
+	}
+	label, err := view.Label(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("late-arriving paper 9 classified: %+d\n", label)
+
+	st := view.Stats()
+	fmt.Printf("maintenance: %d updates, %d reorganizations, band [%0.3f, %0.3f]\n",
+		st.Updates, st.Reorgs, st.LowWater, st.HighWater)
+}

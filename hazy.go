@@ -1,0 +1,456 @@
+// Package hazy is a from-scratch Go reproduction of the Hazy system
+// ("Incrementally Maintaining Classification using an RDBMS",
+// Koc & Ré, PVLDB 4(5), 2011): classification views maintained inside
+// a relational engine under a stream of training-example updates.
+//
+// A classification view labels every entity of an entity table with
+// ±1 using a linear model (SVM, logistic regression, or ridge)
+// trained incrementally from an examples table. Hazy keeps the view
+// fresh cheaply by clustering entities on their signed distance to
+// the decision hyperplane (eps), maintaining low/high watermarks from
+// Hölder's inequality so that only tuples inside [lw, hw] can have
+// changed label, and reorganizing the clustering per the Skiing
+// online strategy, which is 2-competitive as data grows.
+//
+// Quick start:
+//
+//	db, _ := hazy.Open(dir)
+//	defer db.Close()
+//	papers, _ := db.CreateEntityTable("papers", "title")
+//	examples, _ := db.CreateExampleTable("feedback")
+//	papers.InsertText(1, "query optimization in relational databases")
+//	v, _ := db.CreateClassificationView(hazy.ViewSpec{
+//	    Name: "labeled_papers", Entities: "papers", Examples: "feedback",
+//	    FeatureFunction: "tf_bag_of_words",
+//	})
+//	examples.InsertExample(1, +1) // trigger retrains + maintains v
+//	label, _ := v.Label(1)
+package hazy
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"hazy/internal/core"
+	"hazy/internal/feature"
+	"hazy/internal/learn"
+	"hazy/internal/relation"
+)
+
+// Re-exported architecture, strategy, and mode selectors.
+const (
+	MainMemory = core.MainMemory
+	OnDisk     = core.OnDisk
+	Hybrid     = core.HybridArch
+
+	Naive = core.Naive
+	Hazy  = core.HazyStrategy
+
+	Eager = core.Eager
+	Lazy  = core.Lazy
+)
+
+// Entity is re-exported for direct (vector) views.
+type Entity = core.Entity
+
+// Stats is re-exported from the maintenance core.
+type Stats = core.Stats
+
+// DB is a Hazy database: a catalog of relational tables plus the
+// classification views maintained over them.
+type DB struct {
+	dir      string
+	rel      *relation.DB
+	registry *feature.Registry
+	views    map[string]*ClassView
+	tables   map[string]*EntityTable
+	examples map[string]*ExampleTable
+}
+
+// Open creates or reopens a database directory. Previously created
+// entity and example tables are recovered from the catalog manifest;
+// classification views are a function of those tables (§3.5.1) and
+// are re-declared with CreateClassificationView, which retrains from
+// the persisted examples.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hazy: %w", err)
+	}
+	db := &DB{
+		dir:      dir,
+		rel:      relation.OpenDB(dir, 512),
+		registry: feature.NewRegistry(),
+		views:    map[string]*ClassView{},
+		tables:   map[string]*EntityTable{},
+		examples: map[string]*ExampleTable{},
+	}
+	names, err := db.rel.Recover()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		tbl, err := db.rel.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		schema := tbl.Schema()
+		if len(schema.Cols) != 2 {
+			continue
+		}
+		switch schema.Cols[1].Type {
+		case relation.TString:
+			db.tables[name] = &EntityTable{tbl: tbl, textCol: 1}
+		case relation.TInt64:
+			db.examples[name] = &ExampleTable{tbl: tbl}
+		}
+	}
+	return db, nil
+}
+
+// Close flushes and closes all storage.
+func (db *DB) Close() error { return db.rel.Close() }
+
+// Registry exposes the feature-function registry so applications can
+// register custom functions (paper App. A.2).
+func (db *DB) Registry() *feature.Registry { return db.registry }
+
+// EntityTable is a relational table of (id BIGINT, text TEXT) rows —
+// the In relation a classification view is declared over.
+type EntityTable struct {
+	tbl     *relation.Table
+	textCol int
+}
+
+// CreateEntityTable creates a table with key column "id" and one text
+// column.
+func (db *DB) CreateEntityTable(name, textColumn string) (*EntityTable, error) {
+	schema, err := relation.NewSchema([]relation.Column{
+		{Name: "id", Type: relation.TInt64},
+		{Name: textColumn, Type: relation.TString},
+	}, "id")
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.rel.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	et := &EntityTable{tbl: tbl, textCol: 1}
+	db.tables[name] = et
+	return et, nil
+}
+
+// InsertText adds an entity row. Views declared over this table pick
+// it up via triggers.
+func (t *EntityTable) InsertText(id int64, text string) error {
+	return t.tbl.Insert(relation.Tuple{id, text})
+}
+
+// Len returns the number of entities.
+func (t *EntityTable) Len() int { return t.tbl.Len() }
+
+// Text returns the text of entity id.
+func (t *EntityTable) Text(id int64) (string, error) {
+	tup, err := t.tbl.Get(id)
+	if err != nil {
+		return "", err
+	}
+	return tup[t.textCol].(string), nil
+}
+
+// EntityTableByName returns a previously created entity table.
+func (db *DB) EntityTableByName(name string) (*EntityTable, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("hazy: no entity table %q", name)
+	}
+	return t, nil
+}
+
+// ExampleTableByName returns a previously created examples table.
+func (db *DB) ExampleTableByName(name string) (*ExampleTable, error) {
+	t, ok := db.examples[name]
+	if !ok {
+		return nil, fmt.Errorf("hazy: no example table %q", name)
+	}
+	return t, nil
+}
+
+// Scan iterates all (id, text) rows.
+func (t *EntityTable) Scan(fn func(id int64, text string) error) error {
+	return t.tbl.Scan(func(tup relation.Tuple) error {
+		return fn(tup[0].(int64), tup[t.textCol].(string))
+	})
+}
+
+// ExampleTable is a relational table of (id BIGINT, label BIGINT)
+// training examples; inserting into it drives view maintenance, like
+// the paper's SQL INSERTs monitored by triggers.
+type ExampleTable struct {
+	tbl *relation.Table
+}
+
+// CreateExampleTable creates an examples table with columns
+// (id, label).
+func (db *DB) CreateExampleTable(name string) (*ExampleTable, error) {
+	schema, err := relation.NewSchema([]relation.Column{
+		{Name: "id", Type: relation.TInt64},
+		{Name: "label", Type: relation.TInt64},
+	}, "id")
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.rel.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	et := &ExampleTable{tbl: tbl}
+	db.examples[name] = et
+	return et, nil
+}
+
+// InsertExample adds a training example (label must be ±1). Triggers
+// fan it out to every view declared over this table.
+func (t *ExampleTable) InsertExample(id int64, label int) error {
+	if label != 1 && label != -1 {
+		return fmt.Errorf("hazy: label must be ±1, got %d", label)
+	}
+	return t.tbl.Insert(relation.Tuple{id, int64(label)})
+}
+
+// Len returns the number of training examples inserted.
+func (t *ExampleTable) Len() int { return t.tbl.Len() }
+
+// DeleteExample removes a training example; every view over this
+// table retrains its model from scratch (§2.2 footnote).
+func (t *ExampleTable) DeleteExample(id int64) error { return t.tbl.Delete(id) }
+
+// RelabelExample changes an example's label; every view over this
+// table retrains its model from scratch.
+func (t *ExampleTable) RelabelExample(id int64, label int) error {
+	if label != 1 && label != -1 {
+		return fmt.Errorf("hazy: label must be ±1, got %d", label)
+	}
+	return t.tbl.Update(relation.Tuple{id, int64(label)})
+}
+
+// Scan iterates all (id, label) rows.
+func (t *ExampleTable) Scan(fn func(id int64, label int) error) error {
+	return t.tbl.Scan(func(tup relation.Tuple) error {
+		return fn(tup[0].(int64), int(tup[1].(int64)))
+	})
+}
+
+// ViewSpec declares a classification view (paper §2.1's CREATE
+// CLASSIFICATION VIEW).
+type ViewSpec struct {
+	// Name of the view.
+	Name string
+	// Entities names the entity table (created with
+	// CreateEntityTable).
+	Entities string
+	// Examples names the training-examples table (created with
+	// CreateExampleTable).
+	Examples string
+	// FeatureFunction is a registered feature-function name
+	// (default tf_bag_of_words).
+	FeatureFunction string
+	// Method is "svm" (default), "logistic", or "ridge" (the USING
+	// clause). Empty means automatic selection once enough examples
+	// arrive — here it simply defaults to SVM, matching the paper's
+	// experimental configuration.
+	Method string
+	// Arch, Strategy, Mode select the maintenance machinery; the
+	// defaults are the paper's best configuration (Hazy-MM, eager).
+	Arch     core.Arch
+	Strategy core.Strategy
+	Mode     core.Mode
+	// Alpha is the Skiing parameter (default 1).
+	Alpha float64
+	// BufferFrac sizes the hybrid buffer (default 1%).
+	BufferFrac float64
+	// PoolPages sizes the on-disk buffer pool (default 512).
+	PoolPages int
+}
+
+// ClassView is a maintained classification view.
+type ClassView struct {
+	name string
+	view core.View
+	ff   feature.Func
+	ents *EntityTable
+}
+
+// CreateClassificationView declares and materializes a view: the
+// feature function makes its corpus pass over the entity table, the
+// core view is built and clustered, and triggers are installed on
+// both tables so subsequent SQL inserts maintain the view.
+func (db *DB) CreateClassificationView(spec ViewSpec) (*ClassView, error) {
+	if _, dup := db.views[spec.Name]; dup {
+		return nil, fmt.Errorf("hazy: view %q already exists", spec.Name)
+	}
+	et, ok := db.tables[spec.Entities]
+	if !ok {
+		return nil, fmt.Errorf("hazy: no entity table %q", spec.Entities)
+	}
+	xt, ok := db.examples[spec.Examples]
+	if !ok {
+		return nil, fmt.Errorf("hazy: no example table %q", spec.Examples)
+	}
+	if spec.FeatureFunction == "" {
+		spec.FeatureFunction = "tf_bag_of_words"
+	}
+	ff, err := db.registry.New(spec.FeatureFunction)
+	if err != nil {
+		return nil, err
+	}
+	if spec.PoolPages == 0 {
+		spec.PoolPages = 512
+	}
+
+	// Corpus pass: compute statistics, then feature vectors.
+	var corpus []string
+	var ids []int64
+	err = et.tbl.Scan(func(tup relation.Tuple) error {
+		ids = append(ids, tup[0].(int64))
+		corpus = append(corpus, tup[et.textCol].(string))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ff.ComputeStats(corpus)
+	entities := make([]core.Entity, len(ids))
+	for i := range ids {
+		entities[i] = core.Entity{ID: ids[i], F: ff.ComputeFeature(corpus[i])}
+	}
+
+	// Examples already in the table (e.g. after a restart) warm-train
+	// the model before the view is first materialized; the view is a
+	// pure function of entities + examples (§3.5.1).
+	var warm []learn.Example
+	err = xt.tbl.Scan(func(tup relation.Tuple) error {
+		id := tup[0].(int64)
+		text, terr := et.Text(id)
+		if terr != nil {
+			return fmt.Errorf("hazy: example references unknown entity %d", id)
+		}
+		warm = append(warm, learn.Example{
+			ID: id, F: ff.ComputeFeature(text), Label: int(tup[1].(int64)),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	opts := core.Options{
+		Mode:       spec.Mode,
+		Alpha:      spec.Alpha,
+		BufferFrac: spec.BufferFrac,
+		Norm:       math.Inf(1), // text: ℓ1-normalized features, p=∞
+		SGD:        learn.SGDConfig{Loss: learn.LossFor(spec.Method)},
+		Warm:       warm,
+	}
+	view, err := core.New(spec.Arch, spec.Strategy, filepath.Join(db.dir, "view-"+spec.Name), spec.PoolPages, entities, opts)
+	if err != nil {
+		return nil, err
+	}
+	cv := &ClassView{name: spec.Name, view: view, ff: ff, ents: et}
+
+	// Trigger: new entities are featurized and classified on arrival
+	// (type-1 dynamic data).
+	et.tbl.AddTrigger(func(ev relation.TriggerEvent, old, new relation.Tuple) error {
+		if ev != relation.AfterInsert {
+			return nil
+		}
+		text := new[et.textCol].(string)
+		ff.ComputeStatsInc(text)
+		return view.Insert(core.Entity{ID: new[0].(int64), F: ff.ComputeFeature(text)})
+	})
+	// Trigger: new training examples retrain the model and maintain
+	// the view (type-2 dynamic data, the paper's focus). Deleting or
+	// relabeling an example retrains from scratch (§2.2 footnote).
+	allExamples := func() ([]learn.Example, error) {
+		var out []learn.Example
+		err := xt.Scan(func(id int64, label int) error {
+			text, err := et.Text(id)
+			if err != nil {
+				return fmt.Errorf("hazy: example references unknown entity %d", id)
+			}
+			out = append(out, learn.Example{ID: id, F: ff.ComputeFeature(text), Label: label})
+			return nil
+		})
+		return out, err
+	}
+	xt.tbl.AddTrigger(func(ev relation.TriggerEvent, old, new relation.Tuple) error {
+		switch ev {
+		case relation.AfterInsert:
+			id := new[0].(int64)
+			label := int(new[1].(int64))
+			text, err := et.Text(id)
+			if err != nil {
+				return fmt.Errorf("hazy: example references unknown entity %d", id)
+			}
+			return view.Update(ff.ComputeFeature(text), label)
+		default: // AfterDelete, AfterUpdate: retrain from scratch
+			examples, err := allExamples()
+			if err != nil {
+				return err
+			}
+			return view.Retrain(examples)
+		}
+	})
+
+	db.views[spec.Name] = cv
+	return cv, nil
+}
+
+// View returns a previously created view.
+func (db *DB) View(name string) (*ClassView, error) {
+	v, ok := db.views[name]
+	if !ok {
+		return nil, fmt.Errorf("hazy: no view %q", name)
+	}
+	return v, nil
+}
+
+// Name returns the view's name.
+func (v *ClassView) Name() string { return v.name }
+
+// Label answers a Single Entity read: the current class of entity id.
+func (v *ClassView) Label(id int64) (int, error) { return v.view.Label(id) }
+
+// Members answers an All Members read: ids currently labeled +1.
+func (v *ClassView) Members() ([]int64, error) { return v.view.Members() }
+
+// CountMembers counts the entities currently labeled +1.
+func (v *ClassView) CountMembers() (int, error) { return v.view.CountMembers() }
+
+// Classify scores free text against the view's current model without
+// storing anything (ad-hoc prediction).
+func (v *ClassView) Classify(text string) int {
+	return v.view.Model().Predict(v.ff.ComputeFeature(text))
+}
+
+// Stats exposes maintenance counters.
+func (v *ClassView) Stats() Stats { return v.view.Stats() }
+
+// Core returns the underlying maintenance view for advanced use
+// (benchmarks, experiments).
+func (v *ClassView) Core() core.View { return v.view }
+
+// Entities returns the entity table the view is declared over.
+func (v *ClassView) Entities() *EntityTable { return v.ents }
+
+// NewVectorView builds a maintained view directly over feature
+// vectors, bypassing the relational layer — the entry point used by
+// the benchmark harness and numeric applications.
+func NewVectorView(arch core.Arch, strategy core.Strategy, dir string, poolPages int, entities []Entity, opts core.Options) (core.View, error) {
+	return core.New(arch, strategy, dir, poolPages, entities, opts)
+}
+
+// Options re-exports the core view options.
+type Options = core.Options

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig runs experiments at toy scale so the whole harness is
+// exercised in CI without taking minutes.
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Scale:   0.02,
+		Warm:    50,
+		Updates: 12,
+		Reads:   200,
+		Dir:     t.TempDir(),
+	}.WithDefaults()
+}
+
+// TestEveryExperimentRuns drives each paper artifact end to end at
+// tiny scale and checks it produces a non-trivial table.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is not short")
+	}
+	cfg := tinyConfig(t)
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(cfg, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("%s produced almost no output:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFindAndDefaults(t *testing.T) {
+	if _, ok := Find("fig4a"); !ok {
+		t.Fatal("fig4a not found")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("bogus experiment found")
+	}
+	cfg := Config{}.WithDefaults()
+	if cfg.Scale != 1 || cfg.Warm == 0 || cfg.Updates == 0 || cfg.Reads == 0 || cfg.PoolPages == 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := newTable("A", "B", "Blong")
+	tb.add("x", "y", "z")
+	tb.addf("r", 1234, 0.5)
+	var buf bytes.Buffer
+	tb.write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "1.23k") || !strings.Contains(out, "0.50") {
+		t.Fatalf("rate formatting wrong:\n%s", out)
+	}
+	if fmtRate(25000) != "25.0k" || fmtRate(42) != "42" {
+		t.Fatal("fmtRate tiers wrong")
+	}
+	if fmtBytes(5<<30) == "" || fmtBytes(100) != "100B" || fmtBytes(2048) != "2.0K" {
+		t.Fatal("fmtBytes wrong")
+	}
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"hazy/internal/core"
+)
+
+// RunFig3 regenerates Figure 3: data set statistics.
+func RunFig3(cfg Config, w io.Writer) error {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintln(w, "Figure 3: Data Set Statistics (synthetic stand-ins, scaled)")
+	t := newTable("Data set", "Abbrev", "Size", "# Entities", "|F|", "avg nnz")
+	for _, d := range datasets(cfg) {
+		st := d.Stats()
+		t.add(st.Name, st.Name, fmtBytes(st.SizeBytes),
+			fmt.Sprintf("%d", st.Entities), fmt.Sprintf("%d", st.Features),
+			fmt.Sprintf("%.0f", st.AvgNonZero))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "  paper: FC 73MB/582k/54/54, DB 25MB/124k/41k/7, CS 1.3GB/721k/682k/60")
+	return nil
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fG", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fM", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fK", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// RunFig4A regenerates Figure 4(A): eager Update throughput for five
+// technique/architecture combinations over the three data sets.
+func RunFig4A(cfg Config, w io.Writer) error {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintln(w, "Figure 4(A): Eager Update (updates/s), warm model")
+	t := newTable("Technique", "FC", "DB", "CS")
+	for _, tech := range fig4Techniques {
+		var rates []float64
+		for _, d := range datasets(cfg) {
+			v, err := buildView(cfg, d, tech.Arch, tech.Strat, core.Eager,
+				fmt.Sprintf("fig4a-%s-%s", tech.Label, d.Spec.Name))
+			if err != nil {
+				return err
+			}
+			stream := d.Stream(cfg.Updates)
+			start := time.Now()
+			for _, ex := range stream {
+				if err := v.Update(ex.F, ex.Label); err != nil {
+					return err
+				}
+			}
+			rates = append(rates, rate(len(stream), time.Since(start)))
+			closeView(v)
+		}
+		t.addf(tech.Label, rates...)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "  paper: OD Naive 0.4/2.1/0.2 · OD Hazy 2.0/6.8/0.2 · Hybrid 2.0/6.6/0.2")
+	fmt.Fprintln(w, "         MM Naive 5.3/33.1/1.8 · MM Hazy 49.7/160.5/7.2")
+	return nil
+}
+
+// RunFig4B regenerates Figure 4(B): lazy All Members throughput.
+// Each measured scan is preceded by one (unmeasured) update so the
+// model keeps drifting the way the paper's update stream does.
+func RunFig4B(cfg Config, w io.Writer) error {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintln(w, "Figure 4(B): Lazy All Members (scans/s), warm model")
+	t := newTable("Technique", "FC", "DB", "CS")
+	scans := cfg.Updates
+	for _, tech := range fig4Techniques {
+		var rates []float64
+		for _, d := range datasets(cfg) {
+			v, err := buildView(cfg, d, tech.Arch, tech.Strat, core.Lazy,
+				fmt.Sprintf("fig4b-%s-%s", tech.Label, d.Spec.Name))
+			if err != nil {
+				return err
+			}
+			stream := d.Stream(scans)
+			var scanTime time.Duration
+			for _, ex := range stream {
+				if err := v.Update(ex.F, ex.Label); err != nil {
+					return err
+				}
+				start := time.Now()
+				if _, err := v.CountMembers(); err != nil {
+					return err
+				}
+				scanTime += time.Since(start)
+			}
+			rates = append(rates, rate(scans, scanTime))
+			closeView(v)
+		}
+		t.addf(tech.Label, rates...)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "  paper: OD Naive 1.2/12.2/0.5 · OD Hazy 3.5/46.9/2.0 · Hybrid 8.0/48.8/2.1")
+	fmt.Fprintln(w, "         MM Naive 10.4/65.7/2.4 · MM Hazy 410.1/2.8k/105.7")
+	return nil
+}
+
+// RunFig5 regenerates Figure 5: Single Entity read throughput for the
+// three architectures (Hazy strategy) in eager and lazy modes.
+func RunFig5(cfg Config, w io.Writer) error {
+	cfg = cfg.WithDefaults()
+	fmt.Fprintln(w, "Figure 5: Single Entity reads (reads/s), 1% hybrid buffer")
+	archs := []struct {
+		label string
+		arch  core.Arch
+	}{
+		{"OD", core.OnDisk},
+		{"Hybrid", core.HybridArch},
+		{"MM", core.MainMemory},
+	}
+	for _, mode := range []core.Mode{core.Eager, core.Lazy} {
+		t := newTable("Arch ("+mode.String()+")", "FC", "DB", "CS")
+		for _, a := range archs {
+			var rates []float64
+			for _, d := range datasets(cfg) {
+				v, err := buildView(cfg, d, a.arch, core.HazyStrategy, mode,
+					fmt.Sprintf("fig5-%s-%s-%s", a.label, mode, d.Spec.Name))
+				if err != nil {
+					return err
+				}
+				// A short update burst so watermarks are realistic.
+				for _, ex := range d.Stream(50) {
+					if err := v.Update(ex.F, ex.Label); err != nil {
+						return err
+					}
+				}
+				r := rand.New(rand.NewSource(77))
+				n := len(d.Entities)
+				start := time.Now()
+				for i := 0; i < cfg.Reads; i++ {
+					if _, err := v.Label(int64(r.Intn(n))); err != nil {
+						return err
+					}
+				}
+				rates = append(rates, rate(cfg.Reads, time.Since(start)))
+				closeView(v)
+			}
+			t.addf(a.label, rates...)
+		}
+		t.write(w)
+	}
+	fmt.Fprintln(w, "  paper (eager): OD 6.7k/6.8k/6.6k · Hybrid 13.4k/13.0k/12.7k · MM 13.5k/13.7k/12.7k")
+	fmt.Fprintln(w, "  paper (lazy):  OD 5.9k/6.3k/5.7k · Hybrid 13.4k/13.6k/12.2k · MM 13.4k/13.5k/12.2k")
+	return nil
+}
+
+// closeView releases file handles for disk-backed views.
+func closeView(v core.View) {
+	type closer interface{ Close() error }
+	if c, ok := v.(closer); ok {
+		c.Close()
+	}
+}

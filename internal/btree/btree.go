@@ -1,0 +1,555 @@
+// Package btree implements a disk-resident B+-tree keyed by
+// (eps float64, id int64) mapping to heap RIDs. Hazy keeps its scratch
+// table H clustered on eps (paper §3.2.2: "a clustered B+-tree index
+// on t.eps in H"); at each reorganization the heap is rewritten in eps
+// order and this tree is bulk-loaded over it, and between
+// reorganizations newly arriving entities are inserted one at a time.
+//
+// Deletes are "lazy" in the PostgreSQL style: the entry is removed
+// from its leaf but nodes are never merged; a rebuild happens at the
+// next reorganization anyway.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hazy/internal/storage"
+)
+
+// Key orders entries by (Eps, ID).
+type Key struct {
+	Eps float64
+	ID  int64
+}
+
+// Less reports whether k sorts strictly before o.
+func (k Key) Less(o Key) bool {
+	if k.Eps != o.Eps {
+		return k.Eps < o.Eps
+	}
+	return k.ID < o.ID
+}
+
+// Node layout (little-endian):
+//
+//	[0]     node type: 0 = leaf, 1 = internal
+//	[1:3)   entry count n
+//	[3:7)   leaf: next-leaf PageID; internal: leftmost child PageID
+//	leaf entries   at 7 + i*24: eps float64, id int64, rid (page uint32, slot uint16, pad uint16)
+//	internal entries at 7 + i*20: eps float64, id int64, child PageID
+//
+// An internal node with n entries has n+1 children: the leftmost child
+// in the header plus one per entry; entry i's key is the smallest key
+// reachable under its child.
+const (
+	nodeHeader   = 7
+	leafEntry    = 24
+	internalEnt  = 20
+	maxLeafKeys  = (storage.PageSize - nodeHeader) / leafEntry
+	maxInternal  = (storage.PageSize - nodeHeader) / internalEnt
+	typeLeaf     = 0
+	typeInternal = 1
+)
+
+// Tree is the B+-tree handle. Not safe for concurrent mutation; Hazy
+// serializes writers (reads during a scan hold page pins briefly).
+type Tree struct {
+	pool *storage.BufferPool
+	root storage.PageID
+	size int
+}
+
+// New creates an empty tree (a single empty leaf) in pool.
+func New(pool *storage.BufferPool) (*Tree, error) {
+	id, buf, err := pool.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	initNode(buf, typeLeaf)
+	pool.Unpin(id, true)
+	return &Tree{pool: pool, root: id}, nil
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the current root page id (for diagnostics/tests).
+func (t *Tree) Root() storage.PageID { return t.root }
+
+func initNode(b []byte, typ byte) {
+	b[0] = typ
+	binary.LittleEndian.PutUint16(b[1:3], 0)
+	binary.LittleEndian.PutUint32(b[3:7], uint32(storage.InvalidPage))
+}
+
+func nodeType(b []byte) byte { return b[0] }
+func nodeCount(b []byte) int { return int(binary.LittleEndian.Uint16(b[1:3])) }
+func setCount(b []byte, n int) {
+	binary.LittleEndian.PutUint16(b[1:3], uint16(n))
+}
+func nodeLink(b []byte) storage.PageID {
+	return storage.PageID(binary.LittleEndian.Uint32(b[3:7]))
+}
+func setLink(b []byte, id storage.PageID) {
+	binary.LittleEndian.PutUint32(b[3:7], uint32(id))
+}
+
+func leafKey(b []byte, i int) Key {
+	off := nodeHeader + i*leafEntry
+	return Key{
+		Eps: math.Float64frombits(binary.LittleEndian.Uint64(b[off:])),
+		ID:  int64(binary.LittleEndian.Uint64(b[off+8:])),
+	}
+}
+
+func leafRID(b []byte, i int) storage.RID {
+	off := nodeHeader + i*leafEntry + 16
+	return storage.RID{
+		Page: storage.PageID(binary.LittleEndian.Uint32(b[off:])),
+		Slot: binary.LittleEndian.Uint16(b[off+4:]),
+	}
+}
+
+func putLeafEntry(b []byte, i int, k Key, rid storage.RID) {
+	off := nodeHeader + i*leafEntry
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(k.Eps))
+	binary.LittleEndian.PutUint64(b[off+8:], uint64(k.ID))
+	binary.LittleEndian.PutUint32(b[off+16:], uint32(rid.Page))
+	binary.LittleEndian.PutUint16(b[off+20:], rid.Slot)
+	binary.LittleEndian.PutUint16(b[off+22:], 0)
+}
+
+func internalKey(b []byte, i int) Key {
+	off := nodeHeader + i*internalEnt
+	return Key{
+		Eps: math.Float64frombits(binary.LittleEndian.Uint64(b[off:])),
+		ID:  int64(binary.LittleEndian.Uint64(b[off+8:])),
+	}
+}
+
+func internalChild(b []byte, i int) storage.PageID {
+	off := nodeHeader + i*internalEnt + 16
+	return storage.PageID(binary.LittleEndian.Uint32(b[off:]))
+}
+
+func putInternalEntry(b []byte, i int, k Key, child storage.PageID) {
+	off := nodeHeader + i*internalEnt
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(k.Eps))
+	binary.LittleEndian.PutUint64(b[off+8:], uint64(k.ID))
+	binary.LittleEndian.PutUint32(b[off+16:], uint32(child))
+}
+
+// leafSearch returns the first index i with leafKey(i) ≥ k.
+func leafSearch(b []byte, k Key) int {
+	lo, hi := 0, nodeCount(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(b, mid).Less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an internal node covers k:
+// 0 = leftmost (header) child, i+1 = entry i's child.
+func childIndex(b []byte, k Key) int {
+	lo, hi := 0, nodeCount(b)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		ik := internalKey(b, mid)
+		if ik.Less(k) || ik == k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func childAt(b []byte, i int) storage.PageID {
+	if i == 0 {
+		return nodeLink(b)
+	}
+	return internalChild(b, i-1)
+}
+
+// Get returns the RID stored under k, or ok=false.
+func (t *Tree) Get(k Key) (storage.RID, bool, error) {
+	id := t.root
+	for {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return storage.RID{}, false, err
+		}
+		if nodeType(buf) == typeInternal {
+			next := childAt(buf, childIndex(buf, k))
+			t.pool.Unpin(id, false)
+			id = next
+			continue
+		}
+		i := leafSearch(buf, k)
+		if i < nodeCount(buf) && leafKey(buf, i) == k {
+			rid := leafRID(buf, i)
+			t.pool.Unpin(id, false)
+			return rid, true, nil
+		}
+		t.pool.Unpin(id, false)
+		return storage.RID{}, false, nil
+	}
+}
+
+// Insert adds (k → rid). Duplicate keys are rejected.
+func (t *Tree) Insert(k Key, rid storage.RID) error {
+	sep, right, err := t.insertAt(t.root, k, rid)
+	if err != nil {
+		return err
+	}
+	if right == storage.InvalidPage {
+		t.size++
+		return nil
+	}
+	// Root split: new internal root with old root as leftmost child.
+	newRoot, buf, err := t.pool.Allocate()
+	if err != nil {
+		return err
+	}
+	initNode(buf, typeInternal)
+	setLink(buf, t.root)
+	putInternalEntry(buf, 0, sep, right)
+	setCount(buf, 1)
+	t.pool.Unpin(newRoot, true)
+	t.root = newRoot
+	t.size++
+	return nil
+}
+
+// insertAt descends into node id. On a split it returns the separator
+// key and new right-sibling page; otherwise right == InvalidPage.
+func (t *Tree) insertAt(id storage.PageID, k Key, rid storage.RID) (Key, storage.PageID, error) {
+	buf, err := t.pool.Pin(id)
+	if err != nil {
+		return Key{}, storage.InvalidPage, err
+	}
+	if nodeType(buf) == typeLeaf {
+		defer t.pool.Unpin(id, true)
+		return t.leafInsert(buf, k, rid)
+	}
+	ci := childIndex(buf, k)
+	child := childAt(buf, ci)
+	t.pool.Unpin(id, false)
+
+	sep, right, err := t.insertAt(child, k, rid)
+	if err != nil || right == storage.InvalidPage {
+		return Key{}, storage.InvalidPage, err
+	}
+	// Child split: insert (sep, right) into this internal node at ci.
+	buf, err = t.pool.Pin(id)
+	if err != nil {
+		return Key{}, storage.InvalidPage, err
+	}
+	defer t.pool.Unpin(id, true)
+	n := nodeCount(buf)
+	if n < maxInternal {
+		for j := n; j > ci; j-- {
+			putInternalEntry(buf, j, internalKey(buf, j-1), internalChild(buf, j-1))
+		}
+		putInternalEntry(buf, ci, sep, right)
+		setCount(buf, n+1)
+		return Key{}, storage.InvalidPage, nil
+	}
+	return t.splitInternal(buf, ci, sep, right)
+}
+
+func (t *Tree) leafInsert(buf []byte, k Key, rid storage.RID) (Key, storage.PageID, error) {
+	i := leafSearch(buf, k)
+	n := nodeCount(buf)
+	if i < n && leafKey(buf, i) == k {
+		return Key{}, storage.InvalidPage, fmt.Errorf("btree: duplicate key (%g,%d)", k.Eps, k.ID)
+	}
+	if n < maxLeafKeys {
+		for j := n; j > i; j-- {
+			putLeafEntry(buf, j, leafKey(buf, j-1), leafRID(buf, j-1))
+		}
+		putLeafEntry(buf, i, k, rid)
+		setCount(buf, n+1)
+		return Key{}, storage.InvalidPage, nil
+	}
+	// Split: move the upper half to a fresh right sibling.
+	rightID, rbuf, err := t.pool.Allocate()
+	if err != nil {
+		return Key{}, storage.InvalidPage, err
+	}
+	initNode(rbuf, typeLeaf)
+	half := n / 2
+	for j := half; j < n; j++ {
+		putLeafEntry(rbuf, j-half, leafKey(buf, j), leafRID(buf, j))
+	}
+	setCount(rbuf, n-half)
+	setLink(rbuf, nodeLink(buf))
+	setCount(buf, half)
+	setLink(buf, rightID)
+	// Insert into whichever side now owns k.
+	if sep := leafKey(rbuf, 0); k.Less(sep) {
+		t.pool.Unpin(rightID, true)
+		if _, _, err := t.leafInsert(buf, k, rid); err != nil {
+			return Key{}, storage.InvalidPage, err
+		}
+		return sep, rightID, nil
+	}
+	if _, _, err := t.leafInsert(rbuf, k, rid); err != nil {
+		t.pool.Unpin(rightID, true)
+		return Key{}, storage.InvalidPage, err
+	}
+	sep := leafKey(rbuf, 0)
+	t.pool.Unpin(rightID, true)
+	return sep, rightID, nil
+}
+
+// splitInternal splits a full internal node while inserting
+// (sep,right) at entry position ci. Returns the separator promoted to
+// the parent and the new right node.
+func (t *Tree) splitInternal(buf []byte, ci int, sep Key, right storage.PageID) (Key, storage.PageID, error) {
+	n := nodeCount(buf)
+	// Materialize entries with the pending insertion applied.
+	keys := make([]Key, 0, n+1)
+	kids := make([]storage.PageID, 0, n+2)
+	kids = append(kids, nodeLink(buf))
+	for j := 0; j < n; j++ {
+		keys = append(keys, internalKey(buf, j))
+		kids = append(kids, internalChild(buf, j))
+	}
+	keys = append(keys[:ci], append([]Key{sep}, keys[ci:]...)...)
+	kids = append(kids[:ci+1], append([]storage.PageID{right}, kids[ci+1:]...)...)
+
+	mid := len(keys) / 2
+	promote := keys[mid]
+
+	rightID, rbuf, err := t.pool.Allocate()
+	if err != nil {
+		return Key{}, storage.InvalidPage, err
+	}
+	initNode(rbuf, typeInternal)
+	setLink(rbuf, kids[mid+1])
+	for j := mid + 1; j < len(keys); j++ {
+		putInternalEntry(rbuf, j-mid-1, keys[j], kids[j+1])
+	}
+	setCount(rbuf, len(keys)-mid-1)
+	t.pool.Unpin(rightID, true)
+
+	setLink(buf, kids[0])
+	for j := 0; j < mid; j++ {
+		putInternalEntry(buf, j, keys[j], kids[j+1])
+	}
+	setCount(buf, mid)
+	return promote, rightID, nil
+}
+
+// Delete removes k, returning whether it was present. Leaves are
+// never merged (lazy deletion).
+func (t *Tree) Delete(k Key) (bool, error) {
+	id := t.root
+	for {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return false, err
+		}
+		if nodeType(buf) == typeInternal {
+			next := childAt(buf, childIndex(buf, k))
+			t.pool.Unpin(id, false)
+			id = next
+			continue
+		}
+		i := leafSearch(buf, k)
+		n := nodeCount(buf)
+		if i >= n || leafKey(buf, i) != k {
+			t.pool.Unpin(id, false)
+			return false, nil
+		}
+		for j := i; j < n-1; j++ {
+			putLeafEntry(buf, j, leafKey(buf, j+1), leafRID(buf, j+1))
+		}
+		setCount(buf, n-1)
+		t.pool.Unpin(id, true)
+		t.size--
+		return true, nil
+	}
+}
+
+// findLeaf returns the page id of the leaf that would contain k.
+func (t *Tree) findLeaf(k Key) (storage.PageID, error) {
+	id := t.root
+	for {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return storage.InvalidPage, err
+		}
+		if nodeType(buf) == typeLeaf {
+			t.pool.Unpin(id, false)
+			return id, nil
+		}
+		next := childAt(buf, childIndex(buf, k))
+		t.pool.Unpin(id, false)
+		id = next
+	}
+}
+
+// Range calls fn for every entry with lo ≤ key.Eps ≤ hi, in key
+// order. fn returning false stops the scan early. This is Hazy's
+// incremental-step scan of the water band [lw, hw].
+func (t *Tree) Range(lo, hi float64, fn func(k Key, rid storage.RID) (bool, error)) error {
+	start := Key{Eps: lo, ID: math.MinInt64}
+	id, err := t.findLeaf(start)
+	if err != nil {
+		return err
+	}
+	for id != storage.InvalidPage {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		n := nodeCount(buf)
+		i := leafSearch(buf, start)
+		for ; i < n; i++ {
+			k := leafKey(buf, i)
+			if k.Eps > hi {
+				t.pool.Unpin(id, false)
+				return nil
+			}
+			rid := leafRID(buf, i)
+			cont, err := fn(k, rid)
+			if err != nil || !cont {
+				t.pool.Unpin(id, false)
+				return err
+			}
+		}
+		next := nodeLink(buf)
+		t.pool.Unpin(id, false)
+		id = next
+	}
+	return nil
+}
+
+// Scan visits every entry in key order.
+func (t *Tree) Scan(fn func(k Key, rid storage.RID) (bool, error)) error {
+	return t.Range(math.Inf(-1), math.Inf(1), fn)
+}
+
+// BulkLoad discards the tree's contents and rebuilds it from entries
+// already sorted by key (strictly increasing). This is the index
+// rebuild inside Hazy's reorganization step. Old pages are abandoned
+// (reclaimed when the bench harness recreates the file).
+func (t *Tree) BulkLoad(keys []Key, rids []storage.RID) error {
+	if len(keys) != len(rids) {
+		return fmt.Errorf("btree: bulk load length mismatch %d vs %d", len(keys), len(rids))
+	}
+	for i := 1; i < len(keys); i++ {
+		if !keys[i-1].Less(keys[i]) {
+			return fmt.Errorf("btree: bulk load keys not strictly increasing at %d", i)
+		}
+	}
+	// Build leaf level ~90% full for future inserts.
+	fill := maxLeafKeys * 9 / 10
+	if fill < 1 {
+		fill = 1
+	}
+	var leafIDs []storage.PageID
+	var leafFirst []Key
+	for off := 0; off < len(keys) || len(leafIDs) == 0; {
+		id, buf, err := t.pool.Allocate()
+		if err != nil {
+			return err
+		}
+		initNode(buf, typeLeaf)
+		n := len(keys) - off
+		if n > fill {
+			n = fill
+		}
+		for j := 0; j < n; j++ {
+			putLeafEntry(buf, j, keys[off+j], rids[off+j])
+		}
+		setCount(buf, n)
+		t.pool.Unpin(id, true)
+		if n > 0 {
+			leafFirst = append(leafFirst, keys[off])
+		} else {
+			leafFirst = append(leafFirst, Key{})
+		}
+		leafIDs = append(leafIDs, id)
+		off += n
+		if n == 0 {
+			break
+		}
+	}
+	// Chain the leaves.
+	for i := 0; i < len(leafIDs); i++ {
+		buf, err := t.pool.Pin(leafIDs[i])
+		if err != nil {
+			return err
+		}
+		if i+1 < len(leafIDs) {
+			setLink(buf, leafIDs[i+1])
+		} else {
+			setLink(buf, storage.InvalidPage)
+		}
+		t.pool.Unpin(leafIDs[i], true)
+	}
+	// Build internal levels bottom-up.
+	ids, first := leafIDs, leafFirst
+	ifill := maxInternal * 9 / 10
+	if ifill < 2 {
+		ifill = 2
+	}
+	for len(ids) > 1 {
+		var upIDs []storage.PageID
+		var upFirst []Key
+		for off := 0; off < len(ids); {
+			id, buf, err := t.pool.Allocate()
+			if err != nil {
+				return err
+			}
+			initNode(buf, typeInternal)
+			group := len(ids) - off
+			if group > ifill+1 {
+				group = ifill + 1
+			}
+			setLink(buf, ids[off])
+			for j := 1; j < group; j++ {
+				putInternalEntry(buf, j-1, first[off+j], ids[off+j])
+			}
+			setCount(buf, group-1)
+			t.pool.Unpin(id, true)
+			upIDs = append(upIDs, id)
+			upFirst = append(upFirst, first[off])
+			off += group
+		}
+		ids, first = upIDs, upFirst
+	}
+	t.root = ids[0]
+	t.size = len(keys)
+	return nil
+}
+
+// Depth returns the tree height (1 = just a leaf). For diagnostics.
+func (t *Tree) Depth() (int, error) {
+	d := 1
+	id := t.root
+	for {
+		buf, err := t.pool.Pin(id)
+		if err != nil {
+			return 0, err
+		}
+		if nodeType(buf) == typeLeaf {
+			t.pool.Unpin(id, false)
+			return d, nil
+		}
+		next := nodeLink(buf)
+		t.pool.Unpin(id, false)
+		id = next
+		d++
+	}
+}

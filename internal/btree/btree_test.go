@@ -1,0 +1,380 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"hazy/internal/storage"
+)
+
+func newTree(t *testing.T, poolPages int) *Tree {
+	t.Helper()
+	p, err := storage.OpenPager(filepath.Join(t.TempDir(), "bt.pg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	tr, err := New(storage.NewBufferPool(p, poolPages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func ridFor(i int) storage.RID {
+	return storage.RID{Page: storage.PageID(i / 100), Slot: uint16(i % 100)}
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	tr := newTree(t, 16)
+	keys := []Key{{0.5, 1}, {-0.3, 2}, {0.5, 0}, {2.25, 3}}
+	for i, k := range keys {
+		if err := tr.Insert(k, ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	for i, k := range keys {
+		rid, ok, err := tr.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("get %v: ok=%v err=%v", k, ok, err)
+		}
+		if rid != ridFor(i) {
+			t.Fatalf("get %v: rid=%v want %v", k, rid, ridFor(i))
+		}
+	}
+	if _, ok, _ := tr.Get(Key{9.9, 9}); ok {
+		t.Fatal("phantom key found")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	tr := newTree(t, 16)
+	k := Key{1.0, 7}
+	if err := tr.Insert(k, ridFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(k, ridFor(1)); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	a := Key{1.0, 5}
+	b := Key{1.0, 6}
+	c := Key{2.0, 0}
+	if !a.Less(b) || !b.Less(c) || b.Less(a) {
+		t.Fatal("Less wrong")
+	}
+}
+
+func TestManyInsertsSplitsAndOrder(t *testing.T) {
+	tr := newTree(t, 64)
+	const n = 5000
+	r := rand.New(rand.NewSource(7))
+	keys := make([]Key, n)
+	for i := range keys {
+		keys[i] = Key{Eps: r.NormFloat64(), ID: int64(i)}
+		if err := tr.Insert(keys[i], ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	d, err := tr.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 2 {
+		t.Fatalf("depth=%d, no splits for %d keys?", d, n)
+	}
+	// Full scan must be sorted and complete.
+	var got []Key
+	err = tr.Scan(func(k Key, rid storage.RID) (bool, error) {
+		got = append(got, k)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scan %d of %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatalf("scan out of order at %d: %v !< %v", i, got[i-1], got[i])
+		}
+	}
+	// Every key retrievable with the right rid.
+	for i, k := range keys {
+		rid, ok, err := tr.Get(k)
+		if err != nil || !ok || rid != ridFor(i) {
+			t.Fatalf("get %v: %v %v %v", k, rid, ok, err)
+		}
+	}
+}
+
+func TestRangeScanExact(t *testing.T) {
+	tr := newTree(t, 64)
+	const n = 3000
+	r := rand.New(rand.NewSource(11))
+	eps := make([]float64, n)
+	for i := range eps {
+		eps[i] = r.Float64()*4 - 2
+		if err := tr.Insert(Key{eps[i], int64(i)}, ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := r.Float64()*4 - 2
+		hi := lo + r.Float64()*2
+		want := map[int64]bool{}
+		for i, e := range eps {
+			if e >= lo && e <= hi {
+				want[int64(i)] = true
+			}
+		}
+		got := map[int64]bool{}
+		err := tr.Range(lo, hi, func(k Key, rid storage.RID) (bool, error) {
+			if k.Eps < lo || k.Eps > hi {
+				t.Fatalf("range returned out-of-band key %v for [%v,%v]", k, lo, hi)
+			}
+			got[k.ID] = true
+			return true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range [%v,%v]: got %d want %d", lo, hi, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("missing id %d in range [%v,%v]", id, lo, hi)
+			}
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := newTree(t, 16)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(Key{float64(i), int64(i)}, ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	err := tr.Range(0, 99, func(k Key, rid storage.RID) (bool, error) {
+		count++
+		return count < 5, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 64)
+	const n = 1200
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Key{float64(i), int64(i)}, ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		ok, err := tr.Delete(Key{float64(i), int64(i)})
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if ok, _ := tr.Delete(Key{float64(0), 0}); ok {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok, _ := tr.Get(Key{float64(i), int64(i)})
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence=%v", i, ok)
+		}
+	}
+}
+
+func TestBulkLoadEqualsIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const n = 4000
+	keys := make([]Key, n)
+	rids := make([]storage.RID, n)
+	for i := range keys {
+		keys[i] = Key{Eps: r.NormFloat64(), ID: int64(i)}
+		rids[i] = ridFor(i)
+	}
+	type kr struct {
+		k Key
+		r storage.RID
+	}
+	pairs := make([]kr, n)
+	for i := range pairs {
+		pairs[i] = kr{keys[i], rids[i]}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k.Less(pairs[b].k) })
+	sk := make([]Key, n)
+	sr := make([]storage.RID, n)
+	for i, p := range pairs {
+		sk[i], sr[i] = p.k, p.r
+	}
+
+	bulk := newTree(t, 64)
+	if err := bulk.BulkLoad(sk, sr); err != nil {
+		t.Fatal(err)
+	}
+	incr := newTree(t, 64)
+	for i := range keys {
+		if err := incr.Insert(keys[i], rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(tr *Tree) []kr {
+		var out []kr
+		tr.Scan(func(k Key, rid storage.RID) (bool, error) {
+			out = append(out, kr{k, rid})
+			return true, nil
+		})
+		return out
+	}
+	a, b := collect(bulk), collect(incr)
+	if len(a) != n || len(b) != n {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bulk vs incremental diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if bulk.Len() != n {
+		t.Fatalf("bulk len=%d", bulk.Len())
+	}
+	// Bulk-loaded tree accepts further inserts.
+	if err := bulk.Insert(Key{Eps: 1e9, ID: -1}, ridFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := bulk.Get(Key{Eps: 1e9, ID: -1}); !ok {
+		t.Fatal("insert after bulk load lost")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := newTree(t, 16)
+	if err := tr.Insert(Key{1, 1}, ridFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len=%d", tr.Len())
+	}
+	seen := 0
+	tr.Scan(func(Key, storage.RID) (bool, error) { seen++; return true, nil })
+	if seen != 0 {
+		t.Fatalf("empty tree scanned %d", seen)
+	}
+	// And still usable.
+	if err := tr.Insert(Key{2, 2}, ridFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tr.Get(Key{2, 2}); !ok {
+		t.Fatal("insert into emptied tree lost")
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	tr := newTree(t, 16)
+	err := tr.BulkLoad(
+		[]Key{{2, 0}, {1, 0}},
+		[]storage.RID{ridFor(0), ridFor(1)},
+	)
+	if err == nil {
+		t.Fatal("unsorted bulk load accepted")
+	}
+	if err := tr.BulkLoad([]Key{{1, 0}}, nil); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestSmallBufferPoolStillCorrect(t *testing.T) {
+	// Force heavy eviction: pool of 8 pages for a tree of thousands.
+	tr := newTree(t, 8)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(Key{float64(i % 97), int64(i)}, ridFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	prev := Key{Eps: math.Inf(-1), ID: math.MinInt64}
+	err := tr.Scan(func(k Key, rid storage.RID) (bool, error) {
+		if !prev.Less(k) {
+			t.Fatalf("order violated: %v then %v", prev, k)
+		}
+		prev = k
+		count++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan %d of %d", count, n)
+	}
+}
+
+// Property: after a random interleaving of inserts and deletes, the
+// tree contents equal a model map and iteration is sorted.
+func TestRandomizedAgainstModel(t *testing.T) {
+	tr := newTree(t, 32)
+	r := rand.New(rand.NewSource(99))
+	model := map[Key]storage.RID{}
+	for op := 0; op < 8000; op++ {
+		k := Key{Eps: float64(r.Intn(500)) / 10, ID: int64(r.Intn(200))}
+		if _, exists := model[k]; !exists && r.Float64() < 0.7 {
+			rid := ridFor(op)
+			if err := tr.Insert(k, rid); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = rid
+		} else if exists {
+			ok, err := tr.Delete(k)
+			if err != nil || !ok {
+				t.Fatalf("delete existing %v: %v %v", k, ok, err)
+			}
+			delete(model, k)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("len=%d model=%d", tr.Len(), len(model))
+	}
+	got := map[Key]storage.RID{}
+	tr.Scan(func(k Key, rid storage.RID) (bool, error) {
+		got[k] = rid
+		return true, nil
+	})
+	if len(got) != len(model) {
+		t.Fatalf("scan=%d model=%d", len(got), len(model))
+	}
+	for k, rid := range model {
+		if got[k] != rid {
+			t.Fatalf("mismatch at %v", k)
+		}
+	}
+}

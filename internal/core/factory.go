@@ -1,0 +1,22 @@
+package core
+
+import "fmt"
+
+// New constructs a view of the requested architecture and strategy.
+// dir is used only by the on-disk and hybrid architectures (their
+// page files live under it); poolPages sizes their buffer pool.
+func New(arch Arch, strategy Strategy, dir string, poolPages int, entities []Entity, opts Options) (View, error) {
+	switch arch {
+	case MainMemory:
+		return NewMemView(entities, strategy, opts), nil
+	case OnDisk:
+		return NewDiskView(dir, poolPages, entities, strategy, opts)
+	case HybridArch:
+		if strategy != HazyStrategy {
+			return nil, fmt.Errorf("core: the hybrid architecture requires the Hazy strategy")
+		}
+		return NewHybridView(dir, poolPages, entities, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown architecture %d", arch)
+	}
+}

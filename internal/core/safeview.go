@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+
+	"hazy/internal/learn"
+	"hazy/internal/vector"
+)
+
+// SafeView wraps a View with a readers-writer lock so many reader
+// goroutines can issue Single Entity and All Members reads while a
+// single writer streams updates — the concurrency model behind the
+// paper's scale-up experiment (App. C.2: "the locking protocols are
+// trivial for Single Entity reads").
+//
+// Lazy-mode All Members reads mutate Skiing state (waste accrual and
+// possible reorganization), so Members and CountMembers take the
+// write lock in lazy mode.
+type SafeView struct {
+	mu   sync.RWMutex
+	v    View
+	lazy bool
+}
+
+// NewSafeView wraps v; lazyMode must match the wrapped view's mode.
+func NewSafeView(v View, lazyMode bool) *SafeView {
+	return &SafeView{v: v, lazy: lazyMode}
+}
+
+// Update folds in a training example under the write lock.
+func (s *SafeView) Update(f vector.Vector, label int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v.Update(f, label)
+}
+
+// Insert adds an entity under the write lock.
+func (s *SafeView) Insert(e Entity) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v.Insert(e)
+}
+
+// Retrain rebuilds the model under the write lock.
+func (s *SafeView) Retrain(examples []learn.Example) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.v.Retrain(examples)
+}
+
+// Label answers a point read under the read lock.
+func (s *SafeView) Label(id int64) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.v.Label(id)
+}
+
+// Members lists the positive ids. Lazy views mutate maintenance
+// state during the scan, so they take the write lock.
+func (s *SafeView) Members() ([]int64, error) {
+	if s.lazy {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	return s.v.Members()
+}
+
+// CountMembers counts the positive ids (same locking as Members).
+func (s *SafeView) CountMembers() (int, error) {
+	if s.lazy {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	} else {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+	}
+	return s.v.CountMembers()
+}
+
+// Model returns a clone of the current model (safe to retain).
+func (s *SafeView) Model() *learn.Model {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.v.Model().Clone()
+}
+
+// Stats snapshots maintenance counters.
+func (s *SafeView) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.v.Stats()
+}
+
+var _ View = (*SafeView)(nil)

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"time"
+)
+
+// Skiing is the paper's online reorganization strategy (§3.2.1,
+// Figure 7): accumulate the measured cost of incremental steps and
+// reorganize when the accumulated waste reaches α·S, where S is the
+// measured cost of the last reorganization. It is a ski-rental
+// argument; Lemma 3.2 shows the competitive ratio 1+α+σ is optimal
+// among deterministic online strategies and Theorem 3.3 that it
+// tends to 2 as the data grows.
+type Skiing struct {
+	// Alpha is the waste multiplier α (α = 1 suffices in practice).
+	Alpha float64
+
+	s   time.Duration // measured reorganization cost S
+	acc time.Duration // accumulated waste a(i)
+
+	reorgs   int
+	incSteps int
+}
+
+// NewSkiing returns a strategy with parameter alpha.
+func NewSkiing(alpha float64) *Skiing { return &Skiing{Alpha: alpha} }
+
+// ShouldReorganize reports whether the accumulated cost has reached
+// α·S. Before the first reorganization has been measured (S = 0) it
+// reports false; Hazy performs its initial clustering at build time,
+// which seeds S.
+func (sk *Skiing) ShouldReorganize() bool {
+	return sk.s > 0 && float64(sk.acc) >= sk.Alpha*float64(sk.s)
+}
+
+// AddCost records the measured cost c(i) of an incremental step:
+// a(i+1) = a(i) + c(i) (Eq. 1).
+func (sk *Skiing) AddCost(c time.Duration) {
+	sk.acc += c
+	sk.incSteps++
+}
+
+// AddWaste records a fractional waste cost without counting an
+// incremental step (used by the lazy approach, §3.4, where waste
+// accrues on All Members reads: c = (NR − N+)/NR · S_read).
+func (sk *Skiing) AddWaste(c time.Duration) { sk.acc += c }
+
+// DidReorganize records that a reorganization costing s completed:
+// S ← s and the accumulator resets to 0.
+func (sk *Skiing) DidReorganize(s time.Duration) {
+	sk.s = s
+	sk.acc = 0
+	sk.reorgs++
+}
+
+// S returns the last measured reorganization cost.
+func (sk *Skiing) S() time.Duration { return sk.s }
+
+// Accumulated returns the current waste accumulator a(i).
+func (sk *Skiing) Accumulated() time.Duration { return sk.acc }
+
+// Reorgs returns the number of reorganizations recorded.
+func (sk *Skiing) Reorgs() int { return sk.reorgs }
+
+// IncSteps returns the number of incremental steps recorded.
+func (sk *Skiing) IncSteps() int { return sk.incSteps }

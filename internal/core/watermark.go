@@ -1,0 +1,95 @@
+package core
+
+import (
+	"hazy/internal/learn"
+	"hazy/internal/vector"
+)
+
+// Watermark tracks the low/high water scalars of §3.2.2. After a
+// reorganization at round s the stored model is (w(s), b(s)); for
+// each subsequent round j Observe folds in
+//
+//	ε_high(s,j) =  M·‖w(j) − w(s)‖_p + (b(j) − b(s))
+//	ε_low(s,j)  = −M·‖w(j) − w(s)‖_p + (b(j) − b(s))
+//
+// per Lemma 3.1, maintaining the running extrema of Eq. (2):
+// hw = max_l ε_high(s,l), lw = min_l ε_low(s,l). Both extrema include
+// l = s (where ε = 0), so hw ≥ 0 ≥ lw always: a tuple with stored
+// eps ≥ hw is certainly in the positive class under every model seen
+// since s, and eps ≤ lw certainly negative.
+type Watermark struct {
+	// P is the norm applied to the model delta; feature vectors are
+	// bounded in the Hölder conjugate q (M = max ‖f‖_q).
+	P float64
+	// M is the corpus constant max_t ‖f(t)‖_q.
+	M float64
+
+	stored *learn.Model
+	lw, hw float64
+}
+
+// NewWatermark creates a tracker using the p-norm on model drift.
+func NewWatermark(p float64) *Watermark { return &Watermark{P: p} }
+
+// Q returns the Hölder conjugate of P (the norm M is measured in).
+func (w *Watermark) Q() float64 { return vector.HolderConjugate(w.P) }
+
+// Reset installs m as the stored model (a reorganization at round s)
+// and collapses the band to [0, 0]. M must be the current corpus
+// constant.
+func (w *Watermark) Reset(m *learn.Model, M float64) {
+	w.stored = m.Clone()
+	w.M = M
+	w.lw, w.hw = 0, 0
+}
+
+// Stored returns the stored model (w(s), b(s)); callers must not
+// mutate it.
+func (w *Watermark) Stored() *learn.Model { return w.stored }
+
+// Eps returns the clustering key of an entity: w(s)·f − b(s).
+func (w *Watermark) Eps(f vector.Vector) float64 {
+	return w.stored.Activation(f)
+}
+
+// Observe folds the current model into the running extrema and
+// returns the updated band. Call once per round (per new model).
+func (w *Watermark) Observe(cur *learn.Model) (lw, hw float64) {
+	drift := w.M * cur.DiffNorm(w.stored, w.P)
+	db := cur.B - w.stored.B
+	if high := drift + db; high > w.hw {
+		w.hw = high
+	}
+	if low := -drift + db; low < w.lw {
+		w.lw = low
+	}
+	return w.lw, w.hw
+}
+
+// ObserveEntity widens M if a newly inserted entity's feature norm
+// exceeds the corpus constant (Lemma 3.1 requires M to cover every
+// entity). Widening M keeps past guarantees valid — they were
+// derived with a smaller bound.
+func (w *Watermark) ObserveEntity(f vector.Vector) {
+	if n := f.Norm(w.Q()); n > w.M {
+		w.M = n
+	}
+}
+
+// Band returns the current [lw, hw].
+func (w *Watermark) Band() (lw, hw float64) { return w.lw, w.hw }
+
+// Test applies the sufficient membership condition to a stored eps:
+// it returns (+1, true) above high water, (−1, true) below low
+// water, and (0, false) inside the band where the label must be
+// computed against the current model.
+func (w *Watermark) Test(eps float64) (label int, certain bool) {
+	switch {
+	case eps >= w.hw:
+		return 1, true
+	case eps <= w.lw:
+		return -1, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hazy/internal/learn"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, spec := range []Spec{Forest, DBLife, Citeseer, Magic, Adult} {
+		spec = spec.Scale(0.02)
+		d := Generate(spec)
+		if len(d.Entities) != spec.Entities {
+			t.Fatalf("%s: %d entities want %d", spec.Name, len(d.Entities), spec.Entities)
+		}
+		for _, e := range d.Entities[:10] {
+			if err := e.F.Validate(); err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			if spec.Dense != e.F.IsDense() {
+				t.Fatalf("%s: density mismatch", spec.Name)
+			}
+			if e.F.Dim() > spec.Features {
+				t.Fatalf("%s: dim %d > %d", spec.Name, e.F.Dim(), spec.Features)
+			}
+		}
+	}
+}
+
+func TestSparseStatsMatchSpec(t *testing.T) {
+	d := Generate(Citeseer.Scale(0.05))
+	st := d.Stats()
+	if st.Name != "CS" || st.Entities != len(d.Entities) {
+		t.Fatalf("stats %+v", st)
+	}
+	// Average non-zeros should be in the ballpark of AvgNNZ.
+	if st.AvgNonZero < float64(d.Spec.AvgNNZ)/3 || st.AvgNonZero > float64(d.Spec.AvgNNZ)*2 {
+		t.Fatalf("avg nnz %.1f vs spec %d", st.AvgNonZero, d.Spec.AvgNNZ)
+	}
+	if st.SizeBytes <= 0 {
+		t.Fatal("size not computed")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	sparse := Generate(DBLife.Scale(0.01))
+	for _, e := range sparse.Entities[:20] {
+		if math.Abs(e.F.Norm(1)-1) > 1e-9 {
+			t.Fatalf("sparse vector not l1-normalized: %v", e.F.Norm(1))
+		}
+	}
+	dense := Generate(Forest.Scale(0.01))
+	for _, e := range dense.Entities[:20] {
+		if math.Abs(e.F.Norm(2)-1) > 1e-9 {
+			t.Fatalf("dense vector not l2-normalized: %v", e.F.Norm(2))
+		}
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	a := Generate(DBLife.Scale(0.01))
+	b := Generate(DBLife.Scale(0.01))
+	for i := range a.Entities {
+		av, bv := a.Entities[i].F, b.Entities[i].F
+		if av.NNZ() != bv.NNZ() {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	sa, sb := a.Stream(10), b.Stream(10)
+	for i := range sa {
+		if sa[i].Label != sb[i].Label {
+			t.Fatal("stream not deterministic")
+		}
+	}
+}
+
+func TestLearnableGroundTruth(t *testing.T) {
+	// An SGD model trained on the stream should beat chance clearly
+	// on held-out examples — the ground truth is a real hyperplane.
+	for _, spec := range []Spec{Forest, DBLife} {
+		d := Generate(spec.Scale(0.1))
+		s := learn.NewSGD(learn.SGDConfig{Eta0: 1})
+		for _, ex := range d.Stream(8000) {
+			s.Train(ex.F, ex.Label)
+		}
+		test := d.Stream(1000)
+		correct := 0
+		for _, ex := range test {
+			if s.Model().Predict(ex.F) == ex.Label {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(test))
+		if acc < 0.68 {
+			t.Fatalf("%s: held-out accuracy %.3f (ground truth not learnable)", spec.Name, acc)
+		}
+	}
+}
+
+func TestMulticlassLabels(t *testing.T) {
+	d := Generate(Forest.Scale(0.02))
+	counts := make([]int, d.Spec.Classes)
+	for i := 0; i < 2000; i++ {
+		f, c := d.MulticlassExample()
+		if c < 0 || c >= d.Spec.Classes {
+			t.Fatalf("class %d out of range", c)
+		}
+		if f.NNZ() == 0 {
+			t.Fatal("empty example")
+		}
+		counts[c]++
+	}
+	nonEmpty := 0
+	for _, n := range counts {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 3 {
+		t.Fatalf("class distribution degenerate: %v", counts)
+	}
+}
+
+func TestBinaryLabelNoise(t *testing.T) {
+	spec := Magic
+	spec.Entities = 100
+	spec.NoiseRate = 0.5
+	d := Generate(spec)
+	r := rand.New(rand.NewSource(9))
+	_ = r
+	pos := 0
+	for i := 0; i < 2000; i++ {
+		if d.Example().Label == 1 {
+			pos++
+		}
+	}
+	// With 50% label noise the label is a coin flip.
+	if pos < 800 || pos > 1200 {
+		t.Fatalf("noise rate not applied: %d/2000 positive", pos)
+	}
+}
+
+func TestScaleFloor(t *testing.T) {
+	s := Spec{Entities: 50}.Scale(0.0001)
+	if s.Entities != 10 {
+		t.Fatalf("floor: %d", s.Entities)
+	}
+}

@@ -1,0 +1,226 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hazy/internal/vector"
+)
+
+// Func is a feature function in the paper's three-phase form
+// (App. A.2): ComputeStats makes a pass over the corpus,
+// ComputeStatsInc folds one new document into the statistics, and
+// ComputeFeature maps a document to its feature vector using the
+// current statistics.
+type Func interface {
+	Name() string
+	ComputeStats(corpus []string)
+	ComputeStatsInc(doc string)
+	ComputeFeature(doc string) vector.Vector
+}
+
+// TFBagOfWords is tf_bag_of_words: ℓ1-normalized term frequencies.
+// It needs no corpus statistics (App. A.2).
+type TFBagOfWords struct {
+	Vocab *Vocab
+}
+
+// NewTFBagOfWords returns the feature function over a fresh vocabulary.
+func NewTFBagOfWords() *TFBagOfWords { return &TFBagOfWords{Vocab: NewVocab()} }
+
+// Name returns "tf_bag_of_words".
+func (f *TFBagOfWords) Name() string { return "tf_bag_of_words" }
+
+// ComputeStats only warms the vocabulary (no statistics needed).
+func (f *TFBagOfWords) ComputeStats(corpus []string) {
+	for _, d := range corpus {
+		for _, t := range Tokenize(d) {
+			f.Vocab.Lookup(t)
+		}
+	}
+}
+
+// ComputeStatsInc is a no-op beyond vocabulary growth.
+func (f *TFBagOfWords) ComputeStatsInc(doc string) {
+	for _, t := range Tokenize(doc) {
+		f.Vocab.Lookup(t)
+	}
+}
+
+// ComputeFeature returns the ℓ1-normalized term-frequency vector.
+func (f *TFBagOfWords) ComputeFeature(doc string) vector.Vector {
+	counts := map[int32]float64{}
+	for _, t := range Tokenize(doc) {
+		if i := f.Vocab.Lookup(t); i >= 0 {
+			counts[i]++
+		}
+	}
+	v := vector.FromMap(counts)
+	v.L1Normalize()
+	return v
+}
+
+// TFIDF is tf_idf_bag_of_words: tf·idf scores with document
+// frequencies maintained incrementally by ComputeStatsInc, mirroring
+// the catalog-table flow described in App. A.2.
+type TFIDF struct {
+	Vocab *Vocab
+
+	mu   sync.RWMutex
+	df   map[int32]int
+	docs int
+}
+
+// NewTFIDF returns the feature function with empty statistics.
+func NewTFIDF() *TFIDF {
+	return &TFIDF{Vocab: NewVocab(), df: make(map[int32]int)}
+}
+
+// Name returns "tf_idf_bag_of_words".
+func (f *TFIDF) Name() string { return "tf_idf_bag_of_words" }
+
+// ComputeStats computes document frequencies over the corpus.
+func (f *TFIDF) ComputeStats(corpus []string) {
+	for _, d := range corpus {
+		f.ComputeStatsInc(d)
+	}
+}
+
+// ComputeStatsInc folds one document into the df counts.
+func (f *TFIDF) ComputeStatsInc(doc string) {
+	seen := map[int32]bool{}
+	for _, t := range Tokenize(doc) {
+		if i := f.Vocab.Lookup(t); i >= 0 {
+			seen[i] = true
+		}
+	}
+	f.mu.Lock()
+	f.docs++
+	for i := range seen {
+		f.df[i]++
+	}
+	f.mu.Unlock()
+}
+
+// DocCount returns the number of documents folded into the statistics.
+func (f *TFIDF) DocCount() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.docs
+}
+
+// ComputeFeature returns the ℓ1-normalized tf·idf vector. idf uses
+// the smoothed form log((1+N)/(1+df)).
+func (f *TFIDF) ComputeFeature(doc string) vector.Vector {
+	counts := map[int32]float64{}
+	for _, t := range Tokenize(doc) {
+		if i := f.Vocab.Lookup(t); i >= 0 {
+			counts[i]++
+		}
+	}
+	f.mu.RLock()
+	for i, c := range counts {
+		idf := math.Log(float64(1+f.docs) / float64(1+f.df[i]))
+		counts[i] = c * idf
+	}
+	f.mu.RUnlock()
+	v := vector.FromMap(counts)
+	v.L1Normalize()
+	return v
+}
+
+// TFICF is tf_icf (term frequency–inverse corpus frequency, [31] in
+// the paper): corpus frequencies are fixed by ComputeStats and
+// explicitly NOT updated per new document.
+type TFICF struct {
+	Vocab *Vocab
+	cf    map[int32]int
+	total int
+}
+
+// NewTFICF returns the feature function with empty statistics.
+func NewTFICF() *TFICF { return &TFICF{Vocab: NewVocab(), cf: map[int32]int{}} }
+
+// Name returns "tf_icf".
+func (f *TFICF) Name() string { return "tf_icf" }
+
+// ComputeStats fixes corpus term frequencies.
+func (f *TFICF) ComputeStats(corpus []string) {
+	for _, d := range corpus {
+		for _, t := range Tokenize(d) {
+			f.cf[f.Vocab.Lookup(t)]++
+			f.total++
+		}
+	}
+}
+
+// ComputeStatsInc is deliberately a no-op: TF-ICF does not update
+// corpus frequencies after the initial pass.
+func (f *TFICF) ComputeStatsInc(string) {}
+
+// ComputeFeature returns the ℓ1-normalized tf·icf vector.
+func (f *TFICF) ComputeFeature(doc string) vector.Vector {
+	counts := map[int32]float64{}
+	for _, t := range Tokenize(doc) {
+		if i := f.Vocab.Lookup(t); i >= 0 {
+			counts[i]++
+		}
+	}
+	for i, c := range counts {
+		icf := math.Log(float64(1+f.total) / float64(1+f.cf[i]))
+		counts[i] = c * icf
+	}
+	v := vector.FromMap(counts)
+	v.L1Normalize()
+	return v
+}
+
+// Registry holds named feature-function constructors, mirroring
+// Hazy's registration of feature functions (App. A.2: "the
+// administrator writes a library of these feature functions").
+type Registry struct {
+	mu    sync.RWMutex
+	ctors map[string]func() Func
+}
+
+// NewRegistry returns a registry preloaded with the built-in
+// functions.
+func NewRegistry() *Registry {
+	r := &Registry{ctors: map[string]func() Func{}}
+	r.Register("tf_bag_of_words", func() Func { return NewTFBagOfWords() })
+	r.Register("tf_idf_bag_of_words", func() Func { return NewTFIDF() })
+	r.Register("tf_icf", func() Func { return NewTFICF() })
+	return r
+}
+
+// Register adds (or replaces) a named constructor.
+func (r *Registry) Register(name string, ctor func() Func) {
+	r.mu.Lock()
+	r.ctors[name] = ctor
+	r.mu.Unlock()
+}
+
+// New instantiates the named feature function.
+func (r *Registry) New(name string) (Func, error) {
+	r.mu.RLock()
+	ctor, ok := r.ctors[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("feature: unknown feature function %q (have %v)", name, r.Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists the registered function names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.ctors))
+	for n := range r.ctors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+
+	"hazy/internal/vector"
+)
+
+// Kernel identifies a shift-invariant kernel for RFF linearization
+// (paper App. B.5.3).
+type Kernel int
+
+// Supported shift-invariant kernels.
+const (
+	// Gaussian is K(x,y) = exp(−γ‖x−y‖₂²).
+	Gaussian Kernel = iota
+	// Laplacian is K(x,y) = exp(−γ‖x−y‖₁).
+	Laplacian
+)
+
+// RFF maps input vectors to a D-dimensional random Fourier feature
+// space in which the linear dot product approximates the chosen
+// shift-invariant kernel (Rahimi & Recht; paper App. B.5.3):
+//
+//	z(x)_i = sqrt(2/D) · cos(r_i·x + c_i)
+//
+// with r_i drawn from the kernel's spectral density and c_i uniform
+// on [0, 2π). The paper uses this to scale the feature length in the
+// Figure 12(A) sensitivity experiment and to reduce kernel methods to
+// the linear classification problem Hazy maintains.
+type RFF struct {
+	dim   int // input dimensionality
+	D     int // output dimensionality
+	omega [][]float64
+	phase []float64
+}
+
+// NewRFF builds a transform for inputs of dimension dim into D random
+// features for the given kernel with bandwidth gamma, deterministic
+// in seed.
+func NewRFF(kernel Kernel, dim, D int, gamma float64, seed int64) *RFF {
+	r := rand.New(rand.NewSource(seed))
+	f := &RFF{dim: dim, D: D, omega: make([][]float64, D), phase: make([]float64, D)}
+	for i := 0; i < D; i++ {
+		w := make([]float64, dim)
+		for j := range w {
+			switch kernel {
+			case Laplacian:
+				// Spectral density of exp(−γ‖δ‖₁) is a product of
+				// Cauchy distributions with scale γ.
+				w[j] = gamma * math.Tan(math.Pi*(r.Float64()-0.5))
+			default:
+				// Gaussian kernel exp(−γ‖δ‖²) ⇒ ω ~ N(0, 2γ·I).
+				w[j] = r.NormFloat64() * math.Sqrt(2*gamma)
+			}
+		}
+		f.omega[i] = w
+		f.phase[i] = 2 * math.Pi * r.Float64()
+	}
+	return f
+}
+
+// OutputDim returns D.
+func (f *RFF) OutputDim() int { return f.D }
+
+// Transform maps x into the random feature space (a dense vector of
+// length D).
+func (f *RFF) Transform(x vector.Vector) vector.Vector {
+	out := make([]float64, f.D)
+	scale := math.Sqrt(2 / float64(f.D))
+	for i := 0; i < f.D; i++ {
+		out[i] = scale * math.Cos(vector.Dot(f.omega[i], x)+f.phase[i])
+	}
+	return vector.NewDense(out)
+}
+
+// GaussianKernel evaluates K(x,y) = exp(−γ‖x−y‖₂²) exactly (for
+// validating the approximation).
+func GaussianKernel(x, y vector.Vector, gamma float64) float64 {
+	d := x.Dim()
+	if yd := y.Dim(); yd > d {
+		d = yd
+	}
+	var s float64
+	for i := 0; i < d; i++ {
+		diff := x.At(i) - y.At(i)
+		s += diff * diff
+	}
+	return math.Exp(-gamma * s)
+}
+
+// LaplacianKernel evaluates K(x,y) = exp(−γ‖x−y‖₁) exactly.
+func LaplacianKernel(x, y vector.Vector, gamma float64) float64 {
+	d := x.Dim()
+	if yd := y.Dim(); yd > d {
+		d = yd
+	}
+	var s float64
+	for i := 0; i < d; i++ {
+		s += math.Abs(x.At(i) - y.At(i))
+	}
+	return math.Exp(-gamma * s)
+}

@@ -1,0 +1,98 @@
+// Package feature implements Hazy's feature functions (paper App.
+// A.2): user-registered triples (computeStats, computeStatsInc,
+// computeFeature) that turn entity tuples into feature vectors, plus
+// the linearized-kernel machinery of App. B.5.3 (random Fourier
+// features for shift-invariant kernels).
+package feature
+
+import (
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Tokenize lowercases s and splits it into maximal runs of letters
+// and digits — the document model used by the bag-of-words feature
+// functions.
+func Tokenize(s string) []string {
+	var toks []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			toks = append(toks, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return toks
+}
+
+// Vocab maps terms to dense component indices. It is safe for
+// concurrent use; once Frozen, unknown terms map to -1 instead of
+// being assigned new indices.
+type Vocab struct {
+	mu     sync.RWMutex
+	index  map[string]int32
+	terms  []string
+	frozen bool
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab {
+	return &Vocab{index: make(map[string]int32)}
+}
+
+// Lookup returns the index for term, assigning a fresh one unless the
+// vocabulary is frozen (then -1 for unknown terms).
+func (v *Vocab) Lookup(term string) int32 {
+	v.mu.RLock()
+	i, ok := v.index[term]
+	frozen := v.frozen
+	v.mu.RUnlock()
+	if ok {
+		return i
+	}
+	if frozen {
+		return -1
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if i, ok := v.index[term]; ok {
+		return i
+	}
+	i = int32(len(v.terms))
+	v.index[term] = i
+	v.terms = append(v.terms, term)
+	return i
+}
+
+// Term returns the term at index i, or "" if out of range.
+func (v *Vocab) Term(i int32) string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if i < 0 || int(i) >= len(v.terms) {
+		return ""
+	}
+	return v.terms[i]
+}
+
+// Size returns the number of distinct terms.
+func (v *Vocab) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.terms)
+}
+
+// Freeze stops the vocabulary from growing.
+func (v *Vocab) Freeze() {
+	v.mu.Lock()
+	v.frozen = true
+	v.mu.Unlock()
+}

@@ -1,0 +1,188 @@
+// Package kernel implements Hazy's kernel-method extension
+// (paper App. B.5.2): classifiers of the form
+//
+//	c(x) = Σ_i c_i · K(s_i, x)
+//
+// over support vectors s_i, trained incrementally (a budgeted kernel
+// perceptron), with the same incremental view maintenance as the
+// linear case. The watermark argument carries over because the
+// supported kernels satisfy K(·,·) ∈ [0, 1]: if the weight vector
+// moves by δ (in ℓ1, counting new support vectors at full weight),
+// no point's score moves by more than ‖δ‖₁.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"hazy/internal/vector"
+)
+
+// Kernel is a positive semi-definite kernel with range [0, 1]
+// (required by the App. B.5.2 drift bound).
+type Kernel interface {
+	Name() string
+	Eval(x, y vector.Vector) float64
+}
+
+// Gaussian is K(x,y) = exp(−γ‖x−y‖₂²).
+type Gaussian struct{ Gamma float64 }
+
+// Name returns "gaussian".
+func (Gaussian) Name() string { return "gaussian" }
+
+// Eval evaluates the kernel.
+func (k Gaussian) Eval(x, y vector.Vector) float64 {
+	d := x.Dim()
+	if yd := y.Dim(); yd > d {
+		d = yd
+	}
+	var s float64
+	for i := 0; i < d; i++ {
+		diff := x.At(i) - y.At(i)
+		s += diff * diff
+	}
+	return math.Exp(-k.Gamma * s)
+}
+
+// Laplacian is K(x,y) = exp(−γ‖x−y‖₁).
+type Laplacian struct{ Gamma float64 }
+
+// Name returns "laplacian".
+func (Laplacian) Name() string { return "laplacian" }
+
+// Eval evaluates the kernel.
+func (k Laplacian) Eval(x, y vector.Vector) float64 {
+	d := x.Dim()
+	if yd := y.Dim(); yd > d {
+		d = yd
+	}
+	var s float64
+	for i := 0; i < d; i++ {
+		s += math.Abs(x.At(i) - y.At(i))
+	}
+	return math.Exp(-k.Gamma * s)
+}
+
+// SV is one support vector with its weight.
+type SV struct {
+	X vector.Vector
+	C float64
+}
+
+// Model is a kernel classifier: sign(Σ c_i K(s_i, x)).
+type Model struct {
+	K   Kernel
+	SVs []SV
+}
+
+// Score returns Σ c_i K(s_i, x).
+func (m *Model) Score(x vector.Vector) float64 {
+	var s float64
+	for _, sv := range m.SVs {
+		s += sv.C * m.K.Eval(sv.X, x)
+	}
+	return s
+}
+
+// Predict returns sign(Score(x)) with sign(0) = +1.
+func (m *Model) Predict(x vector.Vector) int {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Clone returns a copy sharing support-vector feature storage (the
+// vectors are immutable by convention) but with independent weights.
+func (m *Model) Clone() *Model {
+	return &Model{K: m.K, SVs: append([]SV(nil), m.SVs...)}
+}
+
+// Trainer is a budgeted kernel perceptron: on a margin mistake it
+// adds the example as a support vector with weight ±η; past the
+// budget the smallest-|c| support vector is evicted. Each Train step
+// is incremental, matching Hazy's incremental-training requirement.
+type Trainer struct {
+	model  *Model
+	eta    float64
+	budget int
+	t      int
+}
+
+// NewTrainer returns a trainer with learning rate eta and a
+// support-vector budget (0 = unbounded).
+func NewTrainer(k Kernel, eta float64, budget int) *Trainer {
+	if eta == 0 {
+		eta = 1
+	}
+	return &Trainer{model: &Model{K: k}, eta: eta, budget: budget}
+}
+
+// Model returns the live model; callers must Clone before retaining.
+func (tr *Trainer) Model() *Model { return tr.model }
+
+// Steps returns the number of examples seen.
+func (tr *Trainer) Steps() int { return tr.t }
+
+// Train folds one example in. It returns the ℓ1 weight change this
+// step caused — the drift term of the App. B.5.2 watermark bound.
+func (tr *Trainer) Train(x vector.Vector, label int) float64 {
+	tr.t++
+	y := float64(label)
+	if tr.model.Score(x)*y > 0 {
+		return 0 // correctly classified: no change
+	}
+	w := tr.eta * y
+	tr.model.SVs = append(tr.model.SVs, SV{X: x, C: w})
+	drift := math.Abs(w)
+	if tr.budget > 0 && len(tr.model.SVs) > tr.budget {
+		// Evict the weakest support vector; its whole weight counts
+		// as drift.
+		weak := 0
+		for i, sv := range tr.model.SVs {
+			if math.Abs(sv.C) < math.Abs(tr.model.SVs[weak].C) {
+				weak = i
+			}
+		}
+		drift += math.Abs(tr.model.SVs[weak].C)
+		tr.model.SVs = append(tr.model.SVs[:weak], tr.model.SVs[weak+1:]...)
+	}
+	return drift
+}
+
+// Watermark is the kernel analog of core's watermark: with stored
+// scores eps = score_s(x) and accumulated ℓ1 weight drift D since the
+// stored model, any x with eps ≥ D is certainly positive and any x
+// with eps ≤ −D certainly negative, because |score(x) − score_s(x)| ≤
+// Σ|δc_i|·K ≤ ‖δc‖₁ (K ∈ [0,1]).
+type Watermark struct {
+	drift float64
+}
+
+// Reset collapses the band (a reorganization installed a new stored
+// model).
+func (w *Watermark) Reset() { w.drift = 0 }
+
+// AddDrift folds one training step's ℓ1 weight change in.
+func (w *Watermark) AddDrift(d float64) { w.drift += d }
+
+// Band returns [lw, hw] = [−drift, +drift].
+func (w *Watermark) Band() (lw, hw float64) { return -w.drift, w.drift }
+
+// Test applies the sufficient condition to a stored score.
+func (w *Watermark) Test(eps float64) (label int, certain bool) {
+	switch {
+	case eps >= w.drift:
+		return 1, true
+	case eps <= -w.drift:
+		return -1, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the model compactly.
+func (m *Model) String() string {
+	return fmt.Sprintf("KernelModel(%s, %d SVs)", m.K.Name(), len(m.SVs))
+}

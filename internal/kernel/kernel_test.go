@@ -1,0 +1,222 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hazy/internal/core"
+	"hazy/internal/vector"
+)
+
+// ring labels points by whether they fall inside the unit circle — a
+// task no linear classifier can represent, but a Gaussian kernel can.
+func ringPoint(r *rand.Rand) (vector.Vector, int) {
+	x := r.Float64()*4 - 2
+	y := r.Float64()*4 - 2
+	label := -1
+	if x*x+y*y < 1 {
+		label = 1
+	}
+	return vector.NewDense([]float64{x, y}), label
+}
+
+func TestKernelRanges(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ks := []Kernel{Gaussian{Gamma: 0.7}, Laplacian{Gamma: 0.7}}
+	for _, k := range ks {
+		for trial := 0; trial < 200; trial++ {
+			x, _ := ringPoint(r)
+			y, _ := ringPoint(r)
+			v := k.Eval(x, y)
+			if v < 0 || v > 1 {
+				t.Fatalf("%s outside [0,1]: %v", k.Name(), v)
+			}
+			if self := k.Eval(x, x); math.Abs(self-1) > 1e-12 {
+				t.Fatalf("%s K(x,x)=%v", k.Name(), self)
+			}
+			if math.Abs(k.Eval(x, y)-k.Eval(y, x)) > 1e-12 {
+				t.Fatalf("%s not symmetric", k.Name())
+			}
+		}
+	}
+}
+
+func TestKernelPerceptronLearnsRing(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr := NewTrainer(Gaussian{Gamma: 2}, 1, 0)
+	for i := 0; i < 3000; i++ {
+		x, y := ringPoint(r)
+		tr.Train(x, y)
+	}
+	correct := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		x, y := ringPoint(r)
+		if tr.Model().Predict(x) == y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.9 {
+		t.Fatalf("kernel accuracy %.3f on circle task", acc)
+	}
+	if tr.Steps() != 3000 {
+		t.Fatalf("steps=%d", tr.Steps())
+	}
+}
+
+func TestLinearCannotLearnRingButKernelCan(t *testing.T) {
+	// Sanity check that the task is genuinely non-linear: the best
+	// any hyperplane through this data can do is ~ the negative base
+	// rate, which is well below the kernel's accuracy.
+	r := rand.New(rand.NewSource(3))
+	pos := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, y := ringPoint(r)
+		if y == 1 {
+			pos++
+		}
+	}
+	baseRate := float64(n-pos) / n // classify-all-negative accuracy
+	if baseRate < 0.7 {
+		t.Fatalf("ring task degenerate: base rate %.3f", baseRate)
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	tr := NewTrainer(Gaussian{Gamma: 2}, 1, 50)
+	for i := 0; i < 2000; i++ {
+		x, y := ringPoint(r)
+		tr.Train(x, y)
+	}
+	if got := len(tr.Model().SVs); got > 50 {
+		t.Fatalf("budget exceeded: %d SVs", got)
+	}
+	// Budgeted model should still beat the base rate.
+	correct := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		x, y := ringPoint(r)
+		if tr.Model().Predict(x) == y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.8 {
+		t.Fatalf("budgeted accuracy %.3f", acc)
+	}
+}
+
+// TestWatermarkSoundness is the App. B.5.2 guarantee: scores cannot
+// move by more than the accumulated ℓ1 weight drift, so watermark
+// verdicts always match the current model.
+func TestWatermarkSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr := NewTrainer(Gaussian{Gamma: 2}, 1, 0)
+	// A fixed evaluation set with stored scores.
+	var points []vector.Vector
+	for i := 0; i < 150; i++ {
+		x, _ := ringPoint(r)
+		points = append(points, x)
+	}
+	for i := 0; i < 300; i++ {
+		x, y := ringPoint(r)
+		tr.Train(x, y)
+	}
+	stored := tr.Model().Clone()
+	eps := make([]float64, len(points))
+	for i, x := range points {
+		eps[i] = stored.Score(x)
+	}
+	var wm Watermark
+	wm.Reset()
+	for step := 0; step < 400; step++ {
+		x, y := ringPoint(r)
+		wm.AddDrift(tr.Train(x, y))
+		cur := tr.Model()
+		for i, p := range points {
+			label, certain := wm.Test(eps[i])
+			if !certain {
+				continue
+			}
+			if got := cur.Predict(p); got != label {
+				t.Fatalf("step %d: watermark promised %d, model says %d (eps=%v drift band=%v..%v)",
+					step, label, got, eps[i], -wm.drift, wm.drift)
+			}
+		}
+	}
+}
+
+func TestKernelViewMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	var entities []core.Entity
+	for i := 0; i < 200; i++ {
+		x, _ := ringPoint(r)
+		entities = append(entities, core.Entity{ID: int64(i), F: x})
+	}
+	for _, mode := range []core.Mode{core.Eager, core.Lazy} {
+		v := NewView(Gaussian{Gamma: 2}, 1, 0, mode, 1, entities)
+		for step := 0; step < 500; step++ {
+			x, y := ringPoint(r)
+			v.Update(x, y)
+			if step%100 != 99 {
+				continue
+			}
+			oracle := v.Model()
+			want := map[int64]bool{}
+			for _, e := range entities {
+				if oracle.Predict(e.F) > 0 {
+					want[e.ID] = true
+				}
+			}
+			got := v.Members()
+			if len(got) != len(want) {
+				t.Fatalf("%v step %d: %d members, oracle %d", mode, step, len(got), len(want))
+			}
+			for _, id := range got {
+				if !want[id] {
+					t.Fatalf("%v step %d: spurious member %d", mode, step, id)
+				}
+			}
+			for trial := 0; trial < 30; trial++ {
+				id := int64(r.Intn(len(entities)))
+				label, err := v.Label(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantL := oracle.Predict(entities[id].F); label != wantL {
+					t.Fatalf("%v step %d: label(%d)=%d oracle %d", mode, step, id, label, wantL)
+				}
+			}
+		}
+		if v.Updates() != 500 {
+			t.Fatalf("updates=%d", v.Updates())
+		}
+		if v.Reorgs() < 1 {
+			t.Fatal("no reorganizations recorded")
+		}
+	}
+}
+
+func TestKernelViewUnknownEntity(t *testing.T) {
+	v := NewView(Gaussian{Gamma: 1}, 1, 0, core.Eager, 1, nil)
+	if _, err := v.Label(7); err == nil {
+		t.Fatal("unknown entity labeled")
+	}
+	if v.BandTuples() != 0 {
+		t.Fatal("empty view has band tuples")
+	}
+}
+
+func TestModelCloneIndependent(t *testing.T) {
+	m := &Model{K: Gaussian{Gamma: 1}, SVs: []SV{{X: vector.NewDense([]float64{1}), C: 2}}}
+	c := m.Clone()
+	c.SVs[0].C = 9
+	if m.SVs[0].C != 2 {
+		t.Fatal("clone aliases weights")
+	}
+	if m.String() == "" {
+		t.Fatal("empty string")
+	}
+}

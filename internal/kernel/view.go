@@ -1,0 +1,171 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hazy/internal/core"
+	"hazy/internal/vector"
+)
+
+// entry is one entity in the kernel view, with eps = the stored
+// model's score and label maintained per the mode.
+type entry struct {
+	id    int64
+	x     vector.Vector
+	eps   float64
+	label int8
+}
+
+// View is a main-memory classification view over a kernel classifier
+// with Hazy's incremental maintenance: entries clustered on stored
+// score, the App. B.5.2 ℓ1-drift watermark, and Skiing-driven
+// reorganization.
+type View struct {
+	mode    core.Mode
+	trainer *Trainer
+	entries []*entry
+	byID    map[int64]*entry
+	wm      Watermark
+	sk      *core.Skiing
+	updates int
+}
+
+// NewView builds a kernel view over entities with the given trainer
+// configuration.
+func NewView(k Kernel, eta float64, budget int, mode core.Mode, alpha float64, entities []core.Entity) *View {
+	if alpha == 0 {
+		alpha = 1
+	}
+	v := &View{
+		mode:    mode,
+		trainer: NewTrainer(k, eta, budget),
+		byID:    make(map[int64]*entry, len(entities)),
+		sk:      core.NewSkiing(alpha),
+	}
+	for _, e := range entities {
+		en := &entry{id: e.ID, x: e.F}
+		v.entries = append(v.entries, en)
+		v.byID[e.ID] = en
+	}
+	v.reorganize()
+	return v
+}
+
+// Model returns the current kernel model.
+func (v *View) Model() *Model { return v.trainer.Model() }
+
+// Updates returns the number of training examples folded in.
+func (v *View) Updates() int { return v.updates }
+
+// Reorgs returns the number of reorganizations (including the
+// initial clustering).
+func (v *View) Reorgs() int { return v.sk.Reorgs() }
+
+func (v *View) reorganize() {
+	start := time.Now()
+	m := v.trainer.Model()
+	for _, en := range v.entries {
+		en.eps = m.Score(en.x)
+		if en.eps >= 0 {
+			en.label = 1
+		} else {
+			en.label = -1
+		}
+	}
+	sort.Slice(v.entries, func(a, b int) bool {
+		ea, eb := v.entries[a], v.entries[b]
+		if ea.eps != eb.eps {
+			return ea.eps < eb.eps
+		}
+		return ea.id < eb.id
+	})
+	v.wm.Reset()
+	v.sk.DidReorganize(time.Since(start))
+}
+
+func (v *View) band() (lo, hi int) {
+	lw, hw := v.wm.Band()
+	lo = sort.Search(len(v.entries), func(i int) bool { return v.entries[i].eps >= lw })
+	hi = sort.Search(len(v.entries), func(i int) bool { return v.entries[i].eps > hw })
+	return lo, hi
+}
+
+// Update folds one training example in and maintains the view.
+func (v *View) Update(x vector.Vector, label int) {
+	v.wm.AddDrift(v.trainer.Train(x, label))
+	v.updates++
+	if v.mode == core.Lazy {
+		return
+	}
+	if v.sk.ShouldReorganize() {
+		v.reorganize()
+		return
+	}
+	start := time.Now()
+	lo, hi := v.band()
+	m := v.trainer.Model()
+	for i := lo; i < hi; i++ {
+		v.entries[i].label = int8(m.Predict(v.entries[i].x))
+	}
+	v.sk.AddCost(time.Since(start))
+}
+
+// Label answers a Single Entity read.
+func (v *View) Label(id int64) (int, error) {
+	en, ok := v.byID[id]
+	if !ok {
+		return 0, fmt.Errorf("kernel: no entity %d", id)
+	}
+	if v.mode == core.Eager {
+		return int(en.label), nil
+	}
+	if label, certain := v.wm.Test(en.eps); certain {
+		return label, nil
+	}
+	return v.trainer.Model().Predict(en.x), nil
+}
+
+// Members returns the ids labeled +1. In lazy mode the scan accrues
+// the §3.4 waste toward the next reorganization.
+func (v *View) Members() []int64 {
+	var out []int64
+	start := time.Now()
+	lo, hi := v.band()
+	if v.mode == core.Eager {
+		for i := lo; i < hi; i++ {
+			if v.entries[i].label > 0 {
+				out = append(out, v.entries[i].id)
+			}
+		}
+	} else {
+		m := v.trainer.Model()
+		for i := lo; i < hi; i++ {
+			if m.Predict(v.entries[i].x) > 0 {
+				out = append(out, v.entries[i].id)
+			}
+		}
+	}
+	for i := hi; i < len(v.entries); i++ {
+		out = append(out, v.entries[i].id)
+	}
+	if v.mode == core.Lazy {
+		nRead := len(v.entries) - lo
+		if nRead > 0 {
+			waste := time.Duration(float64(time.Since(start)) *
+				float64(nRead-len(out)) / float64(nRead))
+			v.sk.AddWaste(waste)
+		}
+		if v.sk.ShouldReorganize() {
+			v.reorganize()
+		}
+	}
+	return out
+}
+
+// BandTuples returns the number of entries inside the current band.
+func (v *View) BandTuples() int {
+	lo, hi := v.band()
+	return hi - lo
+}

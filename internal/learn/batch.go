@@ -1,0 +1,76 @@
+package learn
+
+import (
+	"hazy/internal/vector"
+)
+
+// BatchSVM is a full-batch subgradient solver for the linear SVM
+// objective (App. A.1). It stands in for SVMLight in the Figure 10
+// comparison: a batch method that visits the entire training set per
+// iteration — accurate, but an order of magnitude (or more) slower
+// than the incremental SGD at comparable quality, which is the shape
+// the paper reports.
+//
+// The bias is folded in as an augmented constant feature (standard
+// for Pegasos-style solvers) and the returned model is the weighted
+// average of the iterates, which converges at O(1/T).
+type BatchSVM struct {
+	// Lambda is the regularization strength (default 1e-4).
+	Lambda float64
+	// MaxIter bounds the number of full-batch iterations (default 300).
+	MaxIter int
+}
+
+// Fit trains on examples and returns the model plus the number of
+// full-batch iterations executed.
+func (b BatchSVM) Fit(examples []Example) (*Model, int) {
+	lambda := b.Lambda
+	if lambda == 0 {
+		lambda = 1e-4
+	}
+	maxIter := b.MaxIter
+	if maxIter == 0 {
+		maxIter = 300
+	}
+	dim := 0
+	for _, ex := range examples {
+		if d := ex.F.Dim(); d > dim {
+			dim = d
+		}
+	}
+	if len(examples) == 0 {
+		return NewModel(dim), 0
+	}
+	n := float64(len(examples))
+	// Augmented weights: w[0:dim] for features, w[dim] for the bias.
+	w := make([]float64, dim+1)
+	avg := make([]float64, dim+1)
+	for it := 1; it <= maxIter; it++ {
+		// Full subgradient of (λ/2)‖w‖² + (1/n)Σ max(1−y·z, 0),
+		// z = w·f + w[dim].
+		g := make([]float64, dim+1)
+		for i, x := range w {
+			g[i] = lambda * x
+		}
+		for _, ex := range examples {
+			y := float64(ex.Label)
+			z := vector.Dot(w, ex.F) + w[dim]
+			if z*y < 1 {
+				g = vector.Axpy(g, -y/n, ex.F)
+				g[dim] -= y / n
+			}
+		}
+		eta := 1 / (lambda * float64(it))
+		for i := range w {
+			w[i] -= eta * g[i]
+		}
+		// Weighted iterate averaging (Lacoste-Julien et al.):
+		// avg_t = (1−ρ)avg + ρ·w with ρ = 2/(t+1).
+		rho := 2 / float64(it+1)
+		for i := range avg {
+			avg[i] = (1-rho)*avg[i] + rho*w[i]
+		}
+	}
+	m := &Model{W: append([]float64(nil), avg[:dim]...), B: -avg[dim]}
+	return m, maxIter
+}

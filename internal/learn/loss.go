@@ -1,0 +1,128 @@
+package learn
+
+import "math"
+
+// Loss is a convex loss L(z, y) with z = w·x − b and y ∈ {−1, +1},
+// following the paper's Figure 9(a). Deriv returns ∂L/∂z (a
+// subgradient where L is non-smooth).
+type Loss interface {
+	Name() string
+	Value(z, y float64) float64
+	Deriv(z, y float64) float64
+}
+
+// Hinge is the SVM loss max{1 − zy, 0}.
+type Hinge struct{}
+
+// Name returns "svm".
+func (Hinge) Name() string { return "svm" }
+
+// Value returns max{1 − zy, 0}.
+func (Hinge) Value(z, y float64) float64 { return math.Max(1-z*y, 0) }
+
+// Deriv returns the subgradient −y when the margin is violated, else 0.
+func (Hinge) Deriv(z, y float64) float64 {
+	if z*y < 1 {
+		return -y
+	}
+	return 0
+}
+
+// Logistic is log(1 + exp(−yz)).
+type Logistic struct{}
+
+// Name returns "logistic".
+func (Logistic) Name() string { return "logistic" }
+
+// Value returns log(1+exp(−yz)) computed stably.
+func (Logistic) Value(z, y float64) float64 {
+	t := -y * z
+	if t > 30 {
+		return t
+	}
+	return math.Log1p(math.Exp(t))
+}
+
+// Deriv returns −y·σ(−yz).
+func (Logistic) Deriv(z, y float64) float64 {
+	return -y / (1 + math.Exp(y*z))
+}
+
+// Squared is the ridge-regression loss (z − y)².
+type Squared struct{}
+
+// Name returns "ridge".
+func (Squared) Name() string { return "ridge" }
+
+// Value returns (z−y)².
+func (Squared) Value(z, y float64) float64 { d := z - y; return d * d }
+
+// Deriv returns 2(z−y).
+func (Squared) Deriv(z, y float64) float64 { return 2 * (z - y) }
+
+// Regularizer is the penalty P(w) of Figure 9(b), applied
+// multiplicatively/additively per SGD step.
+type Regularizer interface {
+	Name() string
+	// Apply shrinks w in place for one SGD step with learning rate eta
+	// and strength lambda.
+	Apply(w []float64, eta, lambda float64)
+	// Value returns P(w) for reporting.
+	Value(w []float64, lambda float64) float64
+}
+
+// L2 is the Tikhonov penalty (λ/2)‖w‖₂².
+type L2 struct{}
+
+// Name returns "l2".
+func (L2) Name() string { return "l2" }
+
+// Apply multiplies w by (1 − ηλ).
+func (L2) Apply(w []float64, eta, lambda float64) {
+	s := 1 - eta*lambda
+	if s < 0 {
+		s = 0
+	}
+	for i := range w {
+		w[i] *= s
+	}
+}
+
+// Value returns (λ/2)‖w‖₂².
+func (L2) Value(w []float64, lambda float64) float64 {
+	var s float64
+	for _, x := range w {
+		s += x * x
+	}
+	return lambda / 2 * s
+}
+
+// L1 is the lasso penalty λ‖w‖₁ applied by soft-thresholding.
+type L1 struct{}
+
+// Name returns "l1".
+func (L1) Name() string { return "l1" }
+
+// Apply soft-thresholds each coordinate by ηλ.
+func (L1) Apply(w []float64, eta, lambda float64) {
+	t := eta * lambda
+	for i, x := range w {
+		switch {
+		case x > t:
+			w[i] = x - t
+		case x < -t:
+			w[i] = x + t
+		default:
+			w[i] = 0
+		}
+	}
+}
+
+// Value returns λ‖w‖₁.
+func (L1) Value(w []float64, lambda float64) float64 {
+	var s float64
+	for _, x := range w {
+		s += math.Abs(x)
+	}
+	return lambda * s
+}

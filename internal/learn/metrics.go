@@ -1,0 +1,60 @@
+package learn
+
+// Metrics holds binary-classification quality numbers for the
+// positive class, as reported in the paper's Figure 10 (P/R columns).
+type Metrics struct {
+	TP, FP, TN, FN int
+}
+
+// Evaluate scores model m on the labeled examples.
+func Evaluate(m *Model, examples []Example) Metrics {
+	var mt Metrics
+	for _, ex := range examples {
+		pred := m.Predict(ex.F)
+		switch {
+		case pred == 1 && ex.Label == 1:
+			mt.TP++
+		case pred == 1 && ex.Label == -1:
+			mt.FP++
+		case pred == -1 && ex.Label == -1:
+			mt.TN++
+		default:
+			mt.FN++
+		}
+	}
+	return mt
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (m Metrics) Accuracy() float64 {
+	n := m.TP + m.FP + m.TN + m.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(n)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,71 @@
+// Package learn implements the statistical substrate of Hazy: linear
+// models (w, b), convex loss functions, an incremental stochastic
+// gradient trainer (the paper's default, after Bottou's SGD), a batch
+// subgradient baseline standing in for SVMLight in Figure 10, and
+// simple model selection.
+//
+// A model labels an entity with feature vector f as
+// sign(w·f − b) (paper §2.1); eps = w·f − b is the signed distance
+// proxy Hazy clusters its scratch table on.
+package learn
+
+import (
+	"fmt"
+
+	"hazy/internal/vector"
+)
+
+// Model is a linear classification model: the hyperplane w·x − b = 0.
+type Model struct {
+	W []float64
+	B float64
+}
+
+// NewModel returns a zero model of the given dimensionality.
+func NewModel(dim int) *Model { return &Model{W: make([]float64, dim)} }
+
+// Clone returns a deep copy of m.
+func (m *Model) Clone() *Model {
+	return &Model{W: append([]float64(nil), m.W...), B: m.B}
+}
+
+// Activation returns eps = w·f − b for the entity's feature vector.
+func (m *Model) Activation(f vector.Vector) float64 {
+	return vector.Dot(m.W, f) - m.B
+}
+
+// Predict returns +1 if w·f − b ≥ 0 and −1 otherwise (paper's sign).
+func (m *Model) Predict(f vector.Vector) int {
+	if m.Activation(f) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Sign is the paper's sign(x): 1 if x ≥ 0 else −1.
+func Sign(x float64) int {
+	if x >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// DiffNorm returns ‖m.w − o.w‖_p, the model-drift term of Lemma 3.1.
+func (m *Model) DiffNorm(o *Model, p float64) float64 {
+	return vector.DiffNorm(m.W, o.W, p)
+}
+
+// Dim returns the weight dimensionality.
+func (m *Model) Dim() int { return len(m.W) }
+
+// String summarizes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("Model(dim=%d, b=%.4g)", len(m.W), m.B)
+}
+
+// Example is one training example: a feature vector and a ±1 label.
+type Example struct {
+	ID    int64
+	F     vector.Vector
+	Label int // +1 or −1
+}

@@ -1,0 +1,64 @@
+package learn
+
+import (
+	"math/rand"
+)
+
+// Method names accepted in view declarations (paper §2.1: "USING SVM").
+const (
+	MethodSVM      = "svm"
+	MethodLogistic = "logistic"
+	MethodRidge    = "ridge"
+)
+
+// LossFor maps a method name to its loss; unknown names get Hinge.
+func LossFor(method string) Loss {
+	switch method {
+	case MethodLogistic:
+		return Logistic{}
+	case MethodRidge:
+		return Squared{}
+	default:
+		return Hinge{}
+	}
+}
+
+// SelectMethod implements the paper's automatic model selection
+// ("a simple model selection algorithm based on leave-one-out
+// estimators", §2.1) with a k-fold holdout estimator: each candidate
+// method is trained on k−1 folds and scored on the held-out fold; the
+// method with the best mean accuracy wins. Ties go to the SVM.
+func SelectMethod(examples []Example, epochs, folds int, rng *rand.Rand) string {
+	if folds < 2 {
+		folds = 2
+	}
+	if len(examples) < folds {
+		return MethodSVM
+	}
+	methods := []string{MethodSVM, MethodLogistic, MethodRidge}
+	perm := rng.Perm(len(examples))
+	best, bestAcc := MethodSVM, -1.0
+	for _, method := range methods {
+		var correct, total int
+		for fold := 0; fold < folds; fold++ {
+			var train, test []Example
+			for i, p := range perm {
+				if i%folds == fold {
+					test = append(test, examples[p])
+				} else {
+					train = append(train, examples[p])
+				}
+			}
+			s := NewSGD(SGDConfig{Loss: LossFor(method)})
+			s.TrainEpochs(train, epochs, rand.New(rand.NewSource(int64(fold))))
+			m := Evaluate(s.Model(), test)
+			correct += m.TP + m.TN
+			total += m.TP + m.TN + m.FP + m.FN
+		}
+		acc := float64(correct) / float64(total)
+		if acc > bestAcc {
+			best, bestAcc = method, acc
+		}
+	}
+	return best
+}

@@ -1,0 +1,110 @@
+package learn
+
+import (
+	"math/rand"
+
+	"hazy/internal/vector"
+)
+
+// SGDConfig configures the incremental trainer.
+type SGDConfig struct {
+	// Loss selects the linear method; defaults to Hinge (SVM).
+	Loss Loss
+	// Reg is the regularizer; defaults to L2.
+	Reg Regularizer
+	// Lambda is the regularization strength; default 1e-4.
+	Lambda float64
+	// Eta0 is the initial learning rate; default 0.1.
+	Eta0 float64
+	// Dim is the initial weight dimensionality (grows on demand).
+	Dim int
+}
+
+func (c SGDConfig) withDefaults() SGDConfig {
+	if c.Loss == nil {
+		c.Loss = Hinge{}
+	}
+	if c.Reg == nil {
+		c.Reg = L2{}
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1e-4
+	}
+	if c.Eta0 == 0 {
+		c.Eta0 = 0.1
+	}
+	return c
+}
+
+// SGD is an incremental stochastic-gradient trainer in the style of
+// Bottou's sgd (the paper's default learning algorithm, §3.1). Each
+// Train call folds one example into the model in O(nnz) time —
+// roughly the "100µs per update" regime the paper reports.
+type SGD struct {
+	cfg   SGDConfig
+	model *Model
+	t     int // examples seen, drives the learning-rate schedule
+}
+
+// NewSGD returns a trainer with a zero model.
+func NewSGD(cfg SGDConfig) *SGD {
+	cfg = cfg.withDefaults()
+	return &SGD{cfg: cfg, model: NewModel(cfg.Dim)}
+}
+
+// Model returns the live model (callers must Clone before mutating or
+// retaining across Train calls).
+func (s *SGD) Model() *Model { return s.model }
+
+// Steps returns the number of examples folded in so far.
+func (s *SGD) Steps() int { return s.t }
+
+// eta returns the Bottou/Pegasos step size at step t.
+func (s *SGD) eta() float64 {
+	return s.cfg.Eta0 / (1 + s.cfg.Lambda*s.cfg.Eta0*float64(s.t))
+}
+
+// Train folds one example into the model (one SGD step).
+func (s *SGD) Train(f vector.Vector, label int) {
+	y := float64(label)
+	eta := s.eta()
+	s.t++
+	z := s.model.Activation(f)
+	g := s.cfg.Loss.Deriv(z, y)
+	s.cfg.Reg.Apply(s.model.W, eta, s.cfg.Lambda)
+	if g != 0 {
+		// z = w·f − b, so ∂L/∂w = g·f and ∂L/∂b = −g; descend both.
+		s.model.W = vector.Axpy(s.model.W, -eta*g, f)
+		s.model.B += eta * g
+	}
+}
+
+// TrainEpochs runs full passes over examples in shuffled order,
+// returning the trained model. Used for bulk-loading a view (initial
+// training) and by the model-selection routine.
+func (s *SGD) TrainEpochs(examples []Example, epochs int, rng *rand.Rand) *Model {
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < epochs; e++ {
+		if rng != nil {
+			rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		}
+		for _, i := range idx {
+			s.Train(examples[i].F, examples[i].Label)
+		}
+	}
+	return s.model
+}
+
+// Objective returns the regularized empirical loss of the current
+// model over examples (for convergence diagnostics).
+func (s *SGD) Objective(examples []Example) float64 {
+	m := s.model
+	var sum float64
+	for _, ex := range examples {
+		sum += s.cfg.Loss.Value(m.Activation(ex.F), float64(ex.Label))
+	}
+	return sum + s.cfg.Reg.Value(m.W, s.cfg.Lambda)
+}

@@ -1,0 +1,138 @@
+// Package multiclass builds multiclass classification on top of
+// Hazy's binary classification views using sequential one-versus-all
+// (paper App. B.5.4 and C.3: "We present only a sequential
+// one-versus-all approach"). Each class gets its own maintained
+// binary view over the same entities; an update fans out to every
+// view with the label mapped to ±1.
+package multiclass
+
+import (
+	"fmt"
+
+	"hazy/internal/core"
+	"hazy/internal/vector"
+)
+
+// Classifier maintains one binary view per class.
+type Classifier struct {
+	views []core.View
+	ids   []int64
+}
+
+// New builds a classifier for the given number of classes over the
+// entities with the given ids; mk constructs the binary view for
+// class c (so callers control architecture, strategy, and storage
+// placement per class — every view must be built over the same
+// entities).
+func New(classes int, ids []int64, mk func(c int) (core.View, error)) (*Classifier, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("multiclass: need ≥ 2 classes, got %d", classes)
+	}
+	m := &Classifier{views: make([]core.View, classes), ids: append([]int64(nil), ids...)}
+	for c := range m.views {
+		v, err := mk(c)
+		if err != nil {
+			return nil, fmt.Errorf("multiclass: class %d: %w", c, err)
+		}
+		m.views[c] = v
+	}
+	return m, nil
+}
+
+// Classes returns the number of classes.
+func (m *Classifier) Classes() int { return len(m.views) }
+
+// View returns the binary view for class c.
+func (m *Classifier) View(c int) core.View { return m.views[c] }
+
+// Update folds in one training example with class label class
+// (0-based): view c sees +1 if class == c else −1.
+func (m *Classifier) Update(f vector.Vector, class int) error {
+	if class < 0 || class >= len(m.views) {
+		return fmt.Errorf("multiclass: class %d out of range [0,%d)", class, len(m.views))
+	}
+	for c, v := range m.views {
+		y := -1
+		if c == class {
+			y = 1
+		}
+		if err := v.Update(f, y); err != nil {
+			return fmt.Errorf("multiclass: class %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// Insert adds a new entity to every per-class view.
+func (m *Classifier) Insert(e core.Entity) error {
+	for c, v := range m.views {
+		if err := v.Insert(e); err != nil {
+			return fmt.Errorf("multiclass: class %d: %w", c, err)
+		}
+	}
+	m.ids = append(m.ids, e.ID)
+	return nil
+}
+
+// Label classifies entity id sequentially: the first class whose
+// binary view accepts wins; if none accepts, the last class is
+// returned (the "rest" bucket of the decision list).
+func (m *Classifier) Label(id int64) (int, error) {
+	for c, v := range m.views {
+		l, err := v.Label(id)
+		if err != nil {
+			return 0, err
+		}
+		if l > 0 {
+			return c, nil
+		}
+	}
+	return len(m.views) - 1, nil
+}
+
+// Members returns the entity ids assigned to class c under the
+// sequential decision list (accepted by view c and rejected by every
+// earlier view).
+func (m *Classifier) Members(c int) ([]int64, error) {
+	if c < 0 || c >= len(m.views) {
+		return nil, fmt.Errorf("multiclass: class %d out of range", c)
+	}
+	if c == len(m.views)-1 {
+		// The last class is the decision list's rest bucket: it also
+		// collects entities rejected by every view, so it is computed
+		// per-entity.
+		var out []int64
+		for _, id := range m.ids {
+			cls, err := m.Label(id)
+			if err != nil {
+				return nil, err
+			}
+			if cls == c {
+				out = append(out, id)
+			}
+		}
+		return out, nil
+	}
+	accepted, err := m.views[c].Members()
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, id := range accepted {
+		earlier := false
+		for b := 0; b < c; b++ {
+			l, err := m.views[b].Label(id)
+			if err != nil {
+				return nil, err
+			}
+			if l > 0 {
+				earlier = true
+				break
+			}
+		}
+		if !earlier {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}

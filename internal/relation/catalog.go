@@ -1,0 +1,109 @@
+package relation
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"hazy/internal/storage"
+)
+
+// DB is a catalog of tables, each backed by its own page file and
+// buffer pool under a common directory.
+type DB struct {
+	dir       string
+	poolPages int
+	tables    map[string]*Table
+	pagers    []*storage.Pager
+	pools     map[string]*storage.BufferPool
+}
+
+// OpenDB creates a database rooted at dir; each table's buffer pool
+// holds poolPages pages (default 256 ≈ 2 MiB when ≤ 0).
+func OpenDB(dir string, poolPages int) *DB {
+	if poolPages <= 0 {
+		poolPages = 256
+	}
+	return &DB{
+		dir:       dir,
+		poolPages: poolPages,
+		tables:    make(map[string]*Table),
+		pools:     make(map[string]*storage.BufferPool),
+	}
+}
+
+// CreateTable creates a new table with the given schema.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("relation: table %q already exists", name)
+	}
+	pool, err := db.newPool(name + ".tbl")
+	if err != nil {
+		return nil, err
+	}
+	tbl := NewTable(name, schema, storage.NewHeapFile(pool))
+	db.tables[name] = tbl
+	db.pools[name] = pool
+	return tbl, nil
+}
+
+// newPool opens a page file under the DB directory and wraps it in a
+// buffer pool. Exposed to sibling Hazy internals via NewAuxPool.
+func (db *DB) newPool(file string) (*storage.BufferPool, error) {
+	pager, err := storage.OpenPager(filepath.Join(db.dir, file))
+	if err != nil {
+		return nil, err
+	}
+	db.pagers = append(db.pagers, pager)
+	return storage.NewBufferPool(pager, db.poolPages), nil
+}
+
+// NewAuxPool opens an auxiliary page file (e.g. for Hazy's clustered
+// H table and its B+-tree) that is closed with the database.
+func (db *DB) NewAuxPool(file string) (*storage.BufferPool, error) {
+	return db.newPool(file)
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: no table %q", name)
+	}
+	return t, nil
+}
+
+// Pool returns the buffer pool of the named table (for I/O stats).
+func (db *DB) Pool(name string) *storage.BufferPool { return db.pools[name] }
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DropTable removes the named table from the catalog. The backing
+// file is left behind (reclaimed when the directory is removed).
+func (db *DB) DropTable(name string) error {
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("relation: no table %q", name)
+	}
+	delete(db.tables, name)
+	delete(db.pools, name)
+	return nil
+}
+
+// Close checkpoints the catalog and closes all page files.
+func (db *DB) Close() error {
+	first := db.Checkpoint()
+	for _, p := range db.pagers {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

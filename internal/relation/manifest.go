@@ -1,0 +1,112 @@
+package relation
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hazy/internal/storage"
+)
+
+// The catalog manifest persists table schemas and heap page lists so
+// a database directory survives process restarts. Classification
+// views are deliberately NOT persisted: per the paper (§3.5.1), the
+// view is a function of the entities and training examples, so it is
+// recomputed on open rather than written back.
+
+const manifestFile = "catalog.json"
+
+type colManifest struct {
+	Name string `json:"name"`
+	Type int    `json:"type"`
+}
+
+type tableManifest struct {
+	Name  string        `json:"name"`
+	Cols  []colManifest `json:"cols"`
+	Key   string        `json:"key"`
+	Pages []uint32      `json:"pages"`
+}
+
+type manifest struct {
+	Tables []tableManifest `json:"tables"`
+}
+
+// Checkpoint flushes all buffer pools and writes the catalog
+// manifest, making the current table contents recoverable by a later
+// OpenDB + Recover.
+func (db *DB) Checkpoint() error {
+	for _, pool := range db.pools {
+		if err := pool.FlushAll(); err != nil {
+			return err
+		}
+	}
+	for _, p := range db.pagers {
+		if err := p.Sync(); err != nil {
+			return err
+		}
+	}
+	var m manifest
+	for _, name := range db.Tables() {
+		t := db.tables[name]
+		tm := tableManifest{Name: name, Key: t.schema.Cols[t.schema.Key].Name}
+		for _, c := range t.schema.Cols {
+			tm.Cols = append(tm.Cols, colManifest{Name: c.Name, Type: int(c.Type)})
+		}
+		for _, p := range t.HeapPages() {
+			tm.Pages = append(tm.Pages, uint32(p))
+		}
+		m.Tables = append(m.Tables, tm)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("relation: marshal manifest: %w", err)
+	}
+	tmp := filepath.Join(db.dir, manifestFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("relation: write manifest: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, manifestFile))
+}
+
+// Recover loads the catalog manifest (if present) and re-attaches
+// every table: page files are reopened and primary-key indexes are
+// rebuilt by scanning. Returns the recovered table names.
+func (db *DB) Recover() ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(db.dir, manifestFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("relation: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("relation: parse manifest: %w", err)
+	}
+	var names []string
+	for _, tm := range m.Tables {
+		cols := make([]Column, len(tm.Cols))
+		for i, c := range tm.Cols {
+			cols[i] = Column{Name: c.Name, Type: ColType(c.Type)}
+		}
+		schema, err := NewSchema(cols, tm.Key)
+		if err != nil {
+			return nil, fmt.Errorf("relation: manifest table %q: %w", tm.Name, err)
+		}
+		tbl, err := db.CreateTable(tm.Name, schema)
+		if err != nil {
+			return nil, err
+		}
+		pages := make([]storage.PageID, len(tm.Pages))
+		for i, p := range tm.Pages {
+			pages[i] = storage.PageID(p)
+		}
+		if err := tbl.recover(pages); err != nil {
+			return nil, fmt.Errorf("relation: recover %q: %w", tm.Name, err)
+		}
+		names = append(names, tm.Name)
+	}
+	return names, nil
+}

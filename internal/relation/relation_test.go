@@ -1,0 +1,268 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hazy/internal/vector"
+)
+
+func paperSchema(t *testing.T) Schema {
+	t.Helper()
+	s, err := NewSchema([]Column{
+		{"id", TInt64},
+		{"title", TString},
+		{"eps", TFloat64},
+		{"f", TVector},
+	}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	db := OpenDB(t.TempDir(), 32)
+	t.Cleanup(func() { db.Close() })
+	tbl, err := db.CreateTable("papers", paperSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func row(id int64, title string, eps float64) Tuple {
+	return Tuple{id, title, eps, vector.NewSparse([]int32{1}, []float64{eps})}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema([]Column{{"a", TInt64}, {"a", TString}}, "a"); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := NewSchema([]Column{{"a", TInt64}}, "b"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	if _, err := NewSchema([]Column{{"a", TString}}, "a"); err == nil {
+		t.Fatal("non-int key accepted")
+	}
+	s, err := NewSchema([]Column{{"id", TInt64}, {"x", TFloat64}}, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ColIndex("x") != 1 || s.ColIndex("nope") != -1 {
+		t.Fatal("ColIndex wrong")
+	}
+}
+
+func TestTupleCodecRoundTrip(t *testing.T) {
+	s := paperSchema(t)
+	tup := Tuple{int64(7), "Hazy: a paper", -0.25, vector.NewDense([]float64{1, 2, 3})}
+	rec, err := EncodeTuple(s, tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTuple(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].(int64) != 7 || got[1].(string) != "Hazy: a paper" || got[2].(float64) != -0.25 {
+		t.Fatalf("decoded %v", got)
+	}
+	if !vector.Equal(got[3].(vector.Vector), tup[3].(vector.Vector)) {
+		t.Fatal("vector column mismatch")
+	}
+}
+
+func TestTupleCodecErrors(t *testing.T) {
+	s := paperSchema(t)
+	if _, err := EncodeTuple(s, Tuple{int64(1), "x", 0.5}); err == nil {
+		t.Fatal("short tuple accepted")
+	}
+	if _, err := EncodeTuple(s, Tuple{"not-int", "x", 0.5, vector.Vector{}}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	rec, _ := EncodeTuple(s, row(1, "a", 0.5))
+	if _, err := DecodeTuple(s, rec[:len(rec)-1]); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if _, err := DecodeTuple(s, append(rec, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestTableCRUD(t *testing.T) {
+	tbl := newTestTable(t)
+	if err := tbl.Insert(row(1, "one", 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(row(1, "dup", 0.2)); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if err := tbl.Insert(row(2, "two", 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 || !tbl.Has(1) || tbl.Has(3) {
+		t.Fatalf("len=%d", tbl.Len())
+	}
+	got, err := tbl.Get(1)
+	if err != nil || got[1].(string) != "one" {
+		t.Fatalf("get: %v %v", got, err)
+	}
+	if err := tbl.Update(row(1, "one-prime, now a considerably longer title", 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = tbl.Get(1)
+	if got[2].(float64) != 0.9 {
+		t.Fatalf("update lost: %v", got)
+	}
+	if err := tbl.Update(row(99, "none", 0)); err == nil {
+		t.Fatal("update of missing key accepted")
+	}
+	if err := tbl.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete(2); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if _, err := tbl.Get(2); err == nil {
+		t.Fatal("deleted row readable")
+	}
+}
+
+func TestTableScan(t *testing.T) {
+	tbl := newTestTable(t)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tbl.Insert(row(int64(i), fmt.Sprintf("p%d", i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	err := tbl.Scan(func(tup Tuple) error {
+		seen++
+		return nil
+	})
+	if err != nil || seen != n {
+		t.Fatalf("scan %d err %v", seen, err)
+	}
+}
+
+func TestTriggersFire(t *testing.T) {
+	tbl := newTestTable(t)
+	var events []TriggerEvent
+	var lastOld, lastNew Tuple
+	tbl.AddTrigger(func(ev TriggerEvent, old, new Tuple) error {
+		events = append(events, ev)
+		lastOld, lastNew = old, new
+		return nil
+	})
+	tbl.Insert(row(1, "a", 0.1))
+	if len(events) != 1 || events[0] != AfterInsert || lastNew == nil || lastOld != nil {
+		t.Fatalf("insert trigger: %v", events)
+	}
+	tbl.Update(row(1, "b", 0.2))
+	if events[1] != AfterUpdate || lastOld[1].(string) != "a" || lastNew[1].(string) != "b" {
+		t.Fatal("update trigger payload wrong")
+	}
+	tbl.Delete(1)
+	if events[2] != AfterDelete || lastOld[1].(string) != "b" {
+		t.Fatal("delete trigger payload wrong")
+	}
+}
+
+func TestTriggerErrorPropagates(t *testing.T) {
+	tbl := newTestTable(t)
+	tbl.AddTrigger(func(ev TriggerEvent, old, new Tuple) error {
+		return fmt.Errorf("boom")
+	})
+	if err := tbl.Insert(row(1, "a", 0.1)); err == nil {
+		t.Fatal("trigger error swallowed")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	db := OpenDB(t.TempDir(), 16)
+	defer db.Close()
+	s := paperSchema(t)
+	if _, err := db.CreateTable("a", s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("a", s); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := db.CreateTable("b", s); err != nil {
+		t.Fatal(err)
+	}
+	names := db.Tables()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("tables=%v", names)
+	}
+	if _, err := db.Table("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("zzz"); err == nil {
+		t.Fatal("missing table found")
+	}
+	if db.Pool("a") == nil {
+		t.Fatal("no pool for table")
+	}
+	if err := db.DropTable("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("b"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+	aux, err := db.NewAuxPool("aux.pg")
+	if err != nil || aux == nil {
+		t.Fatalf("aux pool: %v", err)
+	}
+}
+
+// Randomized crosscheck against a map model, exercising variable-size
+// tuples, updates that relocate records, and deletes.
+func TestTableRandomizedAgainstModel(t *testing.T) {
+	tbl := newTestTable(t)
+	r := rand.New(rand.NewSource(17))
+	model := map[int64]string{}
+	title := func() string {
+		b := make([]byte, 1+r.Intn(120))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return string(b)
+	}
+	for op := 0; op < 4000; op++ {
+		id := int64(r.Intn(300))
+		_, exists := model[id]
+		switch {
+		case !exists:
+			s := title()
+			if err := tbl.Insert(row(id, s, r.Float64())); err != nil {
+				t.Fatal(err)
+			}
+			model[id] = s
+		case r.Float64() < 0.5:
+			s := title()
+			if err := tbl.Update(row(id, s, r.Float64())); err != nil {
+				t.Fatal(err)
+			}
+			model[id] = s
+		default:
+			if err := tbl.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, id)
+		}
+	}
+	if tbl.Len() != len(model) {
+		t.Fatalf("len=%d model=%d", tbl.Len(), len(model))
+	}
+	for id, want := range model {
+		got, err := tbl.Get(id)
+		if err != nil || got[1].(string) != want {
+			t.Fatalf("key %d: %v %v", id, got, err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package relation implements the relational layer Hazy's paper gets
+// from PostgreSQL: typed schemas, tuples, heap-backed tables with a
+// hash primary-key index, insert/update/delete triggers (the paper
+// monitors the training-example tables "using standard triggers",
+// §2.1/§4), and a catalog.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hazy/internal/vector"
+)
+
+// ColType enumerates supported column types.
+type ColType int
+
+// Supported column types.
+const (
+	TInt64 ColType = iota
+	TFloat64
+	TString
+	TVector
+)
+
+// String names the type as used in error messages and DDL.
+func (t ColType) String() string {
+	switch t {
+	case TInt64:
+		return "BIGINT"
+	case TFloat64:
+		return "DOUBLE"
+	case TString:
+		return "TEXT"
+	case TVector:
+		return "VECTOR"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column is one named, typed attribute.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table's attributes. Key is the index of the
+// primary-key column, which must have type TInt64.
+type Schema struct {
+	Cols []Column
+	Key  int
+}
+
+// NewSchema validates and returns a schema with the named key column.
+func NewSchema(cols []Column, keyName string) (Schema, error) {
+	key := -1
+	seen := map[string]bool{}
+	for i, c := range cols {
+		if seen[c.Name] {
+			return Schema{}, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Name == keyName {
+			key = i
+		}
+	}
+	if key < 0 {
+		return Schema{}, fmt.Errorf("relation: key column %q not in schema", keyName)
+	}
+	if cols[key].Type != TInt64 {
+		return Schema{}, fmt.Errorf("relation: key column %q must be BIGINT", keyName)
+	}
+	return Schema{Cols: cols, Key: key}, nil
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tuple is one row; values are positionally matched to Schema.Cols
+// with dynamic types int64, float64, string, or vector.Vector.
+type Tuple []any
+
+// Key extracts the tuple's primary key under schema s.
+func (t Tuple) Key(s Schema) int64 { return t[s.Key].(int64) }
+
+// checkTypes verifies the tuple conforms to the schema.
+func checkTypes(s Schema, t Tuple) error {
+	if len(t) != len(s.Cols) {
+		return fmt.Errorf("relation: tuple arity %d, schema arity %d", len(t), len(s.Cols))
+	}
+	for i, c := range s.Cols {
+		ok := false
+		switch c.Type {
+		case TInt64:
+			_, ok = t[i].(int64)
+		case TFloat64:
+			_, ok = t[i].(float64)
+		case TString:
+			_, ok = t[i].(string)
+		case TVector:
+			_, ok = t[i].(vector.Vector)
+		}
+		if !ok {
+			return fmt.Errorf("relation: column %q wants %s, got %T", c.Name, c.Type, t[i])
+		}
+	}
+	return nil
+}
+
+// EncodeTuple serializes t per schema s into a heap record.
+func EncodeTuple(s Schema, t Tuple) ([]byte, error) {
+	if err := checkTypes(s, t); err != nil {
+		return nil, err
+	}
+	var buf []byte
+	for i, c := range s.Cols {
+		switch c.Type {
+		case TInt64:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(t[i].(int64)))
+		case TFloat64:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t[i].(float64)))
+		case TString:
+			str := t[i].(string)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(str)))
+			buf = append(buf, str...)
+		case TVector:
+			buf = t[i].(vector.Vector).Encode(buf)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeTuple parses a heap record into a tuple per schema s.
+func DecodeTuple(s Schema, rec []byte) (Tuple, error) {
+	t := make(Tuple, len(s.Cols))
+	off := 0
+	for i, c := range s.Cols {
+		switch c.Type {
+		case TInt64:
+			if off+8 > len(rec) {
+				return nil, fmt.Errorf("relation: truncated BIGINT in column %q", c.Name)
+			}
+			t[i] = int64(binary.LittleEndian.Uint64(rec[off:]))
+			off += 8
+		case TFloat64:
+			if off+8 > len(rec) {
+				return nil, fmt.Errorf("relation: truncated DOUBLE in column %q", c.Name)
+			}
+			t[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[off:]))
+			off += 8
+		case TString:
+			if off+4 > len(rec) {
+				return nil, fmt.Errorf("relation: truncated TEXT length in column %q", c.Name)
+			}
+			n := int(binary.LittleEndian.Uint32(rec[off:]))
+			off += 4
+			if off+n > len(rec) {
+				return nil, fmt.Errorf("relation: truncated TEXT in column %q", c.Name)
+			}
+			t[i] = string(rec[off : off+n])
+			off += n
+		case TVector:
+			v, n, err := vector.Decode(rec[off:])
+			if err != nil {
+				return nil, fmt.Errorf("relation: column %q: %w", c.Name, err)
+			}
+			t[i] = v
+			off += n
+		}
+	}
+	if off != len(rec) {
+		return nil, fmt.Errorf("relation: %d trailing bytes after tuple", len(rec)-off)
+	}
+	return t, nil
+}

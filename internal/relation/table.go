@@ -1,0 +1,184 @@
+package relation
+
+import (
+	"fmt"
+
+	"hazy/internal/storage"
+)
+
+// TriggerEvent says which mutation fired a trigger.
+type TriggerEvent int
+
+// Trigger events.
+const (
+	AfterInsert TriggerEvent = iota
+	AfterUpdate
+	AfterDelete
+)
+
+// Trigger is invoked after a mutation commits to the heap. For
+// AfterUpdate the old tuple is passed as old; otherwise old is nil.
+// A trigger error aborts the statement (the mutation itself is not
+// rolled back — Hazy's triggers only propagate, they do not veto).
+type Trigger func(ev TriggerEvent, old, new Tuple) error
+
+// Table is a heap-backed relation with a hash primary-key index and
+// statement-level triggers.
+type Table struct {
+	name    string
+	schema  Schema
+	heap    *storage.HeapFile
+	pk      map[int64]storage.RID
+	trigger []Trigger
+}
+
+// NewTable creates an empty table over the given heap.
+func NewTable(name string, schema Schema, heap *storage.HeapFile) *Table {
+	return &Table{
+		name:   name,
+		schema: schema,
+		heap:   heap,
+		pk:     make(map[int64]storage.RID),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.pk) }
+
+// AddTrigger registers fn to run after mutations.
+func (t *Table) AddTrigger(fn Trigger) { t.trigger = append(t.trigger, fn) }
+
+func (t *Table) fire(ev TriggerEvent, old, new Tuple) error {
+	for _, fn := range t.trigger {
+		if err := fn(ev, old, new); err != nil {
+			return fmt.Errorf("relation: trigger on %s: %w", t.name, err)
+		}
+	}
+	return nil
+}
+
+// Insert adds tup, rejecting duplicate keys, then fires AfterInsert.
+func (t *Table) Insert(tup Tuple) error {
+	if err := checkTypes(t.schema, tup); err != nil {
+		return err
+	}
+	key := tup.Key(t.schema)
+	if _, dup := t.pk[key]; dup {
+		return fmt.Errorf("relation: duplicate key %d in %s", key, t.name)
+	}
+	rec, err := EncodeTuple(t.schema, tup)
+	if err != nil {
+		return err
+	}
+	rid, err := t.heap.Insert(rec)
+	if err != nil {
+		return err
+	}
+	t.pk[key] = rid
+	return t.fire(AfterInsert, nil, tup)
+}
+
+// Get returns the tuple with the given key.
+func (t *Table) Get(key int64) (Tuple, error) {
+	rid, ok := t.pk[key]
+	if !ok {
+		return nil, fmt.Errorf("relation: no key %d in %s", key, t.name)
+	}
+	rec, err := t.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTuple(t.schema, rec)
+}
+
+// Has reports whether key exists.
+func (t *Table) Has(key int64) bool {
+	_, ok := t.pk[key]
+	return ok
+}
+
+// Update replaces the tuple with tup's key, firing AfterUpdate.
+func (t *Table) Update(tup Tuple) error {
+	if err := checkTypes(t.schema, tup); err != nil {
+		return err
+	}
+	key := tup.Key(t.schema)
+	rid, ok := t.pk[key]
+	if !ok {
+		return fmt.Errorf("relation: update of missing key %d in %s", key, t.name)
+	}
+	oldRec, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	old, err := DecodeTuple(t.schema, oldRec)
+	if err != nil {
+		return err
+	}
+	rec, err := EncodeTuple(t.schema, tup)
+	if err != nil {
+		return err
+	}
+	nrid, err := t.heap.Update(rid, rec)
+	if err != nil {
+		return err
+	}
+	t.pk[key] = nrid
+	return t.fire(AfterUpdate, old, tup)
+}
+
+// Delete removes the tuple with key, firing AfterDelete.
+func (t *Table) Delete(key int64) error {
+	rid, ok := t.pk[key]
+	if !ok {
+		return fmt.Errorf("relation: delete of missing key %d in %s", key, t.name)
+	}
+	rec, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	old, err := DecodeTuple(t.schema, rec)
+	if err != nil {
+		return err
+	}
+	if err := t.heap.Delete(rid); err != nil {
+		return err
+	}
+	delete(t.pk, key)
+	return t.fire(AfterDelete, old, nil)
+}
+
+// HeapPages exposes the backing heap's page list (for the catalog
+// manifest).
+func (t *Table) HeapPages() []storage.PageID { return t.heap.Pages() }
+
+// recover re-attaches the table to previously written heap pages and
+// rebuilds the primary-key hash index by scanning.
+func (t *Table) recover(pages []storage.PageID) error {
+	t.heap.SetPages(pages)
+	return t.heap.Scan(func(rid storage.RID, rec []byte) error {
+		tup, err := DecodeTuple(t.schema, rec)
+		if err != nil {
+			return err
+		}
+		t.pk[tup.Key(t.schema)] = rid
+		return nil
+	})
+}
+
+// Scan iterates all tuples in heap order.
+func (t *Table) Scan(fn func(Tuple) error) error {
+	return t.heap.Scan(func(_ storage.RID, rec []byte) error {
+		tup, err := DecodeTuple(t.schema, rec)
+		if err != nil {
+			return err
+		}
+		return fn(tup)
+	})
+}

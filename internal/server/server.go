@@ -1,0 +1,219 @@
+// Package server exposes a Hazy classification view over a TCP
+// socket with a newline-delimited text protocol — the deployment
+// shape of the paper's prototype (App. B.1: "Hazy runs in a separate
+// process and IPC is handled using sockets").
+//
+// Protocol (one request per line, one response line each):
+//
+//	LABEL <id>          → "+1" | "-1"
+//	COUNT               → "<n>"                  (All Members count)
+//	MEMBERS             → "<id> <id> ..."        (ids labeled +1)
+//	TRAIN <id> <±1>     → "OK"                   (insert training example)
+//	ADD <id> <text...>  → "OK"                   (insert entity)
+//	CLASSIFY <text...>  → "+1" | "-1"            (ad-hoc, not stored)
+//	UNCERTAIN <k>       → "<id> <id> ..."        (active-learning picks)
+//	STATS               → "updates=<n> reorgs=<n> band=<n>"
+//	QUIT                → "BYE" and the connection closes
+//
+// Errors come back as "ERR <message>".
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	root "hazy"
+)
+
+// Uncertain is implemented by views that can surface
+// active-learning candidates.
+type Uncertain interface {
+	MostUncertain(k int) ([]int64, error)
+}
+
+// Server serves one classification view and its backing tables.
+type Server struct {
+	mu       sync.Mutex // one statement at a time, like a session
+	view     *root.ClassView
+	papers   *root.EntityTable
+	feedback *root.ExampleTable
+}
+
+// New wraps a view with its entity and example tables.
+func New(view *root.ClassView, papers *root.EntityTable, feedback *root.ExampleTable) *Server {
+	return &Server{view: view, papers: papers, feedback: feedback}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.session(conn)
+	}
+}
+
+func (s *Server) session(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		resp, quit := s.exec(sc.Text())
+		w.WriteString(resp)
+		w.WriteByte('\n')
+		w.Flush()
+		if quit {
+			return
+		}
+	}
+}
+
+// exec runs one protocol line and returns the response plus whether
+// the session should end.
+func (s *Server) exec(line string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command", false
+	}
+	cmd := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch cmd {
+	case "QUIT":
+		return "BYE", true
+	case "LABEL":
+		if len(args) != 1 {
+			return "ERR usage: LABEL <id>", false
+		}
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return "ERR bad id", false
+		}
+		label, err := s.view.Label(id)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return fmt.Sprintf("%+d", label), false
+	case "COUNT":
+		n, err := s.view.CountMembers()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return strconv.Itoa(n), false
+	case "MEMBERS":
+		ids, err := s.view.Members()
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return joinIDs(ids), false
+	case "TRAIN":
+		if len(args) != 2 {
+			return "ERR usage: TRAIN <id> <+1|-1>", false
+		}
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return "ERR bad id", false
+		}
+		label, err := strconv.Atoi(args[1])
+		if err != nil {
+			return "ERR bad label", false
+		}
+		if err := s.feedback.InsertExample(id, label); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+	case "ADD":
+		if len(args) < 2 {
+			return "ERR usage: ADD <id> <text>", false
+		}
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return "ERR bad id", false
+		}
+		if err := s.papers.InsertText(id, strings.Join(args[1:], " ")); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
+	case "CLASSIFY":
+		if len(args) == 0 {
+			return "ERR usage: CLASSIFY <text>", false
+		}
+		return fmt.Sprintf("%+d", s.view.Classify(strings.Join(args, " "))), false
+	case "UNCERTAIN":
+		if len(args) != 1 {
+			return "ERR usage: UNCERTAIN <k>", false
+		}
+		k, err := strconv.Atoi(args[0])
+		if err != nil || k < 1 {
+			return "ERR bad k", false
+		}
+		u, ok := s.view.Core().(Uncertain)
+		if !ok {
+			return "ERR view does not support uncertainty ranking", false
+		}
+		ids, err := u.MostUncertain(k)
+		if err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return joinIDs(ids), false
+	case "STATS":
+		st := s.view.Stats()
+		return fmt.Sprintf("updates=%d reorgs=%d band=%d", st.Updates, st.Reorgs, st.BandTuples), false
+	default:
+		return "ERR unknown command " + cmd, false
+	}
+}
+
+func joinIDs(ids []int64) string {
+	if len(ids) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.FormatInt(id, 10)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Client is a minimal blocking client for the protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a hazyd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Do sends one command line and returns the response line. An "ERR"
+// response is returned as a Go error.
+func (c *Client) Do(cmd string) (string, error) {
+	if _, err := fmt.Fprintln(c.conn, cmd); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimRight(line, "\n")
+	if strings.HasPrefix(line, "ERR ") {
+		return "", fmt.Errorf("server: %s", line[4:])
+	}
+	return line, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

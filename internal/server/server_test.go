@@ -1,0 +1,181 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	root "hazy"
+)
+
+// startServer brings up a full stack — database, view, TCP listener —
+// and returns a connected client.
+func startServer(t *testing.T) *Client {
+	t.Helper()
+	db, err := root.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	papers, err := db.CreateEntityTable("papers", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedback, err := db.CreateExampleTable("feedback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := db.CreateClassificationView(root.ViewSpec{
+		Name: "labeled", Entities: "papers", Examples: "feedback",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go New(view, papers, feedback).Serve(l) //nolint:errcheck — ends with listener
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func must(t *testing.T, c *Client, cmd string) string {
+	t.Helper()
+	resp, err := c.Do(cmd)
+	if err != nil {
+		t.Fatalf("%s → %v", cmd, err)
+	}
+	return resp
+}
+
+func TestProtocolEndToEnd(t *testing.T) {
+	c := startServer(t)
+	// Build a tiny corpus over the wire.
+	dbTitles := []string{
+		"relational database query optimization",
+		"sql index selection for relational databases",
+		"database transaction processing",
+	}
+	osTitles := []string{
+		"kernel scheduler for operating systems",
+		"interrupt handling in kernel drivers",
+		"operating systems memory paging",
+	}
+	for i, title := range dbTitles {
+		must(t, c, fmt.Sprintf("ADD %d %s", i, title))
+	}
+	for i, title := range osTitles {
+		must(t, c, fmt.Sprintf("ADD %d %s", 100+i, title))
+	}
+	// Feedback.
+	must(t, c, "TRAIN 0 +1")
+	must(t, c, "TRAIN 100 -1")
+	must(t, c, "TRAIN 1 1")
+	must(t, c, "TRAIN 101 -1")
+
+	if got := must(t, c, "LABEL 2"); got != "+1" {
+		t.Fatalf("LABEL 2 = %q", got)
+	}
+	if got := must(t, c, "LABEL 102"); got != "-1" {
+		t.Fatalf("LABEL 102 = %q", got)
+	}
+	if got := must(t, c, "COUNT"); got != "3" {
+		t.Fatalf("COUNT = %q", got)
+	}
+	members := must(t, c, "MEMBERS")
+	for _, id := range []string{"0", "1", "2"} {
+		if !strings.Contains(" "+members+" ", " "+id+" ") {
+			t.Fatalf("MEMBERS %q missing %s", members, id)
+		}
+	}
+	if got := must(t, c, "CLASSIFY sql query database index"); got != "+1" {
+		t.Fatalf("CLASSIFY = %q", got)
+	}
+	unc := must(t, c, "UNCERTAIN 2")
+	if len(strings.Fields(unc)) != 2 {
+		t.Fatalf("UNCERTAIN = %q", unc)
+	}
+	stats := must(t, c, "STATS")
+	if !strings.Contains(stats, "updates=4") {
+		t.Fatalf("STATS = %q", stats)
+	}
+	if got := must(t, c, "QUIT"); got != "BYE" {
+		t.Fatalf("QUIT = %q", got)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	c := startServer(t)
+	bad := []string{
+		"",
+		"BOGUS",
+		"LABEL",
+		"LABEL notanumber",
+		"LABEL 999",
+		"TRAIN 1",
+		"TRAIN 1 7",
+		"TRAIN 999 1",
+		"ADD 5",
+		"CLASSIFY",
+		"UNCERTAIN x",
+		"UNCERTAIN 0",
+	}
+	for _, cmd := range bad {
+		if _, err := c.Do(cmd); err == nil {
+			t.Fatalf("no error for %q", cmd)
+		}
+	}
+	// The session survives errors.
+	if _, err := c.Do("COUNT"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := startServer(t)
+	must(t, c, "ADD 1 relational database query")
+	must(t, c, "ADD 2 kernel interrupt scheduler")
+	must(t, c, "TRAIN 1 +1")
+	must(t, c, "TRAIN 2 -1")
+	addr := c.conn.RemoteAddr().String()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cc.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := cc.Do("LABEL 1"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := cc.Do("COUNT"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

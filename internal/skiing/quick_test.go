@@ -1,0 +1,64 @@
+package skiing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSkiingNeverBeatenByFactorQuick: on random monotone drift
+// instances (the §3.3 model), Skiing's cost never exceeds
+// (1+α+σ)·OPT with the optimal α — quick-checked over random seeds,
+// sizes, and σ.
+func TestSkiingNeverBeatenByFactorQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sigma := 0.05 + r.Float64()
+		S := 0.5 + r.Float64()*20
+		n := 10 + r.Intn(80)
+		drift := make([]float64, n)
+		for i := range drift {
+			if r.Float64() < 0.5 {
+				drift[i] = r.Float64() * sigma * S
+			}
+		}
+		costs := DriftCosts{Drift: drift, Scale: 1, S: sigma * S}
+		alpha := AlphaFor(sigma)
+		ratio := Ratio(alpha, S, costs)
+		return ratio <= BoundFor(sigma)*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptIsLowerBoundQuick: the DP OPT never exceeds the cost of a
+// handful of random schedules on the same instance.
+func TestOptIsLowerBoundQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(30)
+		drift := make([]float64, n)
+		for i := range drift {
+			drift[i] = r.Float64() * 2
+		}
+		S := 1 + r.Float64()*10
+		costs := DriftCosts{Drift: drift, Scale: 1, S: S}
+		_, opt := Opt(S, costs)
+		for trial := 0; trial < 10; trial++ {
+			var u Schedule
+			for i := 1; i <= n; i++ {
+				if r.Float64() < 0.3 {
+					u = append(u, i)
+				}
+			}
+			if Cost(u, S, costs) < opt-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package skiing is a pure cost-model simulator for the paper's
+// online reorganization problem (§3.3): at each round a strategy
+// either reorganizes for a fixed cost S or pays the incremental cost
+// c(s,i), which depends on the last reorganization round s and is
+// monotone non-increasing in s. It implements the Skiing strategy,
+// an exact dynamic-programming OPT, and the competitive-ratio
+// measurement used to validate Lemma 3.2 / Theorem 3.3 empirically.
+package skiing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Costs supplies c(s, i): the incremental cost paid at round i when
+// the most recent reorganization happened at round s ≤ i. Rounds are
+// 1-based; s = 0 denotes the initial organization before round 1.
+type Costs interface {
+	// C returns c(s, i) for 0 ≤ s ≤ i.
+	C(s, i int) float64
+	// N returns the number of rounds.
+	N() int
+}
+
+// Schedule is a strategy's output: the rounds at which it
+// reorganized, strictly increasing, each in [1, N].
+type Schedule []int
+
+// Cost evaluates a schedule under costs c and reorganization cost S:
+// Σ_i c(⌊i⌋_u, i) + M·S (§3.3). Reorganizing at round i replaces that
+// round's incremental cost.
+func Cost(u Schedule, S float64, c Costs) float64 {
+	total := float64(len(u)) * S
+	k := 0
+	last := 0
+	for i := 1; i <= c.N(); i++ {
+		if k < len(u) && u[k] == i {
+			last = i
+			k++
+			continue // the reorganization replaces this round's step
+		}
+		total += c.C(last, i)
+	}
+	return total
+}
+
+// Skiing runs the paper's strategy (Figure 7): accumulate observed
+// incremental costs; when the accumulator reaches α·S, reorganize and
+// reset. It is deterministic and online — it sees c(s,i) only after
+// committing to the incremental step.
+func Skiing(alpha, S float64, c Costs) Schedule {
+	var u Schedule
+	acc := 0.0
+	last := 0
+	for i := 1; i <= c.N(); i++ {
+		if acc >= alpha*S {
+			u = append(u, i)
+			last = i
+			acc = 0
+			continue
+		}
+		acc += c.C(last, i)
+	}
+	return u
+}
+
+// Opt computes a minimum-cost schedule by dynamic programming over
+// "last reorganization" states: best[j] is the optimal cost of rounds
+// 1..i given the last reorganization was at j. O(N²) time.
+func Opt(S float64, c Costs) (Schedule, float64) {
+	n := c.N()
+	// best[j] = minimal total cost over rounds 1..i with last reorg at
+	// round j (j = 0 means never reorganized), including reorg fees.
+	best := make([]float64, n+1)
+	prev := make([][]int, n+1) // reorg round list reconstruction
+	for j := 1; j <= n; j++ {
+		best[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		// Option: reorganize at round i, coming from the cheapest
+		// state after rounds 1..i−1.
+		bi := math.Inf(1)
+		var bj int
+		for j := 0; j < i; j++ {
+			if best[j] < bi {
+				bi = best[j]
+				bj = j
+			}
+		}
+		newBest := bi + S
+		newPrev := append(append([]int(nil), prev[bj]...), i)
+		// All states j < i pay their incremental cost at round i.
+		for j := 0; j < i; j++ {
+			if !math.IsInf(best[j], 1) {
+				best[j] += c.C(j, i)
+			}
+		}
+		best[i] = newBest
+		prev[i] = newPrev
+	}
+	bi := math.Inf(1)
+	var bj int
+	for j := 0; j <= n; j++ {
+		if best[j] < bi {
+			bi = best[j]
+			bj = j
+		}
+	}
+	return prev[bj], bi
+}
+
+// Ratio returns cost(Skiing)/cost(Opt) for the given instance.
+func Ratio(alpha, S float64, c Costs) float64 {
+	sk := Cost(Skiing(alpha, S, c), S, c)
+	_, opt := Opt(S, c)
+	if opt == 0 {
+		if sk == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return sk / opt
+}
+
+// AlphaFor returns the paper's optimal α: the positive root of
+// x² + σx − 1 = 0, where σS is the cost to scan the data (Lemma 3.2).
+func AlphaFor(sigma float64) float64 {
+	return (-sigma + math.Sqrt(sigma*sigma+4)) / 2
+}
+
+// BoundFor returns the competitive-ratio bound 1 + α + σ of
+// Lemma 3.2.
+func BoundFor(sigma float64) float64 {
+	return 1 + AlphaFor(sigma) + sigma
+}
+
+// TableCosts is a Costs backed by an explicit table t[s][i-1] = c(s,i)
+// (s in [0,n], i in [1,n]).
+type TableCosts [][]float64
+
+// C returns the tabulated c(s,i).
+func (t TableCosts) C(s, i int) float64 { return t[s][i-1] }
+
+// N returns the number of rounds.
+func (t TableCosts) N() int {
+	if len(t) == 0 {
+		return 0
+	}
+	return len(t[0])
+}
+
+// Validate checks the §3.3 model assumptions: costs are non-negative,
+// bounded by S, and monotone non-increasing in s (reorganizing more
+// recently never raises the cost).
+func (t TableCosts) Validate(S float64) error {
+	n := t.N()
+	if len(t) != n+1 {
+		return fmt.Errorf("skiing: table has %d rows, want n+1=%d", len(t), n+1)
+	}
+	for s := 0; s <= n; s++ {
+		if len(t[s]) != n {
+			return fmt.Errorf("skiing: row %d has %d entries, want %d", s, len(t[s]), n)
+		}
+		for i := s + 1; i <= n; i++ {
+			c := t.C(s, i)
+			if c < 0 || c > S {
+				return fmt.Errorf("skiing: c(%d,%d)=%v outside [0,S=%v]", s, i, c, S)
+			}
+			if s > 0 && t.C(s-1, i) < c {
+				return fmt.Errorf("skiing: c(%d,%d)=%v > c(%d,%d)=%v violates monotonicity",
+					s, i, c, s-1, i, t.C(s-1, i))
+			}
+		}
+	}
+	return nil
+}
+
+// DriftCosts models Hazy's actual cost shape: the incremental cost at
+// round i with last reorganization s is proportional to the number of
+// tuples inside the water band, which grows with accumulated model
+// drift Σ_{l=s+1..i} d_l for per-round drifts d. Costs saturate at S.
+type DriftCosts struct {
+	// Drift[i-1] is the model drift contributed by round i.
+	Drift []float64
+	// Scale converts accumulated drift into seconds of incremental
+	// cost.
+	Scale float64
+	// S caps the incremental cost (a full scan never costs more than
+	// a reorganization in this normalized model).
+	S float64
+}
+
+// C returns min(Scale·Σ drift, S).
+func (d DriftCosts) C(s, i int) float64 {
+	var acc float64
+	for l := s; l < i; l++ {
+		acc += d.Drift[l]
+	}
+	if c := d.Scale * acc; c < d.S {
+		return c
+	}
+	return d.S
+}
+
+// N returns the number of rounds.
+func (d DriftCosts) N() int { return len(d.Drift) }

@@ -1,0 +1,228 @@
+package skiing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// monotoneTable builds a random cost table satisfying the §3.3
+// assumptions: 0 ≤ c(s,i) ≤ σS, monotone non-increasing in s.
+// Construction: per-round drifts accumulate from the last
+// reorganization, capped at σS — the same shape as Hazy's band costs.
+func monotoneTable(r *rand.Rand, n int, sigma, S float64) TableCosts {
+	drift := make([]float64, n)
+	for i := range drift {
+		drift[i] = r.Float64() * sigma * S / 4
+	}
+	t := make(TableCosts, n+1)
+	for s := 0; s <= n; s++ {
+		t[s] = make([]float64, n)
+		for i := 1; i <= n; i++ {
+			if i <= s {
+				continue
+			}
+			var acc float64
+			for l := s; l < i; l++ {
+				acc += drift[l]
+			}
+			t[s][i-1] = math.Min(acc, sigma*S)
+		}
+	}
+	return t
+}
+
+func TestTableValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tab := monotoneTable(r, 30, 0.3, 10)
+	if err := tab.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	// Break monotonicity.
+	tab[5][20] = tab[4][20] + 1
+	if err := tab.Validate(10); err == nil {
+		t.Fatal("monotonicity violation not caught")
+	}
+}
+
+func TestCostEvaluation(t *testing.T) {
+	// 3 rounds, constant cost 2 when never reorganized, 0 after.
+	tab := TableCosts{
+		{2, 2, 2}, // s=0
+		{0, 0, 0}, // s=1
+		{0, 0, 0}, // s=2
+		{0, 0, 0}, // s=3
+	}
+	const S = 5
+	if got := Cost(nil, S, tab); got != 6 {
+		t.Fatalf("no-reorg cost %v", got)
+	}
+	// Reorganize at round 1: pay S, then 0 costs.
+	if got := Cost(Schedule{1}, S, tab); got != 5 {
+		t.Fatalf("reorg@1 cost %v", got)
+	}
+	// Reorganize at round 3: pay 2+2 then S.
+	if got := Cost(Schedule{3}, S, tab); got != 9 {
+		t.Fatalf("reorg@3 cost %v", got)
+	}
+}
+
+func TestOptBeatsOrMatchesEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	const n, S = 12, 4.0
+	tab := monotoneTable(r, n, 0.5, S)
+	_, opt := Opt(S, tab)
+	// Exhaustively enumerate all 2^n schedules and verify OPT is
+	// minimal.
+	best := math.Inf(1)
+	for mask := 0; mask < 1<<n; mask++ {
+		var u Schedule
+		for i := 1; i <= n; i++ {
+			if mask&(1<<(i-1)) != 0 {
+				u = append(u, i)
+			}
+		}
+		if c := Cost(u, S, tab); c < best {
+			best = c
+		}
+	}
+	if math.Abs(opt-best) > 1e-9 {
+		t.Fatalf("DP opt %v, exhaustive %v", opt, best)
+	}
+}
+
+func TestSkiingIsOnlineAndTriggersCorrectly(t *testing.T) {
+	// Costs of 1 per round with S=3, α=1: accumulator hits 3 after
+	// 3 incremental rounds, so Skiing reorganizes at round 4, 8, ...
+	n := 10
+	tab := make(TableCosts, n+1)
+	for s := 0; s <= n; s++ {
+		tab[s] = make([]float64, n)
+		for i := 1; i <= n; i++ {
+			tab[s][i-1] = 1
+		}
+	}
+	u := Skiing(1, 3, tab)
+	want := Schedule{4, 8}
+	if len(u) != len(want) {
+		t.Fatalf("schedule %v want %v", u, want)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("schedule %v want %v", u, want)
+		}
+	}
+}
+
+func TestAlphaForAndBound(t *testing.T) {
+	// σ = 0 → α = 1 and bound 2 (Theorem 3.3).
+	if a := AlphaFor(0); math.Abs(a-1) > 1e-12 {
+		t.Fatalf("α(0)=%v", a)
+	}
+	if b := BoundFor(0); math.Abs(b-2) > 1e-12 {
+		t.Fatalf("bound(0)=%v", b)
+	}
+	// α is the positive root of x²+σx−1.
+	for _, sigma := range []float64{0.1, 0.5, 1, 2} {
+		a := AlphaFor(sigma)
+		if a <= 0 {
+			t.Fatalf("α(%v)=%v not positive", sigma, a)
+		}
+		if v := a*a + sigma*a - 1; math.Abs(v) > 1e-9 {
+			t.Fatalf("α(%v)=%v root residual %v", sigma, a, v)
+		}
+	}
+}
+
+// TestCompetitiveRatioProperty is the empirical Lemma 3.2: on random
+// monotone cost families with c ≤ σS, Skiing with the optimal α stays
+// within (1+α+σ)·OPT (small-instance slack allowed for boundary
+// rounds the asymptotic argument ignores).
+func TestCompetitiveRatioProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		sigma := 0.1 + r.Float64()*0.9
+		S := 1 + r.Float64()*10
+		n := 20 + r.Intn(60)
+		tab := monotoneTable(r, n, sigma, S)
+		if err := tab.Validate(S); err != nil {
+			t.Fatal(err)
+		}
+		alpha := AlphaFor(sigma)
+		ratio := Ratio(alpha, S, tab)
+		bound := BoundFor(sigma)
+		if ratio > bound*1.05 {
+			t.Fatalf("trial %d: ratio %.4f exceeds bound %.4f (σ=%.2f n=%d)",
+				trial, ratio, bound, sigma, n)
+		}
+	}
+}
+
+// TestRatioApproaches2 mirrors Theorem 3.3: as σ → 0 the measured
+// worst ratio over adversarial-ish drift instances stays ≤ ~2.
+func TestRatioApproaches2(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const S = 10.0
+	var worst float64
+	for trial := 0; trial < 40; trial++ {
+		sigma := 0.05
+		n := 80
+		drift := make([]float64, n)
+		for i := range drift {
+			// Bursty drift: long quiet stretches then spikes.
+			if r.Float64() < 0.15 {
+				drift[i] = sigma * S
+			}
+		}
+		costs := DriftCosts{Drift: drift, Scale: 1, S: sigma * S}
+		ratio := Ratio(AlphaFor(sigma), S, costs)
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 2.1*1.05 {
+		t.Fatalf("worst ratio %.4f far above the σ→0 bound of ~2", worst)
+	}
+}
+
+func TestDriftCosts(t *testing.T) {
+	d := DriftCosts{Drift: []float64{1, 2, 3}, Scale: 2, S: 100}
+	if got := d.C(0, 1); got != 2 {
+		t.Fatalf("C(0,1)=%v", got)
+	}
+	if got := d.C(0, 3); got != 12 {
+		t.Fatalf("C(0,3)=%v", got)
+	}
+	if got := d.C(1, 3); got != 10 {
+		t.Fatalf("C(1,3)=%v", got)
+	}
+	if d.N() != 3 {
+		t.Fatalf("N=%d", d.N())
+	}
+	capped := DriftCosts{Drift: []float64{50}, Scale: 1, S: 7}
+	if got := capped.C(0, 1); got != 7 {
+		t.Fatalf("cap: %v", got)
+	}
+}
+
+func TestOptPrefersReorgWhenCheap(t *testing.T) {
+	// Huge incremental costs, tiny S: OPT should reorganize nearly
+	// every round.
+	n := 8
+	tab := make(TableCosts, n+1)
+	for s := 0; s <= n; s++ {
+		tab[s] = make([]float64, n)
+		for i := 1; i <= n; i++ {
+			if i > s {
+				tab[s][i-1] = 10
+			}
+		}
+	}
+	u, opt := Opt(0.5, tab)
+	if len(u) != n {
+		t.Fatalf("schedule %v: expected a reorg every round", u)
+	}
+	if math.Abs(opt-0.5*float64(n)) > 1e-9 {
+		t.Fatalf("opt=%v", opt)
+	}
+}

@@ -1,0 +1,71 @@
+package sqlmini
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (col TYPE, ...) KEY col. The mini
+// dialect supports two shapes: (id BIGINT, text TEXT) entity tables
+// and (id BIGINT, label BIGINT) example tables.
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+	Key  string
+}
+
+// ColDef is one column declaration.
+type ColDef struct {
+	Name string
+	Type string // BIGINT | DOUBLE | TEXT
+}
+
+// CreateView is the paper's CREATE CLASSIFICATION VIEW (Example 2.1).
+// The optional LABELS FROM clause is parsed for fidelity with the
+// paper's syntax; the binary dialect requires examples labeled ±1.
+type CreateView struct {
+	Name        string
+	Key         string
+	Entities    string
+	EntitiesKey string
+	LabelsFrom  string // optional
+	Examples    string
+	ExamplesKey string
+	LabelCol    string
+	Feature     string
+	Using       string // SVM | LOGISTIC | RIDGE (optional)
+	Arch        string // MM | OD | HYBRID (optional)
+	Strategy    string // HAZY | NAIVE (optional)
+	Mode        string // EAGER | LAZY (optional)
+}
+
+// Insert is INSERT INTO name VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Literal
+}
+
+// Literal is a typed constant.
+type Literal struct {
+	IsString bool
+	Str      string
+	Num      float64
+}
+
+// Select is SELECT list FROM table [WHERE conds].
+type Select struct {
+	Count bool     // SELECT COUNT(*)
+	Cols  []string // or explicit columns; ["*"] = all
+	From  string
+	Where []Cond
+}
+
+// Cond is one conjunct: col op literal.
+type Cond struct {
+	Col string
+	Op  string // = <> < > <= >=
+	Lit Literal
+}
+
+func (CreateTable) stmt() {}
+func (CreateView) stmt()  {}
+func (Insert) stmt()      {}
+func (Select) stmt()      {}

@@ -1,0 +1,397 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	root "hazy"
+	"hazy/internal/core"
+)
+
+// Result is a statement's output: column names plus stringified rows
+// (ints render without decimals).
+type Result struct {
+	Cols []string
+	Rows [][]string
+	// Msg is set for DDL/DML statements with no result set.
+	Msg string
+}
+
+// Engine executes mini-SQL statements against a hazy database.
+type Engine struct {
+	db *root.DB
+	// tableKind tracks which dialect shape each created table has.
+	tableKind map[string]string // "entity" | "example"
+	textCol   map[string]string // entity table → its text column name
+}
+
+// NewEngine wraps a hazy database.
+func NewEngine(db *root.DB) *Engine {
+	return &Engine{db: db, tableKind: map[string]string{}, textCol: map[string]string{}}
+}
+
+// Exec parses and executes one statement.
+func (e *Engine) Exec(src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case CreateTable:
+		return e.createTable(s)
+	case CreateView:
+		return e.createView(s)
+	case Insert:
+		return e.insert(s)
+	case Select:
+		return e.selectStmt(s)
+	default:
+		return nil, fmt.Errorf("sql: unhandled statement %T", st)
+	}
+}
+
+func (e *Engine) createTable(s CreateTable) (*Result, error) {
+	if len(s.Cols) != 2 || !strings.EqualFold(s.Cols[0].Name, "id") ||
+		s.Cols[0].Type != "BIGINT" || !strings.EqualFold(s.Key, "id") {
+		return nil, fmt.Errorf("sql: the mini dialect supports tables (id BIGINT, col TEXT|BIGINT) KEY id")
+	}
+	switch s.Cols[1].Type {
+	case "TEXT":
+		if _, err := e.db.CreateEntityTable(s.Name, s.Cols[1].Name); err != nil {
+			return nil, err
+		}
+		e.tableKind[s.Name] = "entity"
+		e.textCol[s.Name] = s.Cols[1].Name
+	case "BIGINT":
+		if _, err := e.db.CreateExampleTable(s.Name); err != nil {
+			return nil, err
+		}
+		e.tableKind[s.Name] = "example"
+	default:
+		return nil, fmt.Errorf("sql: second column must be TEXT (entities) or BIGINT (examples)")
+	}
+	return &Result{Msg: "CREATE TABLE"}, nil
+}
+
+func (e *Engine) createView(s CreateView) (*Result, error) {
+	spec := root.ViewSpec{
+		Name:            s.Name,
+		Entities:        s.Entities,
+		Examples:        s.Examples,
+		FeatureFunction: s.Feature,
+		Method:          strings.ToLower(s.Using),
+	}
+	switch s.Arch {
+	case "", "MM":
+		spec.Arch = core.MainMemory
+	case "OD":
+		spec.Arch = core.OnDisk
+	case "HYBRID":
+		spec.Arch = core.HybridArch
+	default:
+		return nil, fmt.Errorf("sql: unknown ARCHITECTURE %q", s.Arch)
+	}
+	switch s.Strategy {
+	case "", "HAZY":
+		spec.Strategy = core.HazyStrategy
+	case "NAIVE":
+		spec.Strategy = core.Naive
+	default:
+		return nil, fmt.Errorf("sql: unknown STRATEGY %q", s.Strategy)
+	}
+	switch s.Mode {
+	case "", "EAGER":
+		spec.Mode = core.Eager
+	case "LAZY":
+		spec.Mode = core.Lazy
+	default:
+		return nil, fmt.Errorf("sql: unknown MODE %q", s.Mode)
+	}
+	if spec.Arch == core.HybridArch && s.Strategy == "NAIVE" {
+		return nil, fmt.Errorf("sql: HYBRID requires STRATEGY HAZY")
+	}
+	if _, err := e.db.CreateClassificationView(spec); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: "CREATE CLASSIFICATION VIEW"}, nil
+}
+
+func (e *Engine) insert(s Insert) (*Result, error) {
+	kind, ok := e.tableKind[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no table %q", s.Table)
+	}
+	for _, row := range s.Rows {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("sql: %s rows take 2 values, got %d", s.Table, len(row))
+		}
+		if row[0].IsString {
+			return nil, fmt.Errorf("sql: id must be an integer")
+		}
+		id := int64(row[0].Num)
+		switch kind {
+		case "entity":
+			if !row[1].IsString {
+				return nil, fmt.Errorf("sql: entity text must be a string")
+			}
+			tbl, err := e.entityTable(s.Table)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.InsertText(id, row[1].Str); err != nil {
+				return nil, err
+			}
+		case "example":
+			if row[1].IsString {
+				return nil, fmt.Errorf("sql: label must be ±1")
+			}
+			tbl, err := e.exampleTable(s.Table)
+			if err != nil {
+				return nil, err
+			}
+			if err := tbl.InsertExample(id, int(row[1].Num)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{Msg: fmt.Sprintf("INSERT %d", len(s.Rows))}, nil
+}
+
+func (e *Engine) entityTable(name string) (*root.EntityTable, error) {
+	// Facade tables are registered at creation; re-resolve by
+	// re-declaring is not possible, so Engine requires tables made
+	// through it (tracked in tableKind).
+	v, err := e.db.EntityTableByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func (e *Engine) exampleTable(name string) (*root.ExampleTable, error) {
+	return e.db.ExampleTableByName(name)
+}
+
+// row materializers ----------------------------------------------------
+
+type tableRow struct {
+	id  int64
+	val string // text, label, or class rendered as string
+}
+
+func litStr(l Literal) string {
+	if l.IsString {
+		return l.Str
+	}
+	if l.Num == float64(int64(l.Num)) {
+		return strconv.FormatInt(int64(l.Num), 10)
+	}
+	return strconv.FormatFloat(l.Num, 'g', -1, 64)
+}
+
+func cmpInt(a int64, op string, b float64) bool {
+	af := float64(a)
+	switch op {
+	case "=":
+		return af == b
+	case "<>":
+		return af != b
+	case "<":
+		return af < b
+	case ">":
+		return af > b
+	case "<=":
+		return af <= b
+	case ">=":
+		return af >= b
+	}
+	return false
+}
+
+func (e *Engine) selectStmt(s Select) (*Result, error) {
+	// Views first: SELECT over a classification view.
+	if v, err := e.db.View(s.From); err == nil {
+		return e.selectView(s, v)
+	}
+	kind, ok := e.tableKind[s.From]
+	if !ok {
+		return nil, fmt.Errorf("sql: no table or view %q", s.From)
+	}
+	secondCol := "label"
+	if kind == "entity" {
+		secondCol = e.textCol[s.From]
+	}
+	for _, c := range s.Where {
+		if !strings.EqualFold(c.Col, "id") && !strings.EqualFold(c.Col, secondCol) {
+			return nil, fmt.Errorf("sql: unknown column %q in WHERE", c.Col)
+		}
+	}
+	var rows []tableRow
+	if kind == "entity" {
+		tbl, err := e.entityTable(s.From)
+		if err != nil {
+			return nil, err
+		}
+		err = tbl.Scan(func(id int64, text string) error {
+			rows = append(rows, tableRow{id, text})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tbl, err := e.exampleTable(s.From)
+		if err != nil {
+			return nil, err
+		}
+		err = tbl.Scan(func(id int64, label int) error {
+			rows = append(rows, tableRow{id, strconv.Itoa(label)})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Apply predicates.
+	filtered := rows[:0]
+	for _, r := range rows {
+		keep := true
+		for _, c := range s.Where {
+			switch {
+			case strings.EqualFold(c.Col, "id"):
+				if c.Lit.IsString || !cmpInt(r.id, c.Op, c.Lit.Num) {
+					keep = false
+				}
+			case strings.EqualFold(c.Col, secondCol):
+				want := litStr(c.Lit)
+				switch c.Op {
+				case "=":
+					keep = keep && r.val == want
+				case "<>":
+					keep = keep && r.val != want
+				default:
+					// Numeric comparison for the BIGINT column.
+					n, err := strconv.ParseInt(r.val, 10, 64)
+					if err != nil || c.Lit.IsString || !cmpInt(n, c.Op, c.Lit.Num) {
+						keep = false
+					}
+				}
+			default:
+				return nil, fmt.Errorf("sql: unknown column %q in WHERE", c.Col)
+			}
+		}
+		if keep {
+			filtered = append(filtered, r)
+		}
+	}
+	return e.project(s, filtered, []string{"id", secondCol})
+}
+
+// selectView evaluates SELECT over a classification view with columns
+// (id, class).
+func (e *Engine) selectView(s Select, v *root.ClassView) (*Result, error) {
+	// Recognize the point-read pattern WHERE id = k.
+	var idEq *int64
+	var classEq *int
+	for _, c := range s.Where {
+		switch {
+		case strings.EqualFold(c.Col, "id") && c.Op == "=" && !c.Lit.IsString:
+			id := int64(c.Lit.Num)
+			idEq = &id
+		case strings.EqualFold(c.Col, "class") && c.Op == "=" && !c.Lit.IsString:
+			cl := int(c.Lit.Num)
+			if cl != 1 && cl != -1 {
+				return nil, fmt.Errorf("sql: class literal must be ±1")
+			}
+			classEq = &cl
+		default:
+			return nil, fmt.Errorf("sql: view predicates support id = k and class = ±1")
+		}
+	}
+	var rows []tableRow
+	switch {
+	case idEq != nil:
+		label, err := v.Label(*idEq)
+		if err != nil {
+			return nil, err
+		}
+		if classEq == nil || *classEq == label {
+			rows = append(rows, tableRow{*idEq, strconv.Itoa(label)})
+		}
+	case classEq != nil && *classEq == 1:
+		// All Members fast path.
+		if s.Count {
+			n, err := v.CountMembers()
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Cols: []string{"count"}, Rows: [][]string{{strconv.Itoa(n)}}}, nil
+		}
+		ids, err := v.Members()
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			rows = append(rows, tableRow{id, "1"})
+		}
+	default:
+		// Full view scan (optionally class = -1): enumerate entities.
+		members := map[int64]bool{}
+		ids, err := v.Members()
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range ids {
+			members[id] = true
+		}
+		err = v.Entities().Scan(func(id int64, _ string) error {
+			label := -1
+			if members[id] {
+				label = 1
+			}
+			if classEq == nil || *classEq == label {
+				rows = append(rows, tableRow{id, strconv.Itoa(label)})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.project(s, rows, []string{"id", "class"})
+}
+
+// project renders the select list over (id, second-column) rows.
+func (e *Engine) project(s Select, rows []tableRow, cols []string) (*Result, error) {
+	if s.Count {
+		return &Result{Cols: []string{"count"}, Rows: [][]string{{strconv.Itoa(len(rows))}}}, nil
+	}
+	want := s.Cols
+	if len(want) == 1 && want[0] == "*" {
+		want = cols
+	}
+	idx := make([]int, len(want))
+	for i, c := range want {
+		switch {
+		case strings.EqualFold(c, cols[0]):
+			idx[i] = 0
+		case strings.EqualFold(c, cols[1]):
+			idx[i] = 1
+		default:
+			return nil, fmt.Errorf("sql: unknown column %q (have %v)", c, cols)
+		}
+	}
+	res := &Result{Cols: want}
+	for _, r := range rows {
+		vals := [2]string{strconv.FormatInt(r.id, 10), r.val}
+		out := make([]string, len(idx))
+		for i, j := range idx {
+			out[i] = vals[j]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}

@@ -1,0 +1,97 @@
+// Package sqlmini implements the small SQL dialect through which
+// Hazy is used in the paper (§2.1): CREATE TABLE, INSERT, SELECT with
+// simple predicates, and the CREATE CLASSIFICATION VIEW statement of
+// Example 2.1. It executes against the hazy facade, so inserting
+// into an examples table maintains every view declared over it.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexer token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes src. Keywords are returned as idents; the parser
+// matches them case-insensitively. Strings use single quotes with ”
+// escaping. Punctuation covers ( ) , * = < > <= >= <> and minus signs
+// (negative number literals are lexed as numbers).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], start})
+		case unicode.IsDigit(rune(c)) || (c == '-' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			start := i
+			i++
+			for i < n && (unicode.IsDigit(rune(src[i])) || src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+				((src[i] == '+' || src[i] == '-') && (src[i-1] == 'e' || src[i-1] == 'E'))) {
+				i++
+			}
+			toks = append(toks, token{tokNumber, src[start:i], start})
+		case c == '\'':
+			i++
+			var b strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, token{tokString, b.String(), i})
+		case c == '<' && i+1 < n && (src[i+1] == '=' || src[i+1] == '>'):
+			toks = append(toks, token{tokPunct, src[i : i+2], i})
+			i += 2
+		case c == '>' && i+1 < n && src[i+1] == '=':
+			toks = append(toks, token{tokPunct, ">=", i})
+			i += 2
+		case strings.ContainsRune("(),*=<>;+-", rune(c)):
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

@@ -1,0 +1,356 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// isKw reports whether t is the given keyword (case-insensitive).
+func isKw(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// accept consumes the next token if it matches the keyword or
+// punctuation s.
+func (p *parser) accept(s string) bool {
+	t := p.peek()
+	if (t.kind == tokPunct && t.text == s) || isKw(t, s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		return fmt.Errorf("sql: expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier, got %q", t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.accept("CREATE"):
+		if p.accept("TABLE") {
+			return p.createTable()
+		}
+		if p.accept("CLASSIFICATION") {
+			if err := p.expect("VIEW"); err != nil {
+				return nil, err
+			}
+			return p.createView()
+		}
+		return nil, fmt.Errorf("sql: CREATE must be followed by TABLE or CLASSIFICATION VIEW")
+	case p.accept("INSERT"):
+		return p.insert()
+	case p.accept("SELECT"):
+		return p.selectStmt()
+	default:
+		return nil, fmt.Errorf("sql: unknown statement starting at %q", p.peek().text)
+	}
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	var st CreateTable
+	var err error
+	if st.Name, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		var col ColDef
+		if col.Name, err = p.ident(); err != nil {
+			return nil, err
+		}
+		typ, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		col.Type = strings.ToUpper(typ)
+		switch col.Type {
+		case "BIGINT", "DOUBLE", "TEXT":
+		default:
+			return nil, fmt.Errorf("sql: unsupported type %q", typ)
+		}
+		st.Cols = append(st.Cols, col)
+		if p.accept(")") {
+			break
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("KEY"); err != nil {
+		return nil, err
+	}
+	if st.Key, err = p.ident(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) createView() (Stmt, error) {
+	var st CreateView
+	var err error
+	if st.Name, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("KEY"); err != nil {
+		return nil, err
+	}
+	if st.Key, err = p.ident(); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("ENTITIES"):
+			if err := p.expect("FROM"); err != nil {
+				return nil, err
+			}
+			if st.Entities, err = p.ident(); err != nil {
+				return nil, err
+			}
+			if p.accept("KEY") {
+				if st.EntitiesKey, err = p.ident(); err != nil {
+					return nil, err
+				}
+			}
+		case p.accept("LABELS"):
+			if err := p.expect("FROM"); err != nil {
+				return nil, err
+			}
+			if st.LabelsFrom, err = p.ident(); err != nil {
+				return nil, err
+			}
+			if p.accept("LABEL") {
+				if _, err = p.ident(); err != nil {
+					return nil, err
+				}
+			}
+		case p.accept("EXAMPLES"):
+			if err := p.expect("FROM"); err != nil {
+				return nil, err
+			}
+			if st.Examples, err = p.ident(); err != nil {
+				return nil, err
+			}
+			if p.accept("KEY") {
+				if st.ExamplesKey, err = p.ident(); err != nil {
+					return nil, err
+				}
+			}
+			if p.accept("LABEL") {
+				if st.LabelCol, err = p.ident(); err != nil {
+					return nil, err
+				}
+			}
+		case p.accept("FEATURE"):
+			if err := p.expect("FUNCTION"); err != nil {
+				return nil, err
+			}
+			if st.Feature, err = p.ident(); err != nil {
+				return nil, err
+			}
+		case p.accept("USING"):
+			m, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Using = strings.ToUpper(m)
+		case p.accept("ARCHITECTURE"):
+			a, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Arch = strings.ToUpper(a)
+		case p.accept("STRATEGY"):
+			s, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Strategy = strings.ToUpper(s)
+		case p.accept("MODE"):
+			m, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Mode = strings.ToUpper(m)
+		default:
+			if st.Entities == "" || st.Examples == "" {
+				return nil, fmt.Errorf("sql: classification view needs ENTITIES FROM and EXAMPLES FROM clauses")
+			}
+			return st, nil
+		}
+	}
+}
+
+func (p *parser) literal() (Literal, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return Literal{IsString: true, Str: t.text}, nil
+	case tokNumber:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return Literal{Num: f}, nil
+	case tokPunct:
+		if t.text == "+" || t.text == "-" {
+			p.next()
+			lit, err := p.literal()
+			if err != nil || lit.IsString {
+				return Literal{}, fmt.Errorf("sql: bad signed literal")
+			}
+			if t.text == "-" {
+				lit.Num = -lit.Num
+			}
+			return lit, nil
+		}
+	}
+	return Literal{}, fmt.Errorf("sql: expected literal, got %q", t.text)
+}
+
+func (p *parser) insert() (Stmt, error) {
+	var st Insert
+	var err error
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []Literal
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, lit)
+			if p.accept(")") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	var st Select
+	var err error
+	if isKw(p.peek(), "COUNT") {
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if err := p.expect("*"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		st.Count = true
+	} else if p.accept("*") {
+		st.Cols = []string{"*"}
+	} else {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	if st.From, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.accept("WHERE") {
+		for {
+			var c Cond
+			if c.Col, err = p.ident(); err != nil {
+				return nil, err
+			}
+			op := p.peek()
+			if op.kind != tokPunct || !strings.Contains("= <> < > <= >=", op.text) {
+				return nil, fmt.Errorf("sql: expected comparison operator, got %q", op.text)
+			}
+			p.next()
+			c.Op = op.text
+			if c.Lit, err = p.literal(); err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, c)
+			if !p.accept("AND") {
+				break
+			}
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,420 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RID is a record identifier: page ordinal within a heap plus slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID as "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// HeapFile stores variable-length records in slotted pages via a
+// buffer pool. Appends go to the last page; there is no free-space
+// map because Hazy's workload is append + in-place update + periodic
+// full rebuild.
+//
+// Records larger than a page spill into overflow-page chains (the
+// PostgreSQL-TOAST analog): the slot then holds a small pointer
+// stub. Each stored record carries a one-byte flag distinguishing
+// inline payloads from overflow stubs. Overflow pages freed by
+// deletes and relocating updates are reclaimed at the next rebuild
+// (Hazy reorganizes into a fresh generation file anyway).
+type HeapFile struct {
+	pool  *BufferPool
+	pages []PageID // slotted heap pages in order; excludes overflow pages
+}
+
+// Stored-record flags.
+const (
+	flagInline   = 0
+	flagOverflow = 1
+)
+
+// Overflow page layout: [0:4) next overflow PageID (InvalidPage ends
+// the chain), [4:6) bytes used, data from 6.
+const (
+	ovflHeader = 6
+	ovflData   = PageSize - ovflHeader
+)
+
+// overflow stub layout (after the flag byte): first chain page (4B),
+// total payload length (4B).
+const stubSize = 1 + 4 + 4
+
+// MaxInlineRecord is the largest payload stored inline in a slotted
+// page; anything larger goes to an overflow chain.
+const MaxInlineRecord = MaxRecordSize - 1
+
+// MaxHeapRecord bounds a single record's size (sanity limit).
+const MaxHeapRecord = 64 << 20
+
+// NewHeapFile creates an empty heap backed by pool.
+func NewHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool}
+}
+
+// NumPages returns the number of slotted pages in the heap.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// SetPages installs a page list recovered from a catalog manifest,
+// re-attaching the heap to pages written in a previous session.
+func (h *HeapFile) SetPages(pages []PageID) { h.pages = pages }
+
+// Pages returns the heap's slotted page ids in order (read-only).
+func (h *HeapFile) Pages() []PageID { return h.pages }
+
+// insertStored places an already-flagged stored record in a slotted
+// page.
+func (h *HeapFile) insertStored(stored []byte) (RID, error) {
+	if n := len(h.pages); n > 0 {
+		id := h.pages[n-1]
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			return RID{}, err
+		}
+		sp := SlottedPage{buf}
+		if slot, ok := sp.Insert(stored); ok {
+			h.pool.Unpin(id, true)
+			return RID{Page: id, Slot: uint16(slot)}, nil
+		}
+		h.pool.Unpin(id, false)
+	}
+	id, buf, err := h.pool.Allocate()
+	if err != nil {
+		return RID{}, err
+	}
+	InitSlotted(buf)
+	sp := SlottedPage{buf}
+	slot, ok := sp.Insert(stored)
+	if !ok {
+		h.pool.Unpin(id, true)
+		return RID{}, fmt.Errorf("storage: stored record of %d bytes does not fit a fresh page", len(stored))
+	}
+	h.pool.Unpin(id, true)
+	h.pages = append(h.pages, id)
+	return RID{Page: id, Slot: uint16(slot)}, nil
+}
+
+// writeOverflow writes rec into a fresh overflow chain, returning the
+// first page id.
+func (h *HeapFile) writeOverflow(rec []byte) (PageID, error) {
+	first := InvalidPage
+	prev := InvalidPage
+	for off := 0; off < len(rec) || first == InvalidPage; {
+		id, buf, err := h.pool.Allocate()
+		if err != nil {
+			return InvalidPage, err
+		}
+		n := len(rec) - off
+		if n > ovflData {
+			n = ovflData
+		}
+		binary.LittleEndian.PutUint32(buf[0:4], uint32(InvalidPage))
+		binary.LittleEndian.PutUint16(buf[4:6], uint16(n))
+		copy(buf[ovflHeader:], rec[off:off+n])
+		h.pool.Unpin(id, true)
+		if first == InvalidPage {
+			first = id
+		} else {
+			pbuf, err := h.pool.Pin(prev)
+			if err != nil {
+				return InvalidPage, err
+			}
+			binary.LittleEndian.PutUint32(pbuf[0:4], uint32(id))
+			h.pool.Unpin(prev, true)
+		}
+		prev = id
+		off += n
+	}
+	return first, nil
+}
+
+// readOverflow assembles a record from the chain starting at first.
+func (h *HeapFile) readOverflow(first PageID, total int) ([]byte, error) {
+	out := make([]byte, 0, total)
+	id := first
+	for id != InvalidPage {
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		next := PageID(binary.LittleEndian.Uint32(buf[0:4]))
+		n := int(binary.LittleEndian.Uint16(buf[4:6]))
+		out = append(out, buf[ovflHeader:ovflHeader+n]...)
+		h.pool.Unpin(id, false)
+		id = next
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("storage: overflow chain has %d bytes, stub says %d", len(out), total)
+	}
+	return out, nil
+}
+
+// Insert appends rec, returning its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if len(rec) > MaxHeapRecord {
+		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds limit %d", len(rec), MaxHeapRecord)
+	}
+	if len(rec) <= MaxInlineRecord {
+		stored := make([]byte, 1+len(rec))
+		stored[0] = flagInline
+		copy(stored[1:], rec)
+		return h.insertStored(stored)
+	}
+	first, err := h.writeOverflow(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	var stub [stubSize]byte
+	stub[0] = flagOverflow
+	binary.LittleEndian.PutUint32(stub[1:5], uint32(first))
+	binary.LittleEndian.PutUint32(stub[5:9], uint32(len(rec)))
+	return h.insertStored(stub[:])
+}
+
+// decodeStored interprets a slot's bytes, assembling overflow chains.
+// The returned slice aliases the page only for inline records with
+// copy=false.
+func (h *HeapFile) decodeStored(stored []byte, copyInline bool) ([]byte, error) {
+	if len(stored) < 1 {
+		return nil, fmt.Errorf("storage: empty stored record")
+	}
+	switch stored[0] {
+	case flagInline:
+		if copyInline {
+			return append([]byte(nil), stored[1:]...), nil
+		}
+		return stored[1:], nil
+	case flagOverflow:
+		if len(stored) != stubSize {
+			return nil, fmt.Errorf("storage: bad overflow stub of %d bytes", len(stored))
+		}
+		first := PageID(binary.LittleEndian.Uint32(stored[1:5]))
+		total := int(binary.LittleEndian.Uint32(stored[5:9]))
+		return h.readOverflow(first, total)
+	default:
+		return nil, fmt.Errorf("storage: unknown record flag %d", stored[0])
+	}
+}
+
+// Get copies the record at rid into a fresh slice.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	stored, ok := SlottedPage{buf}.Get(int(rid.Slot))
+	if !ok {
+		h.pool.Unpin(rid.Page, false)
+		return nil, fmt.Errorf("storage: no record at %v", rid)
+	}
+	// Copy the stored bytes before unpinning; overflow chains pin
+	// other pages, and nested pins of the same page are fine.
+	storedCopy := append([]byte(nil), stored...)
+	h.pool.Unpin(rid.Page, false)
+	return h.decodeStored(storedCopy, true)
+}
+
+// View calls fn with the record bytes at rid; fn must not retain the
+// slice.
+func (h *HeapFile) View(rid RID, fn func(rec []byte) error) error {
+	rec, err := h.Get(rid)
+	if err != nil {
+		return err
+	}
+	return fn(rec)
+}
+
+// Update overwrites the record at rid. If the new record does not fit
+// in place the record is deleted and re-inserted, and the returned
+// RID reflects its new home. Overflow chains are never patched in
+// place; they are rewritten.
+func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return RID{}, err
+	}
+	sp := SlottedPage{buf}
+	stored, ok := sp.Get(int(rid.Slot))
+	if !ok {
+		h.pool.Unpin(rid.Page, false)
+		return RID{}, fmt.Errorf("storage: update of missing record %v", rid)
+	}
+	if stored[0] == flagInline && len(rec) <= MaxInlineRecord {
+		newStored := make([]byte, 1+len(rec))
+		newStored[0] = flagInline
+		copy(newStored[1:], rec)
+		if sp.UpdateInPlace(int(rid.Slot), newStored) {
+			h.pool.Unpin(rid.Page, true)
+			return rid, nil
+		}
+	}
+	if err := sp.Delete(int(rid.Slot)); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return RID{}, err
+	}
+	sp.Compact()
+	h.pool.Unpin(rid.Page, true)
+	return h.Insert(rec)
+}
+
+// Patch overwrites len(data) bytes at offset off within the record at
+// rid, in place. The write must lie within the record's current
+// extent. Hazy uses this for its in-place class/eps column updates
+// (the paper adds a PostgreSQL UDF to update records "in place
+// without generating a copy", App. B.1). Overflow records are patched
+// by walking their chain.
+func (h *HeapFile) Patch(rid RID, off int, data []byte) error {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	sp := SlottedPage{buf}
+	stored, ok := sp.Get(int(rid.Slot))
+	if !ok {
+		h.pool.Unpin(rid.Page, false)
+		return fmt.Errorf("storage: patch of missing record %v", rid)
+	}
+	if stored[0] == flagInline {
+		rec := stored[1:]
+		if off < 0 || off+len(data) > len(rec) {
+			h.pool.Unpin(rid.Page, false)
+			return fmt.Errorf("storage: patch [%d,%d) outside record of %d bytes", off, off+len(data), len(rec))
+		}
+		copy(rec[off:], data)
+		h.pool.Unpin(rid.Page, true)
+		return nil
+	}
+	// Overflow: read the stub, then walk to the offset.
+	first := PageID(binary.LittleEndian.Uint32(stored[1:5]))
+	total := int(binary.LittleEndian.Uint32(stored[5:9]))
+	h.pool.Unpin(rid.Page, false)
+	if off < 0 || off+len(data) > total {
+		return fmt.Errorf("storage: patch [%d,%d) outside record of %d bytes", off, off+len(data), total)
+	}
+	id := first
+	pos := 0
+	remaining := data
+	for id != InvalidPage && len(remaining) > 0 {
+		obuf, err := h.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		next := PageID(binary.LittleEndian.Uint32(obuf[0:4]))
+		n := int(binary.LittleEndian.Uint16(obuf[4:6]))
+		pageEnd := pos + n
+		if off < pageEnd {
+			start := off - pos
+			if start < 0 {
+				start = 0
+			}
+			cnt := n - start
+			if cnt > len(remaining) {
+				cnt = len(remaining)
+			}
+			copy(obuf[ovflHeader+start:ovflHeader+start+cnt], remaining[:cnt])
+			remaining = remaining[cnt:]
+			off += cnt
+			h.pool.Unpin(id, true)
+		} else {
+			h.pool.Unpin(id, false)
+		}
+		pos = pageEnd
+		id = next
+	}
+	if len(remaining) > 0 {
+		return fmt.Errorf("storage: overflow chain ended %d bytes early during patch", len(remaining))
+	}
+	return nil
+}
+
+// Delete removes the record at rid. An overflow chain's pages are
+// orphaned until the next rebuild.
+func (h *HeapFile) Delete(rid RID) error {
+	buf, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.Unpin(rid.Page, true)
+	return SlottedPage{buf}.Delete(int(rid.Slot))
+}
+
+// Scan iterates every live record in heap order, invoking fn with the
+// record's RID and bytes (valid only during the call). Returning a
+// non-nil error from fn stops the scan and is returned.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
+	for _, id := range h.pages {
+		buf, err := h.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		sp := SlottedPage{buf}
+		n := sp.NumSlots()
+		for s := 0; s < n; s++ {
+			stored, ok := sp.Get(s)
+			if !ok {
+				continue
+			}
+			var rec []byte
+			if stored[0] == flagInline {
+				rec = stored[1:]
+			} else {
+				// Assembling an overflow record pins other pages;
+				// copy the stub first so the slice stays valid.
+				stub := append([]byte(nil), stored...)
+				rec, err = h.decodeStored(stub, false)
+				if err != nil {
+					h.pool.Unpin(id, false)
+					return err
+				}
+			}
+			if err := fn(RID{Page: id, Slot: uint16(s)}, rec); err != nil {
+				h.pool.Unpin(id, false)
+				return err
+			}
+		}
+		h.pool.Unpin(id, false)
+	}
+	return nil
+}
+
+// Count returns the number of live records (by scanning).
+func (h *HeapFile) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(RID, []byte) error { n++; return nil })
+	return n, err
+}
+
+// Reset discards all pages, leaving an empty heap. Page storage is
+// not returned to the pager (Hazy rebuilds into fresh pages; the
+// bench harness recreates files per run).
+func (h *HeapFile) Reset() { h.pages = nil }
+
+// BulkLoad replaces the heap contents with records delivered by next,
+// which returns nil at end of stream. Records are packed tightly in
+// fresh pages in arrival order — this is the physical "cluster by
+// eps" step of Hazy's reorganization.
+func (h *HeapFile) BulkLoad(next func() ([]byte, error)) ([]RID, error) {
+	h.Reset()
+	var rids []RID
+	for {
+		rec, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if rec == nil {
+			return rids, nil
+		}
+		rid, err := h.Insert(rec)
+		if err != nil {
+			return nil, err
+		}
+		rids = append(rids, rid)
+	}
+}

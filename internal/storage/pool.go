@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Frame is a buffer-pool slot holding one page image.
+type frame struct {
+	id    PageID
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+	lru   *list.Element // position in the eviction list; nil while pinned
+}
+
+// BufferPool caches pages from a Pager with LRU replacement. Pinned
+// pages are never evicted. It is safe for concurrent use; callers must
+// serialize access to a page's bytes themselves while it is pinned
+// (the higher layers in this repo hold one logical writer).
+type BufferPool struct {
+	mu       sync.Mutex
+	pager    *Pager
+	capacity int
+	frames   map[PageID]*frame
+	evict    *list.List // of PageID, front = most recently used
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// NewBufferPool wraps pager with a pool of capacity pages
+// (capacity ≥ 1).
+func NewBufferPool(pager *Pager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+		evict:    list.New(),
+	}
+}
+
+// Pager returns the underlying pager.
+func (bp *BufferPool) Pager() *Pager { return bp.pager }
+
+// Allocate allocates a fresh page and returns it pinned.
+func (bp *BufferPool) Allocate() (PageID, []byte, error) {
+	id, err := bp.pager.Allocate()
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, err := bp.installLocked(id, false)
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	return id, fr.data[:], nil
+}
+
+// Pin fetches page id into the pool (reading from disk on a miss) and
+// returns its bytes. The page stays resident until a matching Unpin.
+func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.hits++
+		fr.pins++
+		if fr.lru != nil {
+			bp.evict.Remove(fr.lru)
+			fr.lru = nil
+		}
+		return fr.data[:], nil
+	}
+	bp.misses++
+	fr, err := bp.installLocked(id, true)
+	if err != nil {
+		return nil, err
+	}
+	return fr.data[:], nil
+}
+
+// installLocked makes room, then installs page id pinned once.
+func (bp *BufferPool) installLocked(id PageID, read bool) (*frame, error) {
+	for len(bp.frames) >= bp.capacity {
+		victim := bp.evict.Back()
+		if victim == nil {
+			return nil, fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", bp.capacity)
+		}
+		vid := victim.Value.(PageID)
+		vf := bp.frames[vid]
+		if vf.dirty {
+			if err := bp.pager.WritePage(vid, vf.data[:]); err != nil {
+				return nil, err
+			}
+		}
+		bp.evict.Remove(victim)
+		delete(bp.frames, vid)
+		bp.evictions++
+	}
+	fr := &frame{id: id, pins: 1}
+	if read {
+		if err := bp.pager.ReadPage(id, fr.data[:]); err != nil {
+			return nil, err
+		}
+	}
+	bp.frames[id] = fr
+	return fr, nil
+}
+
+// Unpin releases one pin on page id; dirty marks the page as modified
+// so it is written back before eviction.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok {
+		panic(fmt.Sprintf("storage: unpin of non-resident page %d", id))
+	}
+	if fr.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
+	}
+	fr.dirty = fr.dirty || dirty
+	fr.pins--
+	if fr.pins == 0 {
+		fr.lru = bp.evict.PushFront(id)
+	}
+}
+
+// FlushAll writes every dirty resident page back to the pager.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.pager.WritePage(id, fr.data[:]); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every unpinned frame (after flushing dirty ones).
+// Used when a file is rebuilt wholesale under the pool.
+func (bp *BufferPool) Invalidate() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, fr := range bp.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: invalidate with pinned page %d", id)
+		}
+		if fr.dirty {
+			if err := bp.pager.WritePage(id, fr.data[:]); err != nil {
+				return err
+			}
+		}
+		if fr.lru != nil {
+			bp.evict.Remove(fr.lru)
+		}
+		delete(bp.frames, id)
+	}
+	return nil
+}
+
+// PoolStats is a snapshot of buffer-pool behaviour.
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Resident  int
+	Capacity  int
+}
+
+// Stats returns a snapshot of pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return PoolStats{
+		Hits:      bp.hits,
+		Misses:    bp.misses,
+		Evictions: bp.evictions,
+		Resident:  len(bp.frames),
+		Capacity:  bp.capacity,
+	}
+}

@@ -1,0 +1,98 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// TestSlottedPageQuick drives random insert/delete/update sequences
+// against a model map and checks the page never corrupts a survivor.
+func TestSlottedPageQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var page [PageSize]byte
+		InitSlotted(page[:])
+		sp := SlottedPage{page[:]}
+		model := map[int][]byte{}
+		for op := 0; op < 200; op++ {
+			switch r.Intn(4) {
+			case 0, 1: // insert
+				rec := make([]byte, 1+r.Intn(200))
+				r.Read(rec)
+				if slot, ok := sp.Insert(rec); ok {
+					model[slot] = append([]byte(nil), rec...)
+				}
+			case 2: // delete a live slot
+				for slot := range model {
+					if sp.Delete(slot) != nil {
+						return false
+					}
+					delete(model, slot)
+					break
+				}
+			default: // in-place update (shrink) or compact
+				if r.Intn(2) == 0 {
+					sp.Compact()
+					continue
+				}
+				for slot, old := range model {
+					rec := old[:1+r.Intn(len(old))]
+					if sp.UpdateInPlace(slot, rec) {
+						model[slot] = append([]byte(nil), rec...)
+					}
+					break
+				}
+			}
+		}
+		for slot, want := range model {
+			got, ok := sp.Get(slot)
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapQuick round-trips random record batches, spanning the
+// inline/overflow boundary, through insert + full scan.
+func TestHeapQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pager, err := OpenPager(filepath.Join(t.TempDir(), "q.pg"))
+		if err != nil {
+			return false
+		}
+		defer pager.Close()
+		h := NewHeapFile(NewBufferPool(pager, 8))
+		var want [][]byte
+		for i := 0; i < 30; i++ {
+			size := 1 + r.Intn(3*PageSize)
+			rec := make([]byte, size)
+			r.Read(rec)
+			if _, err := h.Insert(rec); err != nil {
+				return false
+			}
+			want = append(want, rec)
+		}
+		i := 0
+		ok := true
+		err = h.Scan(func(_ RID, rec []byte) error {
+			if i >= len(want) || !bytes.Equal(rec, want[i]) {
+				ok = false
+			}
+			i++
+			return nil
+		})
+		return ok && err == nil && i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

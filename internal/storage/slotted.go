@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted-page layout (all offsets little-endian uint16):
+//
+//	[0:2)   slot count n
+//	[2:4)   free-space end (records grow downward from PageSize toward
+//	        the slot array; this is the offset of the lowest record byte)
+//	[4:4+4n) slot array: per slot, record offset uint16 then length uint16
+//
+// A deleted slot has offset 0 (real records can never start at 0,
+// which is inside the header). Record space freed by deletes is
+// reclaimed only by Compact.
+
+const (
+	slottedHeader = 4
+	slotSize      = 4
+	// deletedOff marks a dead slot.
+	deletedOff = 0
+)
+
+// SlottedPage wraps a page image with record-level operations. It
+// does not own the bytes; callers pin/unpin through the buffer pool.
+type SlottedPage struct{ B []byte }
+
+// InitSlotted formats b as an empty slotted page.
+func InitSlotted(b []byte) {
+	binary.LittleEndian.PutUint16(b[0:2], 0)
+	binary.LittleEndian.PutUint16(b[2:4], uint16(PageSize))
+}
+
+// NumSlots returns the slot count, including deleted slots.
+func (p SlottedPage) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.B[0:2]))
+}
+
+func (p SlottedPage) freeEnd() int {
+	return int(binary.LittleEndian.Uint16(p.B[2:4]))
+}
+
+func (p SlottedPage) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.B[0:2], uint16(n))
+}
+
+func (p SlottedPage) setFreeEnd(off int) {
+	binary.LittleEndian.PutUint16(p.B[2:4], uint16(off))
+}
+
+func (p SlottedPage) slot(i int) (off, ln int) {
+	base := slottedHeader + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.B[base : base+2])),
+		int(binary.LittleEndian.Uint16(p.B[base+2 : base+4]))
+}
+
+func (p SlottedPage) setSlot(i, off, ln int) {
+	base := slottedHeader + i*slotSize
+	binary.LittleEndian.PutUint16(p.B[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.B[base+2:base+4], uint16(ln))
+}
+
+// FreeSpace returns the bytes available for one more Insert
+// (accounting for its new slot entry).
+func (p SlottedPage) FreeSpace() int {
+	free := p.freeEnd() - (slottedHeader + p.NumSlots()*slotSize) - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// MaxRecordSize is the largest record that fits in a fresh page.
+const MaxRecordSize = PageSize - slottedHeader - slotSize
+
+// Insert stores rec in the page, returning its slot number, or
+// ok=false if there is not enough free space.
+func (p SlottedPage) Insert(rec []byte) (slot int, ok bool) {
+	if len(rec) > p.FreeSpace() {
+		return 0, false
+	}
+	n := p.NumSlots()
+	off := p.freeEnd() - len(rec)
+	copy(p.B[off:], rec)
+	p.setSlot(n, off, len(rec))
+	p.setNumSlots(n + 1)
+	p.setFreeEnd(off)
+	return n, true
+}
+
+// Get returns the record bytes in slot i (aliasing the page buffer)
+// or ok=false if the slot is deleted or out of range.
+func (p SlottedPage) Get(i int) (rec []byte, ok bool) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, false
+	}
+	off, ln := p.slot(i)
+	if off == deletedOff {
+		return nil, false
+	}
+	return p.B[off : off+ln], true
+}
+
+// Delete marks slot i dead. Space is reclaimed by Compact.
+func (p SlottedPage) Delete(i int) error {
+	if i < 0 || i >= p.NumSlots() {
+		return fmt.Errorf("storage: delete of bad slot %d", i)
+	}
+	p.setSlot(i, deletedOff, 0)
+	return nil
+}
+
+// UpdateInPlace overwrites slot i with rec if rec fits in the slot's
+// current extent; returns false if it does not fit or slot is dead.
+func (p SlottedPage) UpdateInPlace(i int, rec []byte) bool {
+	if i < 0 || i >= p.NumSlots() {
+		return false
+	}
+	off, ln := p.slot(i)
+	if off == deletedOff || len(rec) > ln {
+		return false
+	}
+	copy(p.B[off:], rec)
+	p.setSlot(i, off, len(rec))
+	return true
+}
+
+// Compact rewrites live records contiguously, reclaiming space from
+// deletes and shrunken updates. Slot numbers are preserved.
+func (p SlottedPage) Compact() {
+	n := p.NumSlots()
+	type ent struct{ slot, off, ln int }
+	live := make([]ent, 0, n)
+	for i := 0; i < n; i++ {
+		off, ln := p.slot(i)
+		if off != deletedOff {
+			live = append(live, ent{i, off, ln})
+		}
+	}
+	var scratch [PageSize]byte
+	end := PageSize
+	for _, e := range live {
+		end -= e.ln
+		copy(scratch[end:], p.B[e.off:e.off+e.ln])
+		p.setSlot(e.slot, end, e.ln)
+	}
+	copy(p.B[end:], scratch[end:])
+	p.setFreeEnd(end)
+}

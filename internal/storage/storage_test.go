@@ -1,0 +1,673 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newPool(t *testing.T, capacity int) *BufferPool {
+	t.Helper()
+	p, err := OpenPager(filepath.Join(t.TempDir(), "data.pg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return NewBufferPool(p, capacity)
+}
+
+func TestPagerAllocateReadWrite(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "p.pg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 || p.NumPages() != 1 {
+		t.Fatalf("id=%d pages=%d", id, p.NumPages())
+	}
+	var buf [PageSize]byte
+	buf[0] = 0xAA
+	buf[PageSize-1] = 0x55
+	if err := p.WritePage(id, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	var got [PageSize]byte
+	if err := p.ReadPage(id, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got != buf {
+		t.Fatal("round trip mismatch")
+	}
+	if err := p.ReadPage(5, got[:]); err == nil {
+		t.Fatal("read of unallocated page succeeded")
+	}
+	if err := p.WritePage(5, got[:]); err == nil {
+		t.Fatal("write of unallocated page succeeded")
+	}
+	st := p.Stats()
+	if st.PhysicalReads == 0 || st.PhysicalWrites == 0 {
+		t.Fatalf("stats not counted: %+v", st)
+	}
+}
+
+func TestPagerPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.pg")
+	p, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Allocate()
+	var buf [PageSize]byte
+	copy(buf[:], "hello")
+	if err := p.WritePage(id, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	p2, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.NumPages() != 1 {
+		t.Fatalf("pages=%d", p2.NumPages())
+	}
+	var got [PageSize]byte
+	if err := p2.ReadPage(0, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got[:], []byte("hello")) {
+		t.Fatal("data lost across reopen")
+	}
+}
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	bp := newPool(t, 2)
+	id, buf, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 7
+	bp.Unpin(id, true)
+
+	got, err := bp.Pin(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatal("cached data lost")
+	}
+	bp.Unpin(id, false)
+	st := bp.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("hits=%d", st.Hits)
+	}
+}
+
+func TestBufferPoolEvictionWritesBack(t *testing.T) {
+	bp := newPool(t, 2)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, buf, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i + 1)
+		bp.Unpin(id, true)
+		ids = append(ids, id)
+	}
+	// Pages 0,1 must have been evicted (capacity 2) and written back.
+	for i, id := range ids {
+		got, err := bp.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) {
+			t.Fatalf("page %d data %d after eviction", id, got[0])
+		}
+		bp.Unpin(id, false)
+	}
+	if bp.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestBufferPoolPinnedNeverEvicted(t *testing.T) {
+	bp := newPool(t, 2)
+	id0, buf0, _ := bp.Allocate()
+	buf0[0] = 0xEE // keep pinned
+	id1, _, _ := bp.Allocate()
+	bp.Unpin(id1, true)
+	// Fill the remaining slot repeatedly; id0 must survive.
+	for i := 0; i < 3; i++ {
+		id, _, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(id, true)
+	}
+	if buf0[0] != 0xEE {
+		t.Fatal("pinned frame clobbered")
+	}
+	bp.Unpin(id0, true)
+	got, err := bp.Pin(id0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xEE {
+		t.Fatal("pinned page content lost")
+	}
+	bp.Unpin(id0, false)
+}
+
+func TestBufferPoolAllPinnedErrors(t *testing.T) {
+	bp := newPool(t, 1)
+	id, _, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bp.Allocate(); err == nil {
+		t.Fatal("second allocate should fail with all pages pinned")
+	}
+	bp.Unpin(id, false)
+}
+
+func TestBufferPoolUnpinPanics(t *testing.T) {
+	bp := newPool(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bogus unpin")
+		}
+	}()
+	bp.Unpin(42, false)
+}
+
+func TestFlushAllDurability(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.pg")
+	p, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(p, 8)
+	id, buf, _ := bp.Allocate()
+	copy(buf, "durable")
+	bp.Unpin(id, true)
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	p2, err := OpenPager(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	var got [PageSize]byte
+	if err := p2.ReadPage(id, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got[:], []byte("durable")) {
+		t.Fatal("flush lost data")
+	}
+}
+
+func TestSlottedInsertGetDelete(t *testing.T) {
+	var page [PageSize]byte
+	InitSlotted(page[:])
+	sp := SlottedPage{page[:]}
+
+	s0, ok := sp.Insert([]byte("alpha"))
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	s1, ok := sp.Insert([]byte("beta"))
+	if !ok {
+		t.Fatal("insert failed")
+	}
+	if r, ok := sp.Get(s0); !ok || string(r) != "alpha" {
+		t.Fatalf("get s0: %q %v", r, ok)
+	}
+	if r, ok := sp.Get(s1); !ok || string(r) != "beta" {
+		t.Fatalf("get s1: %q %v", r, ok)
+	}
+	if err := sp.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sp.Get(s0); ok {
+		t.Fatal("deleted record still readable")
+	}
+	if r, ok := sp.Get(s1); !ok || string(r) != "beta" {
+		t.Fatalf("neighbor affected by delete: %q %v", r, ok)
+	}
+	if _, ok := sp.Get(99); ok {
+		t.Fatal("out-of-range slot readable")
+	}
+	if err := sp.Delete(99); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+}
+
+func TestSlottedUpdateInPlace(t *testing.T) {
+	var page [PageSize]byte
+	InitSlotted(page[:])
+	sp := SlottedPage{page[:]}
+	s, _ := sp.Insert([]byte("12345678"))
+	if !sp.UpdateInPlace(s, []byte("abcd")) {
+		t.Fatal("shrinking update rejected")
+	}
+	if r, _ := sp.Get(s); string(r) != "abcd" {
+		t.Fatalf("got %q", r)
+	}
+	if sp.UpdateInPlace(s, []byte("123456789")) {
+		t.Fatal("growing update accepted in place")
+	}
+}
+
+func TestSlottedFull(t *testing.T) {
+	var page [PageSize]byte
+	InitSlotted(page[:])
+	sp := SlottedPage{page[:]}
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		if _, ok := sp.Insert(rec); !ok {
+			break
+		}
+		n++
+	}
+	// 8192-4 bytes usable, 104 bytes per record+slot → ~78 records.
+	if n < 70 || n > 80 {
+		t.Fatalf("packed %d records", n)
+	}
+	if sp.FreeSpace() >= 100 {
+		t.Fatalf("free space %d but insert failed", sp.FreeSpace())
+	}
+}
+
+func TestSlottedCompactReclaims(t *testing.T) {
+	var page [PageSize]byte
+	InitSlotted(page[:])
+	sp := SlottedPage{page[:]}
+	var slots []int
+	rec := make([]byte, 1000)
+	for i := 0; i < 8; i++ {
+		for j := range rec {
+			rec[j] = byte(i)
+		}
+		s, ok := sp.Insert(rec)
+		if !ok {
+			t.Fatalf("insert %d failed", i)
+		}
+		slots = append(slots, s)
+	}
+	// Delete the even ones, then compact; odd survivors must be intact.
+	for i := 0; i < 8; i += 2 {
+		if err := sp.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := sp.FreeSpace()
+	sp.Compact()
+	if sp.FreeSpace() <= before {
+		t.Fatalf("compact did not reclaim: %d → %d", before, sp.FreeSpace())
+	}
+	for i := 1; i < 8; i += 2 {
+		r, ok := sp.Get(slots[i])
+		if !ok || len(r) != 1000 || r[0] != byte(i) {
+			t.Fatalf("survivor %d corrupted after compact", i)
+		}
+	}
+	// Reclaimed space usable again.
+	if _, ok := sp.Insert(rec); !ok {
+		t.Fatal("insert after compact failed")
+	}
+}
+
+func TestHeapInsertGetUpdateDelete(t *testing.T) {
+	bp := newPool(t, 16)
+	h := NewHeapFile(bp)
+	rid, err := h.Insert([]byte("record-one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil || string(got) != "record-one" {
+		t.Fatalf("get: %q %v", got, err)
+	}
+	// Shrinking update stays in place.
+	nrid, err := h.Update(rid, []byte("short"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrid != rid {
+		t.Fatalf("in-place update moved: %v → %v", rid, nrid)
+	}
+	// Growing update relocates.
+	big := bytes.Repeat([]byte("x"), 200)
+	nrid2, err := h.Update(nrid, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = h.Get(nrid2)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("relocated record wrong: %v", err)
+	}
+	if err := h.Delete(nrid2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(nrid2); err == nil {
+		t.Fatal("deleted record readable")
+	}
+}
+
+func TestHeapScanOrderAndCount(t *testing.T) {
+	bp := newPool(t, 4)
+	h := NewHeapFile(bp)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("rec-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumPages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", h.NumPages())
+	}
+	i := 0
+	err := h.Scan(func(rid RID, rec []byte) error {
+		want := fmt.Sprintf("rec-%06d", i)
+		if string(rec) != want {
+			return fmt.Errorf("at %d got %q want %q", i, rec, want)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d of %d", i, n)
+	}
+	c, err := h.Count()
+	if err != nil || c != n {
+		t.Fatalf("count=%d err=%v", c, err)
+	}
+}
+
+func TestHeapViewNoCopy(t *testing.T) {
+	bp := newPool(t, 4)
+	h := NewHeapFile(bp)
+	rid, _ := h.Insert([]byte("view-me"))
+	called := false
+	err := h.View(rid, func(rec []byte) error {
+		called = true
+		if string(rec) != "view-me" {
+			t.Fatalf("got %q", rec)
+		}
+		return nil
+	})
+	if err != nil || !called {
+		t.Fatalf("view: %v called=%v", err, called)
+	}
+}
+
+func TestHeapBulkLoad(t *testing.T) {
+	bp := newPool(t, 4)
+	h := NewHeapFile(bp)
+	// Preload garbage that BulkLoad must discard.
+	for i := 0; i < 10; i++ {
+		h.Insert([]byte("old"))
+	}
+	recs := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	i := 0
+	rids, err := h.BulkLoad(func() ([]byte, error) {
+		if i == len(recs) {
+			return nil, nil
+		}
+		r := recs[i]
+		i++
+		return r, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 3 {
+		t.Fatalf("rids=%d", len(rids))
+	}
+	c, _ := h.Count()
+	if c != 3 {
+		t.Fatalf("count=%d after bulk load", c)
+	}
+	for k, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil || !bytes.Equal(got, recs[k]) {
+			t.Fatalf("bulk rec %d: %q %v", k, got, err)
+		}
+	}
+}
+
+func TestHeapOverflowRoundTrip(t *testing.T) {
+	bp := newPool(t, 8)
+	h := NewHeapFile(bp)
+	r := rand.New(rand.NewSource(5))
+	sizes := []int{
+		MaxInlineRecord,     // largest inline
+		MaxInlineRecord + 1, // smallest overflow
+		PageSize * 3,        // multi-page chain
+		PageSize*2 + 17,
+	}
+	var rids []RID
+	var want [][]byte
+	for _, sz := range sizes {
+		rec := make([]byte, sz)
+		r.Read(rec)
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatalf("size %d: %v", sz, err)
+		}
+		rids = append(rids, rid)
+		want = append(want, rec)
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("size %d round-trip mismatch", sizes[i])
+		}
+	}
+	// Scan assembles overflow records too.
+	i := 0
+	err := h.Scan(func(rid RID, rec []byte) error {
+		if !bytes.Equal(rec, want[i]) {
+			t.Fatalf("scan record %d mismatch", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil || i != len(sizes) {
+		t.Fatalf("scan: %v (%d records)", err, i)
+	}
+	if _, err := h.Insert(make([]byte, MaxHeapRecord+1)); err == nil {
+		t.Fatal("absurd record accepted")
+	}
+}
+
+func TestHeapOverflowPatch(t *testing.T) {
+	bp := newPool(t, 8)
+	h := NewHeapFile(bp)
+	rec := make([]byte, PageSize*2+100)
+	for i := range rec {
+		rec[i] = byte(i)
+	}
+	rid, err := h.Insert(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch within the first chain page, across the page boundary,
+	// and at the tail.
+	patches := []struct {
+		off  int
+		data []byte
+	}{
+		{10, []byte("early")},
+		{ovflData - 2, []byte("spanning-the-boundary")},
+		{len(rec) - 4, []byte("tail")},
+	}
+	for _, p := range patches {
+		if err := h.Patch(rid, p.off, p.data); err != nil {
+			t.Fatalf("patch at %d: %v", p.off, err)
+		}
+		copy(rec[p.off:], p.data)
+	}
+	got, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rec) {
+		t.Fatal("overflow patch mismatch")
+	}
+	if err := h.Patch(rid, len(rec)-1, []byte("xx")); err == nil {
+		t.Fatal("out-of-extent overflow patch accepted")
+	}
+}
+
+func TestHeapOverflowUpdate(t *testing.T) {
+	bp := newPool(t, 8)
+	h := NewHeapFile(bp)
+	small := []byte("small")
+	rid, err := h.Insert(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow inline → overflow.
+	big := bytes.Repeat([]byte("B"), PageSize*2)
+	rid, err = h.Update(rid, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Get(rid)
+	if !bytes.Equal(got, big) {
+		t.Fatal("grown record mismatch")
+	}
+	// Shrink overflow → inline.
+	rid, err = h.Update(rid, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ = h.Get(rid)
+	if !bytes.Equal(got, small) {
+		t.Fatal("shrunk record mismatch")
+	}
+	c, _ := h.Count()
+	if c != 1 {
+		t.Fatalf("count=%d", c)
+	}
+}
+
+func TestHeapInlinePatch(t *testing.T) {
+	bp := newPool(t, 4)
+	h := NewHeapFile(bp)
+	rid, _ := h.Insert([]byte("abcdefgh"))
+	if err := h.Patch(rid, 2, []byte("XY")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Get(rid)
+	if string(got) != "abXYefgh" {
+		t.Fatalf("got %q", got)
+	}
+	if err := h.Patch(rid, 7, []byte("ZZ")); err == nil {
+		t.Fatal("out-of-extent patch accepted")
+	}
+	if err := h.Patch(RID{Page: rid.Page, Slot: 99}, 0, []byte("x")); err == nil {
+		t.Fatal("patch of missing record accepted")
+	}
+}
+
+// Randomized crosscheck of heap against an in-memory map through
+// insert/update/delete cycles with a tiny pool to force eviction.
+func TestHeapRandomizedAgainstModel(t *testing.T) {
+	bp := newPool(t, 3)
+	h := NewHeapFile(bp)
+	r := rand.New(rand.NewSource(42))
+	model := map[RID][]byte{}
+	var live []RID
+	for op := 0; op < 3000; op++ {
+		switch {
+		case len(live) == 0 || r.Float64() < 0.5:
+			rec := make([]byte, 1+r.Intn(300))
+			r.Read(rec)
+			rid, err := h.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[rid] = append([]byte(nil), rec...)
+			live = append(live, rid)
+		case r.Float64() < 0.6:
+			k := r.Intn(len(live))
+			rid := live[k]
+			rec := make([]byte, 1+r.Intn(300))
+			r.Read(rec)
+			nrid, err := h.Update(rid, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delete(model, rid)
+			model[nrid] = append([]byte(nil), rec...)
+			live[k] = nrid
+		default:
+			k := r.Intn(len(live))
+			rid := live[k]
+			if err := h.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, rid)
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	for rid, want := range model {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("get %v: %v", rid, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("mismatch at %v", rid)
+		}
+	}
+	c, _ := h.Count()
+	if c != len(model) {
+		t.Fatalf("count=%d model=%d", c, len(model))
+	}
+}
+
+func TestInvalidateDropsCleanly(t *testing.T) {
+	bp := newPool(t, 4)
+	id, buf, _ := bp.Allocate()
+	copy(buf, "inv")
+	bp.Unpin(id, true)
+	if err := bp.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Stats().Resident != 0 {
+		t.Fatal("frames survive invalidate")
+	}
+	got, err := bp.Pin(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("inv")) {
+		t.Fatal("dirty page lost by invalidate")
+	}
+	bp.Unpin(id, false)
+}

@@ -1,0 +1,88 @@
+package vector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary layout of an encoded vector:
+//
+//	byte 0:        tag (0 = dense, 1 = sparse)
+//	bytes 1..4:    n = number of stored components (uint32 LE)
+//	then (sparse): n × int32 indices, n × float64 values
+//	     (dense):  n × float64 values
+//
+// All integers little-endian. The format is the on-disk record payload
+// used by the storage layer for the H table's feature column.
+
+const (
+	tagDense  = 0
+	tagSparse = 1
+)
+
+// EncodedSize returns the number of bytes Encode will produce for v.
+func (v Vector) EncodedSize() int {
+	n := len(v.Val)
+	if v.IsDense() {
+		return 5 + 8*n
+	}
+	return 5 + 4*n + 8*n
+}
+
+// Encode appends the binary encoding of v to dst and returns the
+// extended slice.
+func (v Vector) Encode(dst []byte) []byte {
+	n := len(v.Val)
+	if v.IsDense() {
+		dst = append(dst, tagDense)
+	} else {
+		dst = append(dst, tagSparse)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	if !v.IsDense() {
+		for _, i := range v.Idx {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(i))
+		}
+	}
+	for _, x := range v.Val {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+// Decode parses a vector from the front of buf, returning the vector
+// and the number of bytes consumed.
+func Decode(buf []byte) (Vector, int, error) {
+	if len(buf) < 5 {
+		return Vector{}, 0, fmt.Errorf("vector: short buffer (%d bytes)", len(buf))
+	}
+	tag := buf[0]
+	n := int(binary.LittleEndian.Uint32(buf[1:5]))
+	off := 5
+	var v Vector
+	switch tag {
+	case tagDense:
+		if len(buf) < off+8*n {
+			return Vector{}, 0, fmt.Errorf("vector: truncated dense body")
+		}
+		v.Val = make([]float64, n)
+	case tagSparse:
+		if len(buf) < off+12*n {
+			return Vector{}, 0, fmt.Errorf("vector: truncated sparse body")
+		}
+		v.Idx = make([]int32, n)
+		for k := 0; k < n; k++ {
+			v.Idx[k] = int32(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+		v.Val = make([]float64, n)
+	default:
+		return Vector{}, 0, fmt.Errorf("vector: unknown tag %d", tag)
+	}
+	for k := 0; k < n; k++ {
+		v.Val[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return v, off, nil
+}

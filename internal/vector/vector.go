@@ -1,0 +1,333 @@
+// Package vector provides sparse and dense feature vectors and the
+// norm machinery (Hölder conjugates) that Hazy's watermark bounds are
+// built on.
+//
+// A feature vector f represents a point in R^d. Hazy stores one per
+// entity; the classifier computes eps = w·f − b. Lemma 3.1 of the paper
+// bounds |⟨δw, f⟩| ≤ ‖δw‖_p ‖f‖_q for Hölder conjugates p,q, so the
+// package exposes p-norms for p ∈ {1, 2, ∞} and the corpus constant
+// M = max_t ‖f(t)‖_q.
+package vector
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Vector is a sparse feature vector: parallel slices of strictly
+// increasing component indices and their values. A dense vector is
+// represented with Idx == nil and all components in Val.
+//
+// The zero value is the empty (all-zero) vector.
+type Vector struct {
+	// Idx holds the sorted component indices of the non-zero entries,
+	// or nil for a dense vector.
+	Idx []int32
+	// Val holds the entry values; for a dense vector Val[i] is
+	// component i, for a sparse vector Val[k] is component Idx[k].
+	Val []float64
+}
+
+// ErrUnsorted is returned by Validate when sparse indices are not
+// strictly increasing.
+var ErrUnsorted = errors.New("vector: sparse indices not strictly increasing")
+
+// NewDense returns a dense vector over the given values. The slice is
+// used directly (not copied).
+func NewDense(vals []float64) Vector { return Vector{Val: vals} }
+
+// NewSparse returns a sparse vector with the given indices and values.
+// The slices are used directly. Indices must be strictly increasing;
+// call Validate to check.
+func NewSparse(idx []int32, vals []float64) Vector { return Vector{Idx: idx, Val: vals} }
+
+// FromMap builds a sparse vector from an index→value map, dropping
+// explicit zeros.
+func FromMap(m map[int32]float64) Vector {
+	idx := make([]int32, 0, len(m))
+	for i, v := range m {
+		if v != 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a] < idx[b] })
+	vals := make([]float64, len(idx))
+	for k, i := range idx {
+		vals[k] = m[i]
+	}
+	return Vector{Idx: idx, Val: vals}
+}
+
+// IsDense reports whether v uses the dense representation.
+func (v Vector) IsDense() bool { return v.Idx == nil }
+
+// NNZ returns the number of stored (possibly non-zero) components.
+func (v Vector) NNZ() int { return len(v.Val) }
+
+// Dim returns one past the largest component index referenced by v.
+func (v Vector) Dim() int {
+	if v.IsDense() {
+		return len(v.Val)
+	}
+	if len(v.Idx) == 0 {
+		return 0
+	}
+	return int(v.Idx[len(v.Idx)-1]) + 1
+}
+
+// Validate checks the representation invariants: matching slice
+// lengths and strictly increasing sparse indices.
+func (v Vector) Validate() error {
+	if v.Idx != nil && len(v.Idx) != len(v.Val) {
+		return fmt.Errorf("vector: len(Idx)=%d != len(Val)=%d", len(v.Idx), len(v.Val))
+	}
+	for k := 1; k < len(v.Idx); k++ {
+		if v.Idx[k] <= v.Idx[k-1] {
+			return ErrUnsorted
+		}
+	}
+	return nil
+}
+
+// At returns component i of v.
+func (v Vector) At(i int) float64 {
+	if v.IsDense() {
+		if i < len(v.Val) {
+			return v.Val[i]
+		}
+		return 0
+	}
+	k := sort.Search(len(v.Idx), func(k int) bool { return v.Idx[k] >= int32(i) })
+	if k < len(v.Idx) && v.Idx[k] == int32(i) {
+		return v.Val[k]
+	}
+	return 0
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	var c Vector
+	if v.Idx != nil {
+		c.Idx = append([]int32(nil), v.Idx...)
+	}
+	c.Val = append([]float64(nil), v.Val...)
+	return c
+}
+
+// Dot returns w·v where w is a dense weight slice. Components of v at
+// or beyond len(w) contribute zero (the model simply has not seen that
+// feature yet).
+func Dot(w []float64, v Vector) float64 {
+	var s float64
+	if v.IsDense() {
+		n := len(v.Val)
+		if len(w) < n {
+			n = len(w)
+		}
+		for i := 0; i < n; i++ {
+			s += w[i] * v.Val[i]
+		}
+		return s
+	}
+	for k, i := range v.Idx {
+		if int(i) < len(w) {
+			s += w[i] * v.Val[k]
+		}
+	}
+	return s
+}
+
+// Axpy computes w += a*v in place, returning w, which is grown if v
+// references components beyond len(w).
+func Axpy(w []float64, a float64, v Vector) []float64 {
+	if d := v.Dim(); d > len(w) {
+		grown := make([]float64, d)
+		copy(grown, w)
+		w = grown
+	}
+	if v.IsDense() {
+		for i, x := range v.Val {
+			w[i] += a * x
+		}
+		return w
+	}
+	for k, i := range v.Idx {
+		w[i] += a * v.Val[k]
+	}
+	return w
+}
+
+// Scale multiplies every stored component of v by a, in place.
+func (v Vector) Scale(a float64) {
+	for i := range v.Val {
+		v.Val[i] *= a
+	}
+}
+
+// Norm returns the p-norm of v for p ∈ {1, 2} or p = math.Inf(1).
+func (v Vector) Norm(p float64) float64 {
+	switch {
+	case p == 1:
+		var s float64
+		for _, x := range v.Val {
+			s += math.Abs(x)
+		}
+		return s
+	case p == 2:
+		var s float64
+		for _, x := range v.Val {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	case math.IsInf(p, 1):
+		var m float64
+		for _, x := range v.Val {
+			if a := math.Abs(x); a > m {
+				m = a
+			}
+		}
+		return m
+	default:
+		var s float64
+		for _, x := range v.Val {
+			s += math.Pow(math.Abs(x), p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+// NormDense returns the p-norm of a dense weight slice; same p
+// handling as Vector.Norm.
+func NormDense(w []float64, p float64) float64 {
+	return Vector{Val: w}.Norm(p)
+}
+
+// DiffNorm returns ‖a−b‖_p for two dense slices of possibly different
+// lengths (the shorter is zero-extended). It allocates nothing: Hazy
+// calls it once per update to bound model drift (Lemma 3.1), so it is
+// on the maintenance hot path.
+func DiffNorm(a, b []float64, p float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	at := func(s []float64, i int) float64 {
+		if i < len(s) {
+			return s[i]
+		}
+		return 0
+	}
+	switch {
+	case p == 1:
+		var s float64
+		for i := 0; i < n; i++ {
+			s += math.Abs(at(a, i) - at(b, i))
+		}
+		return s
+	case p == 2:
+		var s float64
+		for i := 0; i < n; i++ {
+			d := at(a, i) - at(b, i)
+			s += d * d
+		}
+		return math.Sqrt(s)
+	case math.IsInf(p, 1):
+		var m float64
+		for i := 0; i < n; i++ {
+			if d := math.Abs(at(a, i) - at(b, i)); d > m {
+				m = d
+			}
+		}
+		return m
+	default:
+		var s float64
+		for i := 0; i < n; i++ {
+			s += math.Pow(math.Abs(at(a, i)-at(b, i)), p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+// HolderConjugate returns q such that 1/p + 1/q = 1. p must be ≥ 1;
+// p=1 maps to +Inf and vice versa.
+func HolderConjugate(p float64) float64 {
+	switch {
+	case p == 1:
+		return math.Inf(1)
+	case math.IsInf(p, 1):
+		return 1
+	default:
+		return p / (p - 1)
+	}
+}
+
+// L1Normalize scales v to unit 1-norm (no-op on the zero vector),
+// the text-processing normalization the paper pairs with (p=∞, q=1).
+func (v Vector) L1Normalize() {
+	if n := v.Norm(1); n > 0 {
+		v.Scale(1 / n)
+	}
+}
+
+// L2Normalize scales v to unit 2-norm (no-op on the zero vector).
+func (v Vector) L2Normalize() {
+	if n := v.Norm(2); n > 0 {
+		v.Scale(1 / n)
+	}
+}
+
+// MaxNorm returns M = max over the vectors of ‖f‖_q — the corpus
+// constant of Lemma 3.1.
+func MaxNorm(vs []Vector, q float64) float64 {
+	var m float64
+	for _, v := range vs {
+		if n := v.Norm(q); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// String renders the vector compactly, e.g. "(3:0.1, 7:0.9)" for
+// sparse and "[0.1 0.9]" for dense vectors.
+func (v Vector) String() string {
+	var b strings.Builder
+	if v.IsDense() {
+		b.WriteByte('[')
+		for i, x := range v.Val {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%g", x)
+		}
+		b.WriteByte(']')
+		return b.String()
+	}
+	b.WriteByte('(')
+	for k, i := range v.Idx {
+		if k > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%g", i, v.Val[k])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports whether a and b represent the same mathematical
+// vector (representation-independent).
+func Equal(a, b Vector) bool {
+	d := a.Dim()
+	if bd := b.Dim(); bd > d {
+		d = bd
+	}
+	for i := 0; i < d; i++ {
+		if a.At(i) != b.At(i) {
+			return false
+		}
+	}
+	return true
+}

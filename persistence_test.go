@@ -1,0 +1,187 @@
+package hazy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReopenRecoversTablesAndRebuildsView is the paper's §3.5.1
+// durability story end to end: entities and training examples
+// persist; the classification view is recomputed on reopen from the
+// recovered tables and must agree with the pre-restart view.
+func TestReopenRecoversTablesAndRebuildsView(t *testing.T) {
+	dir := t.TempDir()
+	r := rand.New(rand.NewSource(77))
+
+	truth := map[int64]bool{}
+	var before map[int64]int
+	{
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		papers, err := db.CreateEntityTable("papers", "title")
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedback, err := db.CreateExampleTable("feedback")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := int64(0); id < 120; id++ {
+			isDB := r.Float64() < 0.5
+			truth[id] = isDB
+			if err := papers.InsertText(id, title(r, isDB)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		view, err := db.CreateClassificationView(ViewSpec{
+			Name: "labeled", Entities: "papers", Examples: "feedback",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := int64(0); id < 80; id++ {
+			label := -1
+			if truth[id] {
+				label = 1
+			}
+			if err := feedback.InsertExample(id, label); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before = map[int64]int{}
+		for id := int64(0); id < 120; id++ {
+			l, err := view.Label(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before[id] = l
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen: tables recover from the manifest; the view is
+	// re-declared and retrains from the persisted examples.
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	papers, err := db.EntityTableByName("papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if papers.Len() != 120 {
+		t.Fatalf("recovered %d papers", papers.Len())
+	}
+	feedback, err := db.ExampleTableByName("feedback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feedback.Len() != 80 {
+		t.Fatalf("recovered %d examples", feedback.Len())
+	}
+	view, err := db.CreateClassificationView(ViewSpec{
+		Name: "labeled", Entities: "papers", Examples: "feedback",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(0); id < 120; id++ {
+		got, err := view.Label(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != before[id] {
+			t.Fatalf("label(%d)=%d before restart, %d after", id, before[id], got)
+		}
+	}
+	// The recovered tables remain writable and trigger-connected.
+	if err := papers.InsertText(500, "sql query optimizer relational database index"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := view.Label(500); err != nil {
+		t.Fatal(err)
+	}
+	if err := feedback.InsertExample(500, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteExampleRetrains checks the facade's §2.2-footnote path:
+// deleting a training example retrains the model from scratch on the
+// remaining examples.
+func TestDeleteExampleRetrains(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	papers, _ := db.CreateEntityTable("papers", "title")
+	feedback, _ := db.CreateExampleTable("feedback")
+	r := rand.New(rand.NewSource(78))
+	for id := int64(0); id < 60; id++ {
+		papers.InsertText(id, title(r, id%2 == 0))
+	}
+	view, err := db.CreateClassificationView(ViewSpec{
+		Name: "v", Entities: "papers", Examples: "feedback",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(0); id < 40; id++ {
+		label := -1
+		if id%2 == 0 {
+			label = 1
+		}
+		if err := feedback.InsertExample(id, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Poison the model with deliberately wrong labels, then delete
+	// them: the view must recover its original behaviour.
+	for id := int64(40); id < 50; id++ {
+		wrong := 1
+		if id%2 == 0 {
+			wrong = -1
+		}
+		if err := feedback.InsertExample(id, wrong); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := int64(40); id < 50; id++ {
+		if err := feedback.DeleteExample(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if feedback.Len() != 40 {
+		t.Fatalf("len=%d after deletes", feedback.Len())
+	}
+	correct := 0
+	for id := int64(0); id < 60; id++ {
+		got, err := view.Label(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -1
+		if id%2 == 0 {
+			want = 1
+		}
+		if got == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 60; acc < 0.9 {
+		t.Fatalf("accuracy %.2f after deleting poison examples", acc)
+	}
+	// Relabeling also retrains.
+	if err := feedback.RelabelExample(0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := feedback.RelabelExample(0, 5); err == nil {
+		t.Fatal("bad relabel accepted")
+	}
+}
