@@ -2,11 +2,13 @@
 // paper's deployment shape (App. B.1: Hazy as a separate process
 // reached over sockets). It opens (or creates) a database with a
 // papers/feedback/labeled_papers setup and speaks the internal/server
-// text protocol.
+// text protocol, serving through the concurrent maintenance engine:
+// reads come lock-free from published snapshots, writes are batched
+// through a bounded queue.
 //
 // Usage:
 //
-//	hazyd [-addr :7437] [-db DIR]
+//	hazyd [-addr :7437] [-db DIR] [-workers N] [-batch N] [-queue N] [-engine=false]
 //
 // Then, e.g. with nc:
 //
@@ -14,51 +16,74 @@
 //	TRAIN 1 +1
 //	LABEL 1
 //	UNCERTAIN 5
+//	STATS
 //	QUIT
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, live
+// sessions end, the engine drains its queued updates, the database
+// closes, and a temporary database directory is removed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	root "hazy"
 	"hazy/internal/server"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hazyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (err error) {
 	var (
-		addr  = flag.String("addr", ":7437", "listen address")
-		dbDir = flag.String("db", "", "database directory (default: temp)")
+		addr      = flag.String("addr", ":7437", "listen address")
+		dbDir     = flag.String("db", "", "database directory (default: temp, removed on exit)")
+		workers   = flag.Int("workers", 0, "serving parallelism (GOMAXPROCS; 0 = all cores)")
+		batch     = flag.Int("batch", 0, "max updates group-applied per maintenance step (0 = engine default)")
+		queue     = flag.Int("queue", 0, "bounded update-queue size (0 = engine default)")
+		useEngine = flag.Bool("engine", true, "serve through the concurrent maintenance engine (false: legacy single-mutex)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	dir := *dbDir
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "hazyd-*")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer os.RemoveAll(dir)
 	}
 	db, err := root.Open(dir)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer db.Close()
 
 	papers, err := db.EntityTableByName("papers")
 	if err != nil {
 		if papers, err = db.CreateEntityTable("papers", "title"); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	feedback, err := db.ExampleTableByName("feedback")
 	if err != nil {
 		if feedback, err = db.CreateExampleTable("feedback"); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	view, err := db.CreateClassificationView(root.ViewSpec{
@@ -67,20 +92,48 @@ func main() {
 		Examples: "feedback",
 	})
 	if err != nil {
-		fatal(err)
+		return err
+	}
+
+	var srv *server.Server
+	mode := "engine"
+	if *useEngine {
+		eng, err := db.Engine(view, root.EngineOptions{MaxBatch: *batch, QueueSize: *queue})
+		if err != nil {
+			return err
+		}
+		// Drain queued updates before the deferred db.Close; a failed
+		// async write surfacing at the final drain is still an error.
+		defer func() {
+			if cerr := eng.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		srv = server.NewEngine(eng)
+	} else {
+		mode = "mutex"
+		srv = server.New(view, papers, feedback)
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("hazyd: serving view %q on %s (db: %s)\n", view.Name(), l.Addr(), dir)
-	if err := server.New(view, papers, feedback).Serve(l); err != nil {
-		fatal(err)
-	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hazyd:", err)
-	os.Exit(1)
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Printf("hazyd: %s — shutting down\n", sig)
+		l.Close()
+		srv.Close()
+	}()
+
+	fmt.Printf("hazyd: serving view %q on %s (db: %s, mode: %s, %d cores)\n",
+		view.Name(), l.Addr(), dir, mode, runtime.GOMAXPROCS(0))
+	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	fmt.Println("hazyd: draining and closing")
+	return nil
 }

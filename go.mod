@@ -1,0 +1,3 @@
+module hazy
+
+go 1.24

@@ -32,11 +32,14 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"hazy/internal/core"
+	"hazy/internal/engine"
 	"hazy/internal/feature"
 	"hazy/internal/learn"
 	"hazy/internal/relation"
+	"hazy/internal/vector"
 )
 
 // Re-exported architecture, strategy, and mode selectors.
@@ -281,6 +284,11 @@ type ClassView struct {
 	view core.View
 	ff   feature.Func
 	ents *EntityTable
+	exs  *ExampleTable
+	// managed is set while an Engine owns this view's maintenance;
+	// the table triggers then skip this view (the engine applies the
+	// maintenance itself, batched, on its own goroutine).
+	managed atomic.Bool
 }
 
 // CreateClassificationView declares and materializes a view: the
@@ -358,12 +366,12 @@ func (db *DB) CreateClassificationView(spec ViewSpec) (*ClassView, error) {
 	if err != nil {
 		return nil, err
 	}
-	cv := &ClassView{name: spec.Name, view: view, ff: ff, ents: et}
+	cv := &ClassView{name: spec.Name, view: view, ff: ff, ents: et, exs: xt}
 
 	// Trigger: new entities are featurized and classified on arrival
 	// (type-1 dynamic data).
 	et.tbl.AddTrigger(func(ev relation.TriggerEvent, old, new relation.Tuple) error {
-		if ev != relation.AfterInsert {
+		if ev != relation.AfterInsert || cv.managed.Load() {
 			return nil
 		}
 		text := new[et.textCol].(string)
@@ -386,6 +394,9 @@ func (db *DB) CreateClassificationView(spec ViewSpec) (*ClassView, error) {
 		return out, err
 	}
 	xt.tbl.AddTrigger(func(ev relation.TriggerEvent, old, new relation.Tuple) error {
+		if cv.managed.Load() {
+			return nil
+		}
 		switch ev {
 		case relation.AfterInsert:
 			id := new[0].(int64)
@@ -454,3 +465,93 @@ func NewVectorView(arch core.Arch, strategy core.Strategy, dir string, poolPages
 
 // Options re-exports the core view options.
 type Options = core.Options
+
+// EngineOptions re-exports the maintenance-engine options.
+type EngineOptions = engine.Options
+
+// Engine wraps a view with the concurrent maintenance engine: TRAIN
+// and ADD flow through a bounded queue drained by one maintenance
+// goroutine (group-applied in batches), while reads are answered
+// lock-free from atomically published immutable snapshots. While an
+// engine is attached the view's table triggers are suspended for this
+// view — mutate the entity and example tables only through the
+// engine, and Close it before closing the DB (Close drains the queue
+// and re-enables the triggers). Requires a snapshot-capable
+// (main-memory) view.
+func (db *DB) Engine(v *ClassView, opts engine.Options) (*engine.Engine, error) {
+	if _, ok := v.view.(core.Snapshotter); !ok {
+		return nil, fmt.Errorf("hazy: view %q (%T) does not support snapshots; the engine requires the MainMemory architecture", v.name, v.view)
+	}
+	if v.managed.Swap(true) {
+		return nil, fmt.Errorf("hazy: view %q already has an engine attached", v.name)
+	}
+	eng, err := engine.New(&viewBackend{cv: v}, opts)
+	if err != nil {
+		v.managed.Store(false)
+		return nil, err
+	}
+	return eng, nil
+}
+
+// viewBackend adapts a ClassView and its tables to engine.Backend.
+// All mutating methods run on the engine's single maintenance
+// goroutine; Feature is called concurrently from the read path and
+// relies on the feature functions' internal synchronization.
+type viewBackend struct {
+	cv *ClassView
+}
+
+func (b *viewBackend) ApplyTrainBatch(ops []engine.TrainOp) []error {
+	cv := b.cv
+	errs := make([]error, len(ops))
+	exs := make([]learn.Example, 0, len(ops))
+	for i, op := range ops {
+		if op.Label != 1 && op.Label != -1 {
+			errs[i] = fmt.Errorf("hazy: label must be ±1, got %d", op.Label)
+			continue
+		}
+		text, err := cv.ents.Text(op.ID)
+		if err != nil {
+			errs[i] = fmt.Errorf("hazy: example references unknown entity %d", op.ID)
+			continue
+		}
+		// The durable insert first (it can reject duplicates); the
+		// view trigger is suspended, so no double maintenance.
+		if err := cv.exs.tbl.Insert(relation.Tuple{op.ID, int64(op.Label)}); err != nil {
+			errs[i] = err
+			continue
+		}
+		exs = append(exs, learn.Example{ID: op.ID, F: cv.ff.ComputeFeature(text), Label: op.Label})
+	}
+	if len(exs) > 0 {
+		if err := core.ApplyBatch(cv.view, exs); err != nil {
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}
+	}
+	return errs
+}
+
+func (b *viewBackend) ApplyAdd(id int64, text string) error {
+	cv := b.cv
+	if err := cv.ents.tbl.Insert(relation.Tuple{id, text}); err != nil {
+		return err
+	}
+	cv.ff.ComputeStatsInc(text)
+	return cv.view.Insert(core.Entity{ID: id, F: cv.ff.ComputeFeature(text)})
+}
+
+func (b *viewBackend) Snapshot() (*core.Snapshot, error) {
+	return b.cv.view.(core.Snapshotter).Snapshot()
+}
+
+func (b *viewBackend) Feature(text string) vector.Vector {
+	return b.cv.ff.ComputeFeature(text)
+}
+
+// Detach is called by Engine.Close after the final drain: the view's
+// table triggers resume and a new engine may be attached.
+func (b *viewBackend) Detach() { b.cv.managed.Store(false) }

@@ -128,18 +128,16 @@ func TestNewEntityTrigger(t *testing.T) {
 	_, v, examples, truth := buildDB(t, MainMemory, Hazy, Eager)
 	db2, err := v, error(nil)
 	_ = db2
-	n := int64(0)
-	for id, isDB := range truth {
+	// Train on the first half of the ids in deterministic order (map
+	// iteration order would vary the training set run to run and can
+	// flip the ad-hoc classifications below).
+	for id := int64(0); id < 100; id++ {
 		label := -1
-		if isDB {
+		if truth[id] {
 			label = 1
 		}
 		if err = examples.InsertExample(id, label); err != nil {
 			t.Fatal(err)
-		}
-		n++
-		if n == 100 {
-			break
 		}
 	}
 	// A new paper arriving after training is classified on insert.
@@ -265,5 +263,52 @@ func TestCustomFeatureFunction(t *testing.T) {
 	}
 	if _, err := v.CountMembers(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEngineAttachDetach covers the engine lifecycle at the DB
+// level: while attached the view is engine-managed (double attach
+// rejected), and Close drains, re-enables the table triggers, and
+// allows a fresh attach.
+func TestEngineAttachDetach(t *testing.T) {
+	db, v, examples, _ := buildDB(t, core.MainMemory, core.HazyStrategy, core.Eager)
+	eng, err := db.Engine(v, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Engine(v, EngineOptions{}); err == nil {
+		t.Fatal("second attach while an engine is active succeeded")
+	}
+	if err := eng.Train(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// While managed, direct table inserts bypass view maintenance.
+	if err := examples.InsertExample(1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Stats().Updates; got != 1 {
+		t.Fatalf("updates while managed = %d, want 1 (engine op only)", got)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Detached: triggers resume maintaining the view...
+	if err := examples.InsertExample(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Stats().Updates; got != 2 {
+		t.Fatalf("updates after detach = %d, want 2 (trigger resumed)", got)
+	}
+	// ...and a new engine can attach and serve.
+	eng2, err := db.Engine(v, EngineOptions{})
+	if err != nil {
+		t.Fatalf("re-attach after Close: %v", err)
+	}
+	defer eng2.Close()
+	if err := eng2.Train(3, -1); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng2.ViewStats().Updates; got != 3 {
+		t.Fatalf("updates after re-attach = %d, want 3", got)
 	}
 }

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	root "hazy"
+	"hazy/internal/server"
+)
+
+// concStack is one served deployment for the concurrency experiment:
+// a full database + view behind a Server in either legacy
+// single-mutex or engine mode, driven at the statement layer.
+type concStack struct {
+	db    *root.DB
+	serve *server.Server
+	close func()
+}
+
+func concTitle(id int64) string {
+	if id%2 == 0 {
+		return fmt.Sprintf("kernel scheduler interrupt driver paging memory %d", id)
+	}
+	return fmt.Sprintf("relational database query optimization index transactions %d", id)
+}
+
+func buildConcStack(cfg Config, name string, engineMode bool, entities int) (*concStack, error) {
+	db, err := root.Open(filepath.Join(cfg.Dir, name))
+	if err != nil {
+		return nil, err
+	}
+	papers, err := db.CreateEntityTable("papers", "title")
+	if err != nil {
+		return nil, err
+	}
+	feedback, err := db.CreateExampleTable("feedback")
+	if err != nil {
+		return nil, err
+	}
+	for id := int64(1); id <= int64(entities); id++ {
+		if err := papers.InsertText(id, concTitle(id)); err != nil {
+			return nil, err
+		}
+	}
+	view, err := db.CreateClassificationView(root.ViewSpec{
+		Name: "labeled", Entities: "papers", Examples: "feedback",
+	})
+	if err != nil {
+		return nil, err
+	}
+	warm := 20
+	if warm > entities {
+		warm = entities
+	}
+	for id := int64(1); id <= int64(warm); id++ {
+		label := 1
+		if id%2 == 0 {
+			label = -1
+		}
+		if err := feedback.InsertExample(id, label); err != nil {
+			return nil, err
+		}
+	}
+	st := &concStack{db: db, close: func() { db.Close() }}
+	if engineMode {
+		eng, err := db.Engine(view, root.EngineOptions{})
+		if err != nil {
+			return nil, err
+		}
+		st.serve = server.NewEngine(eng)
+		st.close = func() { eng.Close(); db.Close() }
+	} else {
+		st.serve = server.New(view, papers, feedback)
+	}
+	return st, nil
+}
+
+// concLabelRate runs total LABEL statements split across clients
+// goroutines and returns ops/sec; any ERR response fails the
+// measurement (timing error paths would report nonsense rates).
+func concLabelRate(st *concStack, clients, total, entities int) (float64, error) {
+	per := total / clients
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := 1 + (c*per+i)%entities
+				if resp, _ := st.serve.Exec(fmt.Sprintf("LABEL %d", id)); strings.HasPrefix(resp, "ERR") {
+					failures.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		return 0, fmt.Errorf("bench: %d LABEL clients saw ERR responses", n)
+	}
+	return rate(clients*per, time.Since(start)), nil
+}
+
+// concIngestRate runs pairs ADD+TRAIN ingest pairs split across
+// clients goroutines (async through the engine, with a final FLUSH
+// barrier included in the measurement) and returns pairs/sec.
+func concIngestRate(st *concStack, engineMode bool, clients, pairs int, nextID *int64) (float64, error) {
+	per := pairs / clients
+	if per == 0 {
+		per = 1
+	}
+	add, train := "ADD", "TRAIN"
+	if engineMode {
+		add, train = "ADDA", "TRAINA"
+	}
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		base := *nextID + int64(c*per)
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < int64(per); i++ {
+				id := base + i
+				if resp, _ := st.serve.Exec(fmt.Sprintf("%s %d %s", add, id, concTitle(id))); strings.HasPrefix(resp, "ERR") {
+					failures.Add(1)
+					return
+				}
+				label := "+1"
+				if id%2 == 0 {
+					label = "-1"
+				}
+				if resp, _ := st.serve.Exec(fmt.Sprintf("%s %d %s", train, id, label)); strings.HasPrefix(resp, "ERR") {
+					failures.Add(1)
+					return
+				}
+			}
+		}(base)
+	}
+	wg.Wait()
+	if engineMode {
+		if resp, _ := st.serve.Exec("FLUSH"); resp != "OK" {
+			return 0, fmt.Errorf("bench: FLUSH after ingest: %s", resp)
+		}
+	}
+	*nextID += int64(clients * per)
+	if n := failures.Load(); n > 0 {
+		return 0, fmt.Errorf("bench: %d ingest clients saw ERR responses", n)
+	}
+	return rate(clients*per, time.Since(start)), nil
+}
+
+// RunConcurrent measures the concurrent maintenance engine against
+// the seed's single-mutex server: LABEL read throughput at 1, 4, and
+// NumCPU clients (lock-free snapshot reads vs one statement at a
+// time), then ADD+TRAIN ingest throughput at NumCPU clients (batched
+// async queue vs per-statement synchronous maintenance).
+func RunConcurrent(cfg Config, w io.Writer) error {
+	procs := runtime.NumCPU()
+	clientCounts := []int{1, 4}
+	if procs != 1 && procs != 4 {
+		clientCounts = append(clientCounts, procs)
+	}
+	entities := int(2000 * cfg.Scale)
+	if entities < 50 {
+		entities = 50
+	}
+
+	mutex, err := buildConcStack(cfg, "conc-mutex", false, entities)
+	if err != nil {
+		return err
+	}
+	defer mutex.close()
+	engine, err := buildConcStack(cfg, "conc-engine", true, entities)
+	if err != nil {
+		return err
+	}
+	defer engine.close()
+
+	fmt.Fprintf(w, "  %d entities, GOMAXPROCS=%d; statement-layer (no TCP) throughput\n", entities, procs)
+	tb := newTable("LABEL clients", "mutex/s", "engine/s", "speedup")
+	for _, clients := range clientCounts {
+		m, err := concLabelRate(mutex, clients, cfg.Reads, entities)
+		if err != nil {
+			return err
+		}
+		e, err := concLabelRate(engine, clients, cfg.Reads, entities)
+		if err != nil {
+			return err
+		}
+		tb.add(fmt.Sprintf("%d", clients), fmtRate(m), fmtRate(e), fmt.Sprintf("%.2fx", e/m))
+	}
+	tb.write(w)
+
+	pairs := cfg.Updates
+	nextMutex := int64(entities + 1)
+	nextEngine := int64(entities + 1)
+	ti := newTable("ADD+TRAIN clients", "mutex/s", "engine/s", "speedup")
+	mi, err := concIngestRate(mutex, false, procs, pairs, &nextMutex)
+	if err != nil {
+		return err
+	}
+	ei, err := concIngestRate(engine, true, procs, pairs, &nextEngine)
+	if err != nil {
+		return err
+	}
+	ti.add(fmt.Sprintf("%d", procs), fmtRate(mi), fmtRate(ei), fmt.Sprintf("%.2fx", ei/mi))
+	ti.write(w)
+
+	st := engine.serve
+	if resp, _ := st.Exec("STATS"); !strings.HasPrefix(resp, "ERR") {
+		fmt.Fprintf(w, "  engine %s\n", resp)
+	}
+	return nil
+}

@@ -115,18 +115,40 @@ func (v *MemView) band(lw, hw float64) (lo, hi int) {
 	return lo, hi
 }
 
-// Update folds in one training example and maintains the view.
+// Update folds in one training example and maintains the view — a
+// batch of one.
 func (v *MemView) Update(f vector.Vector, label int) error {
-	v.trainer.Train(f, label)
-	v.stats.Updates++
+	return v.UpdateBatch([]learn.Example{{F: f, Label: label}})
+}
+
+// UpdateBatch group-applies a run of training examples: every example
+// is one SGD step and one watermark observation (both O(dim)), but
+// the reorganize-or-sweep decision and the band reclassification —
+// the per-update costs the paper's incremental step pays — run once
+// for the whole batch. For the same examples the resulting view
+// contents equal a sequence of Updates; only the amount of
+// maintenance work differs.
+func (v *MemView) UpdateBatch(examples []learn.Example) error {
+	if len(examples) == 0 {
+		return nil
+	}
 	if v.strategy == Naive {
+		for _, ex := range examples {
+			v.trainer.Train(ex.F, ex.Label)
+			v.stats.Updates++
+		}
 		if v.opts.Mode == Eager {
 			v.relabelAll()
 		}
 		return nil
 	}
-	// Hazy strategy: fold the new model into the watermarks.
-	lw, hw := v.wm.Observe(v.trainer.Model())
+	// Hazy strategy: fold each new model into the watermarks.
+	var lw, hw float64
+	for _, ex := range examples {
+		v.trainer.Train(ex.F, ex.Label)
+		v.stats.Updates++
+		lw, hw = v.wm.Observe(v.trainer.Model())
+	}
 	if v.opts.Reorg == ReorgAlways {
 		v.reorganize()
 		return nil
@@ -307,27 +329,9 @@ func (v *MemView) MostUncertain(k int) ([]int64, error) {
 	if v.strategy != HazyStrategy {
 		return nil, fmt.Errorf("core: MostUncertain requires the Hazy strategy")
 	}
-	// Walk outward from eps = 0 merging the two sorted sides.
-	hi := sort.Search(len(v.entries), func(i int) bool { return v.entries[i].eps >= 0 })
-	lo := hi - 1
-	out := make([]int64, 0, k)
-	for len(out) < k && (lo >= 0 || hi < len(v.entries)) {
-		switch {
-		case lo < 0:
-			out = append(out, v.entries[hi].id)
-			hi++
-		case hi >= len(v.entries):
-			out = append(out, v.entries[lo].id)
-			lo--
-		case -v.entries[lo].eps <= v.entries[hi].eps:
-			out = append(out, v.entries[lo].id)
-			lo--
-		default:
-			out = append(out, v.entries[hi].id)
-			hi++
-		}
-	}
-	return out, nil
+	return walkUncertain(len(v.entries), k,
+		func(i int) float64 { return v.entries[i].eps },
+		func(i int) int64 { return v.entries[i].id }), nil
 }
 
 // Stats returns maintenance counters.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"hazy/internal/learn"
@@ -94,4 +95,27 @@ func (s *SafeView) Stats() Stats {
 	return s.v.Stats()
 }
 
+// UpdateBatch group-applies examples under the write lock, using the
+// wrapped view's batch path when it has one.
+func (s *SafeView) UpdateBatch(examples []learn.Example) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ApplyBatch(s.v, examples)
+}
+
+// Snapshot exports an immutable read snapshot of the wrapped view.
+// Snapshot construction resolves labels without the lazy read path,
+// so the read lock suffices even in lazy mode.
+func (s *SafeView) Snapshot() (*Snapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sn, ok := s.v.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("core: %T does not support snapshots", s.v)
+	}
+	return sn.Snapshot()
+}
+
 var _ View = (*SafeView)(nil)
+var _ BatchUpdater = (*SafeView)(nil)
+var _ Snapshotter = (*SafeView)(nil)

@@ -1,0 +1,324 @@
+// Package engine is the concurrent maintenance engine: it serves a
+// classification view to many goroutines at once by splitting the
+// paper's read and write paths onto different synchronization
+// machinery.
+//
+// Writes (TRAIN and ADD) enter a bounded queue and are drained by a
+// single per-view maintenance goroutine, which group-applies each
+// drained batch: every queued example is folded into the model (one
+// SGD step and one watermark observation each — both cheap), but the
+// expensive maintenance decision — reorganize, or sweep the [lw, hw]
+// band — runs once per batch. This amortizes the paper's incremental
+// step a second time: Hazy amortizes maintenance across the tuples of
+// one update; the engine amortizes it across the updates of one
+// batch. The bounded queue is the backpressure mechanism: when
+// maintenance falls behind, producers block in Enqueue instead of
+// growing an unbounded backlog.
+//
+// Reads (LABEL, COUNT, MEMBERS, CLASSIFY, UNCERTAIN) never touch the
+// view at all. After each applied batch the maintenance goroutine
+// exports an immutable core.Snapshot and publishes it with one atomic
+// pointer swap; readers load the pointer and answer from the
+// snapshot with no locks taken, so reads scale across cores and are
+// never blocked behind maintenance. Freshness is batch-granular: a
+// read observes the view as of the last published snapshot. Callers
+// that need read-your-writes either use the synchronous write calls
+// (which return only after the batch containing the write is applied
+// and published) or issue an explicit Flush barrier.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrClosed is returned by writes enqueued after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine.
+type Options struct {
+	// QueueSize bounds the update queue; Enqueue blocks when it is
+	// full (backpressure). Default 1024.
+	QueueSize int
+	// MaxBatch caps how many queued ops one maintenance step drains
+	// and group-applies. Default 256.
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 256
+	}
+	return o
+}
+
+type opKind uint8
+
+const (
+	opTrain opKind = iota
+	opAdd
+	opBarrier
+)
+
+// op is one queued write (or barrier). done is nil for asynchronous
+// ops; otherwise it receives the op's outcome after the batch
+// containing it has been applied and its snapshot published.
+type op struct {
+	kind  opKind
+	id    int64
+	label int
+	text  string
+	done  chan error
+}
+
+// Engine runs the maintenance goroutine and owns the published
+// snapshot. One Engine serves one view.
+type Engine struct {
+	be   Backend
+	opts Options
+
+	ops        chan op
+	workerDone chan struct{}
+
+	closeMu    sync.RWMutex // guards closed vs. sends on ops
+	closed     bool
+	detachOnce sync.Once
+
+	asyncMu  sync.Mutex
+	asyncErr error // first unreported error from an async op
+
+	snap  snapHolder
+	stats engineCounters
+}
+
+// New starts an engine over be. The initial snapshot is built
+// synchronously so reads work before the first write.
+func New(be Backend, opts Options) (*Engine, error) {
+	e := &Engine{
+		be:         be,
+		opts:       opts.withDefaults(),
+		workerDone: make(chan struct{}),
+	}
+	e.ops = make(chan op, e.opts.QueueSize)
+	s, err := be.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("engine: initial snapshot: %w", err)
+	}
+	e.publish(s)
+	go e.run()
+	return e, nil
+}
+
+// enqueue places o on the queue, blocking when the queue is full.
+func (e *Engine) enqueue(o op) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	// The send may block under RLock; Close waits for the write lock,
+	// and the worker keeps draining until the channel is closed, so
+	// blocked senders always complete.
+	e.ops <- o
+	e.stats.enqueued.Add(1)
+	return nil
+}
+
+func (e *Engine) enqueueWait(o op) error {
+	o.done = make(chan error, 1)
+	if err := e.enqueue(o); err != nil {
+		return err
+	}
+	return <-o.done
+}
+
+// Train inserts a training example and returns once it is applied
+// and visible to reads (read-your-writes). Concurrent callers'
+// examples are group-applied in shared batches.
+func (e *Engine) Train(id int64, label int) error {
+	return e.enqueueWait(op{kind: opTrain, id: id, label: label})
+}
+
+// TrainAsync enqueues a training example and returns as soon as it is
+// queued, blocking only for backpressure. A failed async op surfaces
+// through the next Flush (and Stats().Errors).
+func (e *Engine) TrainAsync(id int64, label int) error {
+	return e.enqueue(op{kind: opTrain, id: id, label: label})
+}
+
+// Add inserts an entity and returns once it is applied and visible
+// to reads.
+func (e *Engine) Add(id int64, text string) error {
+	return e.enqueueWait(op{kind: opAdd, id: id, text: text})
+}
+
+// AddAsync enqueues an entity insert and returns as soon as it is
+// queued.
+func (e *Engine) AddAsync(id int64, text string) error {
+	return e.enqueue(op{kind: opAdd, id: id, text: text})
+}
+
+// Flush is a barrier: it returns after every op enqueued before it
+// has been applied and the covering snapshot published, so a read
+// issued after Flush observes all those writes. It also reports (and
+// clears) the first error from any async op since the previous
+// barrier. The error slot is engine-global, not per-caller: with
+// several concurrent producers, whichever of them flushes first
+// collects the pending error, whoever enqueued the failed op.
+// Callers that need precise attribution use the synchronous write
+// calls, whose errors are returned directly.
+func (e *Engine) Flush() error {
+	if err := e.enqueueWait(op{kind: opBarrier}); err != nil {
+		return err
+	}
+	return e.takeAsyncErr()
+}
+
+// Drain flushes repeatedly until the queue is empty — including ops
+// enqueued by other goroutines after Drain started, which a single
+// Flush barrier would not cover.
+func (e *Engine) Drain() error {
+	for {
+		if err := e.Flush(); err != nil {
+			return err
+		}
+		if len(e.ops) == 0 {
+			return nil
+		}
+	}
+}
+
+// Close stops accepting writes, drains everything already queued,
+// publishes the final snapshot, and stops the maintenance goroutine.
+// Reads keep working against the final snapshot. Close is
+// idempotent; it returns the first unreported async error. If the
+// backend implements Detach, it is called once after the drain so
+// the wrapped view can resume unmanaged operation.
+func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.ops)
+	}
+	e.closeMu.Unlock()
+	<-e.workerDone
+	e.detachOnce.Do(func() {
+		if d, ok := e.be.(interface{ Detach() }); ok {
+			d.Detach()
+		}
+	})
+	return e.takeAsyncErr()
+}
+
+func (e *Engine) takeAsyncErr() error {
+	e.asyncMu.Lock()
+	defer e.asyncMu.Unlock()
+	err := e.asyncErr
+	e.asyncErr = nil
+	return err
+}
+
+func (e *Engine) noteAsyncErr(err error) {
+	e.stats.errors.Add(1)
+	e.asyncMu.Lock()
+	if e.asyncErr == nil {
+		e.asyncErr = err
+	}
+	e.asyncMu.Unlock()
+}
+
+// run is the maintenance goroutine: drain a batch, group-apply it,
+// publish a fresh snapshot, then acknowledge the batch's waiters.
+func (e *Engine) run() {
+	defer close(e.workerDone)
+	for first := range e.ops {
+		batch := e.fill(first)
+		e.apply(batch)
+	}
+}
+
+// fill drains up to MaxBatch−1 further ops that are already queued,
+// without blocking: the batch boundary is "whatever has accumulated
+// while the previous batch was applied".
+func (e *Engine) fill(first op) []op {
+	batch := append(make([]op, 0, e.opts.MaxBatch), first)
+	for len(batch) < e.opts.MaxBatch {
+		select {
+		case o, ok := <-e.ops:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, o)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// apply group-applies one drained batch. Consecutive TRAIN ops are
+// folded into single ApplyTrainBatch calls (one maintenance sweep per
+// run); ADDs apply in arrival order between them, preserving the
+// client-observed op order. The snapshot is published before any
+// waiter is signalled, so a synchronous writer's next read sees its
+// write.
+func (e *Engine) apply(batch []op) {
+	errs := make([]error, len(batch))
+	mutated := false
+
+	var runStart int
+	flushTrains := func(end int) {
+		if runStart == end {
+			return
+		}
+		ops := make([]TrainOp, 0, end-runStart)
+		for _, o := range batch[runStart:end] {
+			ops = append(ops, TrainOp{ID: o.id, Label: o.label})
+		}
+		for i, err := range e.be.ApplyTrainBatch(ops) {
+			errs[runStart+i] = err
+			if err == nil {
+				mutated = true
+			}
+		}
+		e.stats.trains.Add(uint64(len(ops)))
+	}
+	for i, o := range batch {
+		switch o.kind {
+		case opTrain:
+			continue
+		case opAdd:
+			flushTrains(i)
+			errs[i] = e.be.ApplyAdd(o.id, o.text)
+			e.stats.adds.Add(1)
+			if errs[i] == nil {
+				mutated = true
+			}
+		case opBarrier:
+			flushTrains(i)
+		}
+		runStart = i + 1
+	}
+	flushTrains(len(batch))
+
+	if mutated {
+		if s, err := e.be.Snapshot(); err != nil {
+			e.noteAsyncErr(fmt.Errorf("engine: snapshot: %w", err))
+		} else {
+			e.publish(s)
+		}
+	}
+	e.stats.observeBatch(len(batch))
+	for i, o := range batch {
+		if o.done != nil {
+			o.done <- errs[i]
+		} else if errs[i] != nil {
+			e.noteAsyncErr(errs[i])
+		}
+		e.stats.applied.Add(1)
+	}
+}

@@ -1,0 +1,374 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hazy/internal/core"
+	"hazy/internal/learn"
+	"hazy/internal/vector"
+)
+
+// memBackend is a test backend over a real main-memory view with a
+// two-dimensional feature space: "pos" entities live on axis 0, "neg"
+// entities on axis 1, so a handful of examples separates them.
+type memBackend struct {
+	view  *core.MemView
+	feats map[int64]vector.Vector
+
+	gate         chan struct{} // when non-nil, ApplyAdd blocks on it
+	gateEntered  chan struct{}
+	trainBatches [][]TrainOp
+}
+
+func featFor(text string) (vector.Vector, error) {
+	switch text {
+	case "pos":
+		return vector.NewDense([]float64{1, 0}), nil
+	case "neg":
+		return vector.NewDense([]float64{0, 1}), nil
+	default:
+		return vector.Vector{}, fmt.Errorf("memBackend: unknown text %q", text)
+	}
+}
+
+func newMemBackend(t *testing.T) *memBackend {
+	t.Helper()
+	b := &memBackend{feats: map[int64]vector.Vector{}}
+	var entities []core.Entity
+	for id := int64(1); id <= 4; id++ {
+		text := "pos"
+		if id%2 == 0 {
+			text = "neg"
+		}
+		f, _ := featFor(text)
+		b.feats[id] = f
+		entities = append(entities, core.Entity{ID: id, F: f})
+	}
+	b.view = core.NewMemView(entities, core.HazyStrategy, core.Options{})
+	return b
+}
+
+func (b *memBackend) ApplyTrainBatch(ops []TrainOp) []error {
+	b.trainBatches = append(b.trainBatches, ops)
+	errs := make([]error, len(ops))
+	var exs []learn.Example
+	for i, op := range ops {
+		f, ok := b.feats[op.ID]
+		if !ok {
+			errs[i] = fmt.Errorf("memBackend: no entity %d", op.ID)
+			continue
+		}
+		exs = append(exs, learn.Example{ID: op.ID, F: f, Label: op.Label})
+	}
+	if err := core.ApplyBatch(b.view, exs); err != nil {
+		for i := range errs {
+			if errs[i] == nil {
+				errs[i] = err
+			}
+		}
+	}
+	return errs
+}
+
+func (b *memBackend) ApplyAdd(id int64, text string) error {
+	if b.gate != nil {
+		b.gateEntered <- struct{}{}
+		<-b.gate
+	}
+	f, err := featFor(text)
+	if err != nil {
+		return err
+	}
+	b.feats[id] = f
+	return b.view.Insert(core.Entity{ID: id, F: f})
+}
+
+func (b *memBackend) Snapshot() (*core.Snapshot, error) { return b.view.Snapshot() }
+
+func (b *memBackend) Feature(text string) vector.Vector {
+	f, _ := featFor(text)
+	return f
+}
+
+func start(t *testing.T, be Backend, opts Options) *Engine {
+	t.Helper()
+	e, err := New(be, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestReadYourWritesSync(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{})
+	for _, tr := range []TrainOp{{1, 1}, {2, -1}, {3, 1}, {4, -1}} {
+		if err := e.Train(tr.ID, tr.Label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, err := e.Label(1); err != nil || got != 1 {
+		t.Fatalf("Label(1) = %d, %v", got, err)
+	}
+	if got, err := e.Label(2); err != nil || got != -1 {
+		t.Fatalf("Label(2) = %d, %v", got, err)
+	}
+	if n, _ := e.CountMembers(); n != 2 {
+		t.Fatalf("CountMembers = %d, want 2", n)
+	}
+	if got := e.Classify("pos"); got != 1 {
+		t.Fatalf("Classify(pos) = %d", got)
+	}
+	// A synchronous Add is immediately readable too.
+	if err := e.Add(9, "pos"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.Label(9); err != nil || got != 1 {
+		t.Fatalf("Label(9) = %d, %v", got, err)
+	}
+}
+
+func TestAsyncVisibleAfterFlush(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{})
+	if err := e.TrainAsync(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TrainAsync(2, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.Label(1); err != nil || got != 1 {
+		t.Fatalf("Label(1) after flush = %d, %v", got, err)
+	}
+	if st := e.ViewStats(); st.Updates != 2 {
+		t.Fatalf("view updates = %d, want 2", st.Updates)
+	}
+}
+
+// TestGroupApply blocks the maintenance goroutine on a gated ADD,
+// queues many TRAINs behind it, and asserts they are drained as one
+// batch applied with a single group maintenance step.
+func TestGroupApply(t *testing.T) {
+	be := newMemBackend(t)
+	be.gate = make(chan struct{})
+	be.gateEntered = make(chan struct{}, 1)
+	e := start(t, be, Options{QueueSize: 128, MaxBatch: 128})
+
+	if err := e.AddAsync(10, "pos"); err != nil {
+		t.Fatal(err)
+	}
+	<-be.gateEntered // maintenance goroutine is now blocked mid-batch
+	const n = 40
+	for i := 0; i < n; i++ {
+		id := int64(1 + i%4)
+		label := 1
+		if id%2 == 0 {
+			label = -1
+		}
+		if err := e.TrainAsync(id, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(be.gate)
+
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.trainBatches) != 1 {
+		t.Fatalf("train batches = %d, want 1 (group apply)", len(be.trainBatches))
+	}
+	if got := len(be.trainBatches[0]); got != n {
+		t.Fatalf("batch size = %d, want %d", got, n)
+	}
+	st := e.Stats()
+	if st.Trains != n || st.Adds != 1 {
+		t.Fatalf("stats trains=%d adds=%d", st.Trains, st.Adds)
+	}
+	if st.MaxBatch < n {
+		t.Fatalf("maxbatch = %d, want ≥ %d", st.MaxBatch, n)
+	}
+	if !strings.Contains(st.String(), "trains=40") {
+		t.Fatalf("stats string %q", st.String())
+	}
+}
+
+// TestBackpressure fills the bounded queue behind a gated op and
+// verifies the next enqueue blocks until the queue drains.
+func TestBackpressure(t *testing.T) {
+	be := newMemBackend(t)
+	be.gate = make(chan struct{})
+	be.gateEntered = make(chan struct{}, 1)
+	e := start(t, be, Options{QueueSize: 2, MaxBatch: 4})
+
+	if err := e.AddAsync(10, "pos"); err != nil {
+		t.Fatal(err)
+	}
+	<-be.gateEntered
+	// Queue capacity is 2: fill it while the worker is blocked.
+	if err := e.TrainAsync(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TrainAsync(2, -1); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- e.TrainAsync(3, 1) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("enqueue on a full queue did not block (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(be.gate)
+
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Trains != 3 || st.Pending != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+func TestAsyncErrorSurfacesOnFlush(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{})
+	if err := e.TrainAsync(777, 1); err != nil { // unknown entity
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err == nil {
+		t.Fatal("Flush reported no error for a failed async op")
+	}
+	// The error is cleared once reported.
+	if err := e.Flush(); err != nil {
+		t.Fatalf("second Flush = %v", err)
+	}
+	if st := e.Stats(); st.Errors != 1 {
+		t.Fatalf("errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestSyncErrorsAreImmediate(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{})
+	if err := e.Train(777, 1); err == nil {
+		t.Fatal("Train of unknown entity succeeded")
+	}
+	if err := e.Add(1, "pos"); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	// A failed op in a batch does not poison its neighbours.
+	if err := e.Train(1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderPreservedAcrossKinds(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{})
+	// The TRAIN references an entity whose ADD is queued just before
+	// it; arrival order must be preserved across op kinds.
+	if err := e.AddAsync(20, "neg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TrainAsync(20, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.Label(20); err != nil || got != -1 {
+		t.Fatalf("Label(20) = %d, %v", got, err)
+	}
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{})
+	for i := 0; i < 8; i++ {
+		id := int64(1 + i%4)
+		label := 1
+		if id%2 == 0 {
+			label = -1
+		}
+		if err := e.TrainAsync(id, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads still work against the final snapshot and saw the drain.
+	if st := e.ViewStats(); st.Updates != 8 {
+		t.Fatalf("updates after close = %d, want 8", st.Updates)
+	}
+	if err := e.Train(1, 1); err != ErrClosed {
+		t.Fatalf("Train after close = %v, want ErrClosed", err)
+	}
+	if err := e.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after close = %v, want ErrClosed", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}
+
+// TestConcurrentMix hammers the engine from many goroutines mixing
+// sync writes, async writes, flushes, and snapshot reads; run under
+// -race this is the engine's data-race certificate.
+func TestConcurrentMix(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{QueueSize: 64, MaxBatch: 32})
+	const goroutines = 8
+	const perG = 48
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id := int64(1 + (g+i)%4)
+				label := 1
+				if id%2 == 0 {
+					label = -1
+				}
+				var err error
+				switch i % 4 {
+				case 0:
+					err = e.Train(id, label)
+				case 1:
+					err = e.TrainAsync(id, label)
+				case 2:
+					_, err = e.Label(id)
+				default:
+					_, err = e.CountMembers()
+					e.Snapshot().Members()
+				}
+				if err != nil {
+					errc <- fmt.Errorf("g%d op%d: %w", g, i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	want := uint64(goroutines * perG / 2) // ops 0 and 1 of every four are writes
+	if st.Trains != want {
+		t.Fatalf("trains = %d, want %d", st.Trains, want)
+	}
+	if st.Batches == 0 || st.SnapshotVersion == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"hazy/internal/core"
+)
+
+// snapHolder is the atomically swapped published snapshot plus its
+// version counter. Readers only ever load; the maintenance goroutine
+// only ever stores.
+type snapHolder struct {
+	p       atomic.Pointer[core.Snapshot]
+	version atomic.Uint64
+}
+
+func (e *Engine) publish(s *core.Snapshot) {
+	e.snap.p.Store(s)
+	e.snap.version.Add(1)
+}
+
+// Snapshot returns the currently published snapshot. It is never nil
+// and is safe to read from any goroutine; retain it to answer several
+// questions from one consistent state.
+func (e *Engine) Snapshot() *core.Snapshot { return e.snap.p.Load() }
+
+// Label answers a Single Entity read from the published snapshot,
+// without locks.
+func (e *Engine) Label(id int64) (int, error) { return e.Snapshot().Label(id) }
+
+// Members answers an All Members read from the published snapshot.
+func (e *Engine) Members() ([]int64, error) { return e.Snapshot().Members(), nil }
+
+// CountMembers counts the entities labeled +1 in the published
+// snapshot.
+func (e *Engine) CountMembers() (int, error) { return e.Snapshot().CountMembers(), nil }
+
+// MostUncertain returns up to k ids nearest the decision boundary in
+// the published snapshot (active-learning picks).
+func (e *Engine) MostUncertain(k int) ([]int64, error) {
+	return e.Snapshot().MostUncertain(k)
+}
+
+// Classify scores free text against the published snapshot's model
+// without storing anything.
+func (e *Engine) Classify(text string) int {
+	s := e.Snapshot()
+	return s.Model().Predict(e.be.Feature(text))
+}
+
+// ViewStats returns the view's maintenance counters as captured in
+// the published snapshot.
+func (e *Engine) ViewStats() core.Stats { return e.Snapshot().Stats() }

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two batch-size buckets:
+// 1, 2–3, 4–7, …, ≥128.
+const histBuckets = 8
+
+// engineCounters are the engine's internal atomics.
+type engineCounters struct {
+	enqueued atomic.Uint64
+	applied  atomic.Uint64
+	trains   atomic.Uint64
+	adds     atomic.Uint64
+	batches  atomic.Uint64
+	maxBatch atomic.Uint64
+	errors   atomic.Uint64
+	hist     [histBuckets]atomic.Uint64
+}
+
+func (c *engineCounters) observeBatch(n int) {
+	c.batches.Add(1)
+	for {
+		cur := c.maxBatch.Load()
+		if uint64(n) <= cur || c.maxBatch.CompareAndSwap(cur, uint64(n)) {
+			break
+		}
+	}
+	b := bits.Len(uint(n)) - 1
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	c.hist[b].Add(1)
+}
+
+// Stats is a point-in-time copy of the engine's serving counters,
+// surfaced through the server's STATS command.
+type Stats struct {
+	// Enqueued and Applied count ops accepted and ops completed
+	// (including barriers); Pending is their difference — ops queued
+	// or mid-batch.
+	Enqueued, Applied, Pending uint64
+	// QueueDepth is the instantaneous bounded-queue occupancy.
+	QueueDepth int
+	// Trains and Adds count applied write ops by kind.
+	Trains, Adds uint64
+	// Batches is the number of group-applied batches; MaxBatch the
+	// largest one drained.
+	Batches, MaxBatch uint64
+	// Errors counts failed asynchronous ops.
+	Errors uint64
+	// BatchHist is a power-of-two histogram of drained batch sizes:
+	// bucket i counts batches of size [2^i, 2^(i+1)), the last bucket
+	// everything ≥ 128.
+	BatchHist [histBuckets]uint64
+	// SnapshotVersion increments at every published snapshot.
+	SnapshotVersion uint64
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Enqueued:        e.stats.enqueued.Load(),
+		Applied:         e.stats.applied.Load(),
+		QueueDepth:      len(e.ops),
+		Trains:          e.stats.trains.Load(),
+		Adds:            e.stats.adds.Load(),
+		Batches:         e.stats.batches.Load(),
+		MaxBatch:        e.stats.maxBatch.Load(),
+		Errors:          e.stats.errors.Load(),
+		SnapshotVersion: e.snap.version.Load(),
+	}
+	if s.Enqueued > s.Applied {
+		s.Pending = s.Enqueued - s.Applied
+	}
+	for i := range s.BatchHist {
+		s.BatchHist[i] = e.stats.hist[i].Load()
+	}
+	return s
+}
+
+// String renders the counters as the key=value tail of a STATS line.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "queued=%d pending=%d applied=%d trains=%d adds=%d batches=%d maxbatch=%d errors=%d snapver=%d hist=",
+		s.QueueDepth, s.Pending, s.Applied, s.Trains, s.Adds, s.Batches, s.MaxBatch, s.Errors, s.SnapshotVersion)
+	for i, n := range s.BatchHist {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	return b.String()
+}

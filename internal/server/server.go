@@ -10,12 +10,29 @@
 //	MEMBERS             → "<id> <id> ..."        (ids labeled +1)
 //	TRAIN <id> <±1>     → "OK"                   (insert training example)
 //	ADD <id> <text...>  → "OK"                   (insert entity)
+//	TRAINA <id> <±1>    → "QUEUED"               (async; engine mode only)
+//	ADDA <id> <text...> → "QUEUED"               (async; engine mode only)
+//	FLUSH               → "OK"                   (barrier; engine mode only)
 //	CLASSIFY <text...>  → "+1" | "-1"            (ad-hoc, not stored)
 //	UNCERTAIN <k>       → "<id> <id> ..."        (active-learning picks)
-//	STATS               → "updates=<n> reorgs=<n> band=<n>"
+//	STATS               → "updates=<n> reorgs=<n> band=<n> [engine counters]"
 //	QUIT                → "BYE" and the connection closes
 //
 // Errors come back as "ERR <message>".
+//
+// The server runs in one of two modes. In legacy mode (New) every
+// statement serializes behind a single mutex — one statement at a
+// time, like a session. In engine mode (NewEngine) statements go to
+// the concurrent maintenance engine: reads are answered lock-free
+// from the engine's published snapshot and writes enter its batched
+// update queue, so concurrent sessions scale across cores. TRAIN and
+// ADD remain synchronous (the response is sent after the write is
+// applied and visible — read-your-writes); TRAINA and ADDA only
+// enqueue, and FLUSH is the barrier that makes prior async writes
+// visible. FLUSH also surfaces the first failed async write since
+// the previous barrier — engine-wide, not per-session: any session's
+// FLUSH may collect an error from another session's TRAINA/ADDA.
+// Sessions that need per-write errors use the synchronous forms.
 package server
 
 import (
@@ -27,6 +44,7 @@ import (
 	"sync"
 
 	root "hazy"
+	"hazy/internal/engine"
 )
 
 // Uncertain is implemented by views that can surface
@@ -37,15 +55,29 @@ type Uncertain interface {
 
 // Server serves one classification view and its backing tables.
 type Server struct {
-	mu       sync.Mutex // one statement at a time, like a session
+	mu       sync.Mutex // legacy mode: one statement at a time
 	view     *root.ClassView
 	papers   *root.EntityTable
 	feedback *root.ExampleTable
+
+	eng *engine.Engine // engine mode when non-nil
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
 }
 
-// New wraps a view with its entity and example tables.
+// New wraps a view with its entity and example tables in legacy
+// single-mutex mode.
 func New(view *root.ClassView, papers *root.EntityTable, feedback *root.ExampleTable) *Server {
-	return &Server{view: view, papers: papers, feedback: feedback}
+	return &Server{view: view, papers: papers, feedback: feedback, conns: map[net.Conn]struct{}{}}
+}
+
+// NewEngine serves through a concurrent maintenance engine; every
+// statement — reads and writes — is answered by the engine, so no
+// server-level lock is taken.
+func NewEngine(eng *engine.Engine) *Server {
+	return &Server{eng: eng, conns: map[net.Conn]struct{}{}}
 }
 
 // Serve accepts connections until the listener closes.
@@ -55,17 +87,52 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		if !s.track(conn) {
+			conn.Close()
+			return net.ErrClosed
+		}
 		go s.session(conn)
 	}
 }
 
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// Close terminates every live session. Callers close the listener
+// first (so no new sessions arrive), then Close, then drain the
+// engine.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.conns = map[net.Conn]struct{}{}
+	s.connMu.Unlock()
+	return nil
+}
+
 func (s *Server) session(conn net.Conn) {
+	defer s.untrack(conn)
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		resp, quit := s.exec(sc.Text())
+		resp, quit := s.Exec(sc.Text())
 		w.WriteString(resp)
 		w.WriteByte('\n')
 		w.Flush()
@@ -75,100 +142,228 @@ func (s *Server) session(conn net.Conn) {
 	}
 }
 
-// exec runs one protocol line and returns the response plus whether
-// the session should end.
-func (s *Server) exec(line string) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Exec runs one protocol line and returns the response plus whether
+// the session should end. It is exported so tests and benchmarks can
+// drive the statement layer without a TCP transport; it is safe for
+// concurrent use in both modes.
+func (s *Server) Exec(line string) (string, bool) {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "ERR empty command", false
 	}
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
-	switch cmd {
-	case "QUIT":
+	if cmd == "QUIT" {
 		return "BYE", true
+	}
+	if s.eng != nil {
+		return s.execEngine(cmd, args), false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.execLocked(cmd, args), false
+}
+
+// parseID parses the single-id argument shape of LABEL.
+func parseID(args []string) (int64, string) {
+	if len(args) != 1 {
+		return 0, "usage: LABEL <id>"
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return 0, "bad id"
+	}
+	return id, ""
+}
+
+// parseTrain parses the shared argument shape of TRAIN/TRAINA.
+func parseTrain(args []string) (id int64, label int, errmsg string) {
+	if len(args) != 2 {
+		return 0, 0, "usage: TRAIN <id> <+1|-1>"
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return 0, 0, "bad id"
+	}
+	label, err = strconv.Atoi(args[1])
+	if err != nil {
+		return 0, 0, "bad label"
+	}
+	return id, label, ""
+}
+
+// parseAdd parses the shared argument shape of ADD/ADDA.
+func parseAdd(args []string) (id int64, text string, errmsg string) {
+	if len(args) < 2 {
+		return 0, "", "usage: ADD <id> <text>"
+	}
+	id, err := strconv.ParseInt(args[0], 10, 64)
+	if err != nil {
+		return 0, "", "bad id"
+	}
+	return id, strings.Join(args[1:], " "), ""
+}
+
+// execEngine answers one statement through the maintenance engine.
+// Reads take no locks at all; writes enqueue into the engine.
+func (s *Server) execEngine(cmd string, args []string) string {
+	switch cmd {
 	case "LABEL":
-		if len(args) != 1 {
-			return "ERR usage: LABEL <id>", false
+		id, errmsg := parseID(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
 		}
-		id, err := strconv.ParseInt(args[0], 10, 64)
+		label, err := s.eng.Label(id)
 		if err != nil {
-			return "ERR bad id", false
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("%+d", label)
+	case "COUNT":
+		n, _ := s.eng.CountMembers()
+		return strconv.Itoa(n)
+	case "MEMBERS":
+		ids, _ := s.eng.Members()
+		return joinIDs(ids)
+	case "TRAIN", "TRAINA":
+		id, label, errmsg := parseTrain(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
+		}
+		if label != 1 && label != -1 {
+			return fmt.Sprintf("ERR label must be ±1, got %d", label)
+		}
+		if cmd == "TRAINA" {
+			if err := s.eng.TrainAsync(id, label); err != nil {
+				return "ERR " + err.Error()
+			}
+			return "QUEUED"
+		}
+		if err := s.eng.Train(id, label); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "ADD", "ADDA":
+		id, text, errmsg := parseAdd(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
+		}
+		if cmd == "ADDA" {
+			if err := s.eng.AddAsync(id, text); err != nil {
+				return "ERR " + err.Error()
+			}
+			return "QUEUED"
+		}
+		if err := s.eng.Add(id, text); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "FLUSH":
+		if err := s.eng.Flush(); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "CLASSIFY":
+		if len(args) == 0 {
+			return "ERR usage: CLASSIFY <text>"
+		}
+		return fmt.Sprintf("%+d", s.eng.Classify(strings.Join(args, " ")))
+	case "UNCERTAIN":
+		k, errmsg := parseK(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
+		}
+		ids, err := s.eng.MostUncertain(k)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return joinIDs(ids)
+	case "STATS":
+		vs := s.eng.ViewStats()
+		return fmt.Sprintf("updates=%d reorgs=%d band=%d %s",
+			vs.Updates, vs.Reorgs, vs.BandTuples, s.eng.Stats())
+	default:
+		return "ERR unknown command " + cmd
+	}
+}
+
+func parseK(args []string) (int, string) {
+	if len(args) != 1 {
+		return 0, "usage: UNCERTAIN <k>"
+	}
+	k, err := strconv.Atoi(args[0])
+	if err != nil || k < 1 {
+		return 0, "bad k"
+	}
+	return k, ""
+}
+
+// execLocked is the legacy path: the caller holds s.mu.
+func (s *Server) execLocked(cmd string, args []string) string {
+	switch cmd {
+	case "LABEL":
+		id, errmsg := parseID(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
 		}
 		label, err := s.view.Label(id)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return "ERR " + err.Error()
 		}
-		return fmt.Sprintf("%+d", label), false
+		return fmt.Sprintf("%+d", label)
 	case "COUNT":
 		n, err := s.view.CountMembers()
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return "ERR " + err.Error()
 		}
-		return strconv.Itoa(n), false
+		return strconv.Itoa(n)
 	case "MEMBERS":
 		ids, err := s.view.Members()
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return "ERR " + err.Error()
 		}
-		return joinIDs(ids), false
+		return joinIDs(ids)
 	case "TRAIN":
-		if len(args) != 2 {
-			return "ERR usage: TRAIN <id> <+1|-1>", false
-		}
-		id, err := strconv.ParseInt(args[0], 10, 64)
-		if err != nil {
-			return "ERR bad id", false
-		}
-		label, err := strconv.Atoi(args[1])
-		if err != nil {
-			return "ERR bad label", false
+		id, label, errmsg := parseTrain(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
 		}
 		if err := s.feedback.InsertExample(id, label); err != nil {
-			return "ERR " + err.Error(), false
+			return "ERR " + err.Error()
 		}
-		return "OK", false
+		return "OK"
 	case "ADD":
-		if len(args) < 2 {
-			return "ERR usage: ADD <id> <text>", false
+		id, text, errmsg := parseAdd(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
 		}
-		id, err := strconv.ParseInt(args[0], 10, 64)
-		if err != nil {
-			return "ERR bad id", false
+		if err := s.papers.InsertText(id, text); err != nil {
+			return "ERR " + err.Error()
 		}
-		if err := s.papers.InsertText(id, strings.Join(args[1:], " ")); err != nil {
-			return "ERR " + err.Error(), false
-		}
-		return "OK", false
+		return "OK"
 	case "CLASSIFY":
 		if len(args) == 0 {
-			return "ERR usage: CLASSIFY <text>", false
+			return "ERR usage: CLASSIFY <text>"
 		}
-		return fmt.Sprintf("%+d", s.view.Classify(strings.Join(args, " "))), false
+		return fmt.Sprintf("%+d", s.view.Classify(strings.Join(args, " ")))
 	case "UNCERTAIN":
-		if len(args) != 1 {
-			return "ERR usage: UNCERTAIN <k>", false
-		}
-		k, err := strconv.Atoi(args[0])
-		if err != nil || k < 1 {
-			return "ERR bad k", false
+		k, errmsg := parseK(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
 		}
 		u, ok := s.view.Core().(Uncertain)
 		if !ok {
-			return "ERR view does not support uncertainty ranking", false
+			return "ERR view does not support uncertainty ranking"
 		}
 		ids, err := u.MostUncertain(k)
 		if err != nil {
-			return "ERR " + err.Error(), false
+			return "ERR " + err.Error()
 		}
-		return joinIDs(ids), false
+		return joinIDs(ids)
 	case "STATS":
 		st := s.view.Stats()
-		return fmt.Sprintf("updates=%d reorgs=%d band=%d", st.Updates, st.Reorgs, st.BandTuples), false
+		return fmt.Sprintf("updates=%d reorgs=%d band=%d", st.Updates, st.Reorgs, st.BandTuples)
 	default:
-		return "ERR unknown command " + cmd, false
+		return "ERR unknown command " + cmd
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -10,14 +11,17 @@ import (
 	root "hazy"
 )
 
-// startServer brings up a full stack — database, view, TCP listener —
-// and returns a connected client.
-func startServer(t *testing.T) *Client {
+// startStack brings up a full stack — database, view, TCP listener —
+// in either legacy (single-mutex) or engine mode and returns a
+// connected client.
+func startStack(t *testing.T, engineMode bool) *Client {
 	t.Helper()
 	db, err := root.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Registered before the engine's cleanup so LIFO order drains the
+	// engine first, then closes the database.
 	t.Cleanup(func() { db.Close() })
 	papers, err := db.CreateEntityTable("papers", "title")
 	if err != nil {
@@ -33,12 +37,23 @@ func startServer(t *testing.T) *Client {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var srv *Server
+	if engineMode {
+		eng, err := db.Engine(view, root.EngineOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		srv = NewEngine(eng)
+	} else {
+		srv = New(view, papers, feedback)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { l.Close() })
-	go New(view, papers, feedback).Serve(l) //nolint:errcheck — ends with listener
+	t.Cleanup(func() { l.Close(); srv.Close() })
+	go srv.Serve(l) //nolint:errcheck — ends with listener
 
 	c, err := Dial(l.Addr().String())
 	if err != nil {
@@ -46,6 +61,12 @@ func startServer(t *testing.T) *Client {
 	}
 	t.Cleanup(func() { c.Close() })
 	return c
+}
+
+// bothModes runs fn against a legacy-mode and an engine-mode stack.
+func bothModes(t *testing.T, fn func(t *testing.T, c *Client)) {
+	t.Run("mutex", func(t *testing.T) { fn(t, startStack(t, false)) })
+	t.Run("engine", func(t *testing.T) { fn(t, startStack(t, true)) })
 }
 
 func must(t *testing.T, c *Client, cmd string) string {
@@ -58,101 +79,192 @@ func must(t *testing.T, c *Client, cmd string) string {
 }
 
 func TestProtocolEndToEnd(t *testing.T) {
-	c := startServer(t)
-	// Build a tiny corpus over the wire.
-	dbTitles := []string{
-		"relational database query optimization",
-		"sql index selection for relational databases",
-		"database transaction processing",
-	}
-	osTitles := []string{
-		"kernel scheduler for operating systems",
-		"interrupt handling in kernel drivers",
-		"operating systems memory paging",
-	}
-	for i, title := range dbTitles {
-		must(t, c, fmt.Sprintf("ADD %d %s", i, title))
-	}
-	for i, title := range osTitles {
-		must(t, c, fmt.Sprintf("ADD %d %s", 100+i, title))
-	}
-	// Feedback.
-	must(t, c, "TRAIN 0 +1")
-	must(t, c, "TRAIN 100 -1")
-	must(t, c, "TRAIN 1 1")
-	must(t, c, "TRAIN 101 -1")
-
-	if got := must(t, c, "LABEL 2"); got != "+1" {
-		t.Fatalf("LABEL 2 = %q", got)
-	}
-	if got := must(t, c, "LABEL 102"); got != "-1" {
-		t.Fatalf("LABEL 102 = %q", got)
-	}
-	if got := must(t, c, "COUNT"); got != "3" {
-		t.Fatalf("COUNT = %q", got)
-	}
-	members := must(t, c, "MEMBERS")
-	for _, id := range []string{"0", "1", "2"} {
-		if !strings.Contains(" "+members+" ", " "+id+" ") {
-			t.Fatalf("MEMBERS %q missing %s", members, id)
+	bothModes(t, func(t *testing.T, c *Client) {
+		// Build a tiny corpus over the wire.
+		dbTitles := []string{
+			"relational database query optimization",
+			"sql index selection for relational databases",
+			"database transaction processing",
 		}
-	}
-	if got := must(t, c, "CLASSIFY sql query database index"); got != "+1" {
-		t.Fatalf("CLASSIFY = %q", got)
-	}
-	unc := must(t, c, "UNCERTAIN 2")
-	if len(strings.Fields(unc)) != 2 {
-		t.Fatalf("UNCERTAIN = %q", unc)
-	}
-	stats := must(t, c, "STATS")
-	if !strings.Contains(stats, "updates=4") {
-		t.Fatalf("STATS = %q", stats)
-	}
-	if got := must(t, c, "QUIT"); got != "BYE" {
-		t.Fatalf("QUIT = %q", got)
-	}
+		osTitles := []string{
+			"kernel scheduler for operating systems",
+			"interrupt handling in kernel drivers",
+			"operating systems memory paging",
+		}
+		for i, title := range dbTitles {
+			must(t, c, fmt.Sprintf("ADD %d %s", i, title))
+		}
+		for i, title := range osTitles {
+			must(t, c, fmt.Sprintf("ADD %d %s", 100+i, title))
+		}
+		// Feedback.
+		must(t, c, "TRAIN 0 +1")
+		must(t, c, "TRAIN 100 -1")
+		must(t, c, "TRAIN 1 1")
+		must(t, c, "TRAIN 101 -1")
+
+		if got := must(t, c, "LABEL 2"); got != "+1" {
+			t.Fatalf("LABEL 2 = %q", got)
+		}
+		if got := must(t, c, "LABEL 102"); got != "-1" {
+			t.Fatalf("LABEL 102 = %q", got)
+		}
+		if got := must(t, c, "COUNT"); got != "3" {
+			t.Fatalf("COUNT = %q", got)
+		}
+		members := must(t, c, "MEMBERS")
+		for _, id := range []string{"0", "1", "2"} {
+			if !strings.Contains(" "+members+" ", " "+id+" ") {
+				t.Fatalf("MEMBERS %q missing %s", members, id)
+			}
+		}
+		if got := must(t, c, "CLASSIFY sql query database index"); got != "+1" {
+			t.Fatalf("CLASSIFY = %q", got)
+		}
+		unc := must(t, c, "UNCERTAIN 2")
+		if len(strings.Fields(unc)) != 2 {
+			t.Fatalf("UNCERTAIN = %q", unc)
+		}
+		stats := must(t, c, "STATS")
+		if !strings.Contains(stats, "updates=4") {
+			t.Fatalf("STATS = %q", stats)
+		}
+		if got := must(t, c, "QUIT"); got != "BYE" {
+			t.Fatalf("QUIT = %q", got)
+		}
+	})
 }
 
 func TestProtocolErrors(t *testing.T) {
-	c := startServer(t)
-	bad := []string{
-		"",
-		"BOGUS",
-		"LABEL",
-		"LABEL notanumber",
-		"LABEL 999",
-		"TRAIN 1",
-		"TRAIN 1 7",
-		"TRAIN 999 1",
-		"ADD 5",
-		"CLASSIFY",
-		"UNCERTAIN x",
-		"UNCERTAIN 0",
-	}
-	for _, cmd := range bad {
-		if _, err := c.Do(cmd); err == nil {
-			t.Fatalf("no error for %q", cmd)
+	bothModes(t, func(t *testing.T, c *Client) {
+		bad := []string{
+			"",
+			"BOGUS",
+			"LABEL",
+			"LABEL notanumber",
+			"LABEL 999",
+			"TRAIN 1",
+			"TRAIN 1 7",
+			"TRAIN 999 1",
+			"ADD 5",
+			"CLASSIFY",
+			"UNCERTAIN x",
+			"UNCERTAIN 0",
 		}
+		for _, cmd := range bad {
+			if _, err := c.Do(cmd); err == nil {
+				t.Fatalf("no error for %q", cmd)
+			}
+		}
+		// The session survives errors.
+		if _, err := c.Do("COUNT"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAsyncTrainAndFlush exercises the engine-only protocol: TRAINA
+// enqueues without waiting and FLUSH is the barrier after which the
+// write is visible (read-your-writes for async writers).
+func TestAsyncTrainAndFlush(t *testing.T) {
+	c := startStack(t, true)
+	must(t, c, "ADD 1 relational database query optimization")
+	must(t, c, "ADD 2 kernel interrupt scheduler")
+	if got := must(t, c, "TRAINA 1 +1"); got != "QUEUED" {
+		t.Fatalf("TRAINA = %q", got)
 	}
-	// The session survives errors.
-	if _, err := c.Do("COUNT"); err != nil {
-		t.Fatal(err)
+	if got := must(t, c, "TRAINA 2 -1"); got != "QUEUED" {
+		t.Fatalf("TRAINA = %q", got)
+	}
+	if got := must(t, c, "FLUSH"); got != "OK" {
+		t.Fatalf("FLUSH = %q", got)
+	}
+	if got := must(t, c, "LABEL 1"); got != "+1" {
+		t.Fatalf("LABEL 1 after FLUSH = %q", got)
+	}
+	stats := must(t, c, "STATS")
+	if !strings.Contains(stats, "updates=2") || !strings.Contains(stats, "trains=2") {
+		t.Fatalf("STATS = %q", stats)
+	}
+	// A failed async op surfaces on the next FLUSH.
+	must(t, c, "TRAINA 999 +1")
+	if _, err := c.Do("FLUSH"); err == nil {
+		t.Fatal("FLUSH after bad TRAINA reported no error")
+	}
+	// ADDA is async too.
+	if got := must(t, c, "ADDA 3 database systems storage engines"); got != "QUEUED" {
+		t.Fatalf("ADDA = %q", got)
+	}
+	must(t, c, "FLUSH")
+	if got := must(t, c, "LABEL 3"); got != "+1" && got != "-1" {
+		t.Fatalf("LABEL 3 = %q", got)
 	}
 }
 
 func TestConcurrentClients(t *testing.T) {
-	c := startServer(t)
-	must(t, c, "ADD 1 relational database query")
-	must(t, c, "ADD 2 kernel interrupt scheduler")
-	must(t, c, "TRAIN 1 +1")
-	must(t, c, "TRAIN 2 -1")
+	bothModes(t, func(t *testing.T, c *Client) {
+		must(t, c, "ADD 1 relational database query")
+		must(t, c, "ADD 2 kernel interrupt scheduler")
+		must(t, c, "TRAIN 1 +1")
+		must(t, c, "TRAIN 2 -1")
+		addr := c.conn.RemoteAddr().String()
+
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cc, err := Dial(addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer cc.Close()
+				for i := 0; i < 50; i++ {
+					if _, err := cc.Do("LABEL 1"); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := cc.Do("COUNT"); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+	})
+}
+
+// TestConcurrentTrainAndLabel is the engine's concurrent-session
+// soak: N sessions interleave TRAIN (sync and async) with LABEL and
+// COUNT against one view. Under -race this asserts the read and
+// write paths share no unsynchronized state; after a final FLUSH the
+// view must have converged — every queued example applied, and every
+// session observing the same labels.
+func TestConcurrentTrainAndLabel(t *testing.T) {
+	c := startStack(t, true)
+	// Corpus: two topics, ids 1..40.
+	const perTopic = 20
+	for i := 0; i < perTopic; i++ {
+		must(t, c, fmt.Sprintf("ADD %d relational database query optimization paper %d", i+1, i))
+		must(t, c, fmt.Sprintf("ADD %d kernel scheduler interrupt driver paper %d", 100+i, i))
+	}
 	addr := c.conn.RemoteAddr().String()
 
+	const goroutines = 8
+	const perG = 4 // distinct example ids per goroutine (< perTopic/2 per topic)
 	var wg sync.WaitGroup
-	errs := make(chan error, 8)
-	for g := 0; g < 8; g++ {
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			cc, err := Dial(addr)
 			if err != nil {
@@ -160,22 +272,58 @@ func TestConcurrentClients(t *testing.T) {
 				return
 			}
 			defer cc.Close()
-			for i := 0; i < 50; i++ {
-				if _, err := cc.Do("LABEL 1"); err != nil {
-					errs <- err
+			for i := 0; i < perG; i++ {
+				// Even goroutines label database papers +1, odd ones
+				// kernel papers −1; ids are disjoint across sessions.
+				id := g/2*perG + i + 1
+				cmd := fmt.Sprintf("TRAIN %d +1", id)
+				if g%2 == 1 {
+					cmd = fmt.Sprintf("TRAINA %d -1", 100+id)
+				}
+				if _, err := cc.Do(cmd); err != nil {
+					errs <- fmt.Errorf("g%d: %s: %w", g, cmd, err)
 					return
 				}
-				if _, err := cc.Do("COUNT"); err != nil {
-					errs <- err
-					return
+				for _, read := range []string{"LABEL 1", "LABEL 101", "COUNT"} {
+					if _, err := cc.Do(read); err != nil {
+						errs <- fmt.Errorf("g%d: %s: %w", g, read, err)
+						return
+					}
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	select {
 	case err := <-errs:
 		t.Fatal(err)
 	default:
+	}
+
+	must(t, c, "FLUSH")
+	// Convergence: every example was applied...
+	stats := must(t, c, "STATS")
+	wantUpdates := fmt.Sprintf("updates=%d", goroutines*perG)
+	if !strings.Contains(stats, wantUpdates) {
+		t.Fatalf("STATS = %q, want %s", stats, wantUpdates)
+	}
+	// ...and the labels separate the two topics, observed identically
+	// from a second session.
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for _, cc := range []*Client{c, c2} {
+		if got := must(t, cc, "LABEL 1"); got != "+1" {
+			t.Fatalf("LABEL 1 = %q after convergence", got)
+		}
+		if got := must(t, cc, "LABEL 101"); got != "-1" {
+			t.Fatalf("LABEL 101 = %q after convergence", got)
+		}
+		n, err := strconv.Atoi(must(t, cc, "COUNT"))
+		if err != nil || n != perTopic {
+			t.Fatalf("COUNT = %d (%v), want %d", n, err, perTopic)
+		}
 	}
 }

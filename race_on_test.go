@@ -1,0 +1,7 @@
+//go:build race
+
+package hazy_test
+
+// raceEnabled reports whether the race detector is instrumenting
+// this build; timing-sensitive assertions stand down when it is.
+const raceEnabled = true
