@@ -71,17 +71,14 @@ func buildConcStack(tb testing.TB, engineMode bool, entities int) *concStack {
 			tb.Fatal(err)
 		}
 	}
+	// db.Close drains any attached engine before closing storage.
 	st := &concStack{cleanup: func() { db.Close() }}
 	if engineMode {
-		eng, err := db.Engine(view, root.EngineOptions{})
-		if err != nil {
+		if _, err := db.AttachEngine(view.Name(), root.EngineOptions{}); err != nil {
 			tb.Fatal(err)
 		}
-		st.srv = server.NewEngine(eng)
-		st.cleanup = func() { eng.Close(); db.Close() }
-	} else {
-		st.srv = server.New(view, papers, feedback)
 	}
+	st.srv = server.New(db, server.Options{DefaultView: view.Name()})
 	return st
 }
 

@@ -1,27 +1,35 @@
-// Command hazyd serves a Hazy classification view over TCP — the
-// paper's deployment shape (App. B.1: Hazy as a separate process
-// reached over sockets). It opens (or creates) a database with a
-// papers/feedback/labeled_papers setup and speaks the internal/server
-// text protocol, serving through the concurrent maintenance engine:
-// reads come lock-free from published snapshots, writes are batched
-// through a bounded queue.
+// Command hazyd serves a Hazy catalog over TCP — the paper's
+// deployment shape (App. B.1: Hazy as a separate process reached
+// over sockets). It opens (or creates) a database, bootstraps a
+// default papers/feedback/labeled_papers stack when the default view
+// is missing, and speaks the internal/server text protocol: SQL
+// statements against the whole catalog plus the view-qualified
+// legacy verbs. Views with a maintenance engine attached are served
+// concurrently — reads lock-free from published snapshots, writes
+// batched through a bounded queue — and clients can attach engines
+// to further views at runtime with the SQL statement
+// ATTACH ENGINE TO <view>.
 //
 // Usage:
 //
-//	hazyd [-addr :7437] [-db DIR] [-workers N] [-batch N] [-queue N] [-engine=false]
+//	hazyd [-addr :7437] [-db DIR] [-view labeled_papers] [-workers N] [-batch N] [-queue N] [-engine=false]
 //
 // Then, e.g. with nc:
 //
 //	ADD 1 efficient query optimization for relational databases
 //	TRAIN 1 +1
 //	LABEL 1
+//	SQL SELECT COUNT(*) FROM labeled_papers WHERE class = 1
+//	SQL CREATE TABLE docs (id BIGINT, body TEXT) KEY id
 //	UNCERTAIN 5
 //	STATS
 //	QUIT
 //
 // SIGINT/SIGTERM shut down gracefully: the listener closes, live
-// sessions end, the engine drains its queued updates, the database
-// closes, and a temporary database directory is removed.
+// sessions end, the database closes — draining every attached
+// engine's queued updates and persisting the catalog manifest (tables
+// AND view declarations, so a restart re-serves the same views) —
+// and a temporary database directory is removed.
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
 	root "hazy"
@@ -49,10 +58,11 @@ func run() (err error) {
 	var (
 		addr      = flag.String("addr", ":7437", "listen address")
 		dbDir     = flag.String("db", "", "database directory (default: temp, removed on exit)")
+		viewName  = flag.String("view", "labeled_papers", "default view for unqualified verbs")
 		workers   = flag.Int("workers", 0, "serving parallelism (GOMAXPROCS; 0 = all cores)")
 		batch     = flag.Int("batch", 0, "max updates group-applied per maintenance step (0 = engine default)")
 		queue     = flag.Int("queue", 0, "bounded update-queue size (0 = engine default)")
-		useEngine = flag.Bool("engine", true, "serve through the concurrent maintenance engine (false: legacy single-mutex)")
+		useEngine = flag.Bool("engine", true, "attach a concurrent maintenance engine to the default view (false: mutex-serialized statements)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -72,48 +82,46 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	// Close drains every attached engine, persists the manifest, and
+	// closes storage; a failed async write surfacing at the final
+	// drain is still an error.
+	defer func() {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
-	papers, err := db.EntityTableByName("papers")
-	if err != nil {
-		if papers, err = db.CreateEntityTable("papers", "title"); err != nil {
-			return err
-		}
-	}
-	feedback, err := db.ExampleTableByName("feedback")
-	if err != nil {
-		if feedback, err = db.CreateExampleTable("feedback"); err != nil {
-			return err
-		}
-	}
-	view, err := db.CreateClassificationView(root.ViewSpec{
-		Name:     "labeled_papers",
-		Entities: "papers",
-		Examples: "feedback",
-	})
-	if err != nil {
-		return err
-	}
-
-	var srv *server.Server
-	mode := "engine"
-	if *useEngine {
-		eng, err := db.Engine(view, root.EngineOptions{MaxBatch: *batch, QueueSize: *queue})
-		if err != nil {
-			return err
-		}
-		// Drain queued updates before the deferred db.Close; a failed
-		// async write surfacing at the final drain is still an error.
-		defer func() {
-			if cerr := eng.Close(); cerr != nil && err == nil {
-				err = cerr
+	// Bootstrap: recovered catalogs re-declare their views from the
+	// manifest; a fresh directory gets the default stack.
+	if _, verr := db.View(*viewName); verr != nil {
+		if _, err := db.EntityTableByName("papers"); err != nil {
+			if _, err := db.CreateEntityTable("papers", "title"); err != nil {
+				return err
 			}
-		}()
-		srv = server.NewEngine(eng)
-	} else {
-		mode = "mutex"
-		srv = server.New(view, papers, feedback)
+		}
+		if _, err := db.ExampleTableByName("feedback"); err != nil {
+			if _, err := db.CreateExampleTable("feedback"); err != nil {
+				return err
+			}
+		}
+		if _, err := db.CreateClassificationView(root.ViewSpec{
+			Name:     *viewName,
+			Entities: "papers",
+			Examples: "feedback",
+		}); err != nil {
+			return err
+		}
 	}
+	mode := "mutex"
+	if *useEngine {
+		mode = "engine"
+		if _, err := db.AttachEngine(*viewName, root.EngineOptions{
+			MaxBatch: *batch, QueueSize: *queue,
+		}); err != nil {
+			return err
+		}
+	}
+	srv := server.New(db, server.Options{DefaultView: *viewName})
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -129,8 +137,8 @@ func run() (err error) {
 		srv.Close()
 	}()
 
-	fmt.Printf("hazyd: serving view %q on %s (db: %s, mode: %s, %d cores)\n",
-		view.Name(), l.Addr(), dir, mode, runtime.GOMAXPROCS(0))
+	fmt.Printf("hazyd: serving catalog [%s] on %s (db: %s, default view: %s, mode: %s, %d cores)\n",
+		strings.Join(db.Views(), " "), l.Addr(), dir, *viewName, mode, runtime.GOMAXPROCS(0))
 	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		return err
 	}

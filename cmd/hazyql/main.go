@@ -1,11 +1,17 @@
 // Command hazyql is a small REPL over Hazy's SQL dialect (§2.1),
 // demonstrating the paper's interface: declare tables, a
-// CREATE CLASSIFICATION VIEW, feed training examples with INSERT, and
-// query the view with SELECT.
+// CREATE CLASSIFICATION VIEW, feed training examples with INSERT,
+// query the view with SELECT, and manage per-view serving engines
+// with ATTACH ENGINE TO / DETACH ENGINE FROM.
 //
 // Usage:
 //
-//	hazyql [-db DIR] [-f script.sql]
+//	hazyql [-db DIR] [-f script.sql]            # embedded session
+//	hazyql -connect HOST:PORT [-f script.sql]   # same session over TCP
+//
+// Both modes drive the identical statement loop: -connect sends each
+// statement through a hazyd server's SQL wire command instead of an
+// in-process hazy.Session, and the output is the same either way.
 //
 // Statements are ';'-terminated. Try:
 //
@@ -16,43 +22,54 @@
 //	  ENTITIES FROM papers KEY id
 //	  EXAMPLES FROM feedback KEY id LABEL label
 //	  FEATURE FUNCTION tf_bag_of_words USING SVM;
+//	ATTACH ENGINE TO labeled;
 //	INSERT INTO feedback VALUES (1, 1);
 //	SELECT class FROM labeled WHERE id = 1;
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	root "hazy"
-	"hazy/internal/sqlmini"
+	"hazy/internal/repl"
+	"hazy/internal/server"
 )
 
 func main() {
 	var (
-		dbDir  = flag.String("db", "", "database directory (default: temp)")
-		script = flag.String("f", "", "execute statements from this file, then exit")
+		dbDir   = flag.String("db", "", "database directory (default: temp)")
+		script  = flag.String("f", "", "execute statements from this file, then exit")
+		connect = flag.String("connect", "", "run the session against a hazyd server at this address instead of an embedded database")
 	)
 	flag.Parse()
 
-	dir := *dbDir
-	if dir == "" {
-		var err error
-		dir, err = os.MkdirTemp("", "hazyql-*")
+	var exec repl.Executor
+	if *connect != "" {
+		c, err := server.Dial(*connect)
 		if err != nil {
 			fatal(err)
 		}
-		defer os.RemoveAll(dir)
+		defer c.Close()
+		exec = c
+	} else {
+		dir := *dbDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "hazyql-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+		}
+		db, err := root.Open(dir)
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		exec = db.NewSession()
 	}
-	db, err := root.Open(dir)
-	if err != nil {
-		fatal(err)
-	}
-	defer db.Close()
-	eng := sqlmini.NewEngine(db)
 
 	in := os.Stdin
 	interactive := true
@@ -69,58 +86,9 @@ func main() {
 	if interactive {
 		fmt.Println("hazyql — Hazy classification views over SQL (';' ends a statement, \\q quits)")
 	}
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var buf strings.Builder
-	prompt := func() {
-		if interactive {
-			if buf.Len() == 0 {
-				fmt.Print("hazy> ")
-			} else {
-				fmt.Print("  ... ")
-			}
-		}
-	}
-	prompt()
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.TrimSpace(line) == `\q` {
-			return
-		}
-		buf.WriteString(line)
-		buf.WriteByte('\n')
-		if !strings.Contains(line, ";") {
-			prompt()
-			continue
-		}
-		stmt := buf.String()
-		buf.Reset()
-		if strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";")) == "" {
-			prompt()
-			continue
-		}
-		res, err := eng.Exec(stmt)
-		switch {
-		case err != nil:
-			fmt.Println("error:", err)
-		case res.Msg != "":
-			fmt.Println(res.Msg)
-		default:
-			printResult(res)
-		}
-		prompt()
-	}
-	if err := sc.Err(); err != nil {
+	if err := repl.Run(exec, in, os.Stdout, interactive); err != nil {
 		fatal(err)
 	}
-}
-
-func printResult(res *sqlmini.Result) {
-	fmt.Println(strings.Join(res.Cols, " | "))
-	for _, row := range res.Rows {
-		fmt.Println(strings.Join(row, " | "))
-	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
 }
 
 func fatal(err error) {

@@ -2,7 +2,9 @@
 // tiny ε-map and a bounded boundary buffer in memory. Shows the
 // memory footprint next to the data set size (Figure 6(A)) and how
 // the read path splits across ε-map / buffer / disk as the buffer
-// grows (Figure 6(B)).
+// grows (Figure 6(B)). (Works at the core-view layer; through the
+// Session front door the same architecture is declared with
+// ARCHITECTURE HYBRID in CREATE CLASSIFICATION VIEW.)
 package main
 
 import (

@@ -1,7 +1,9 @@
 // Multiclass: one-vs-all classification over Hazy views
 // (paper App. B.5.4 / C.3) on a Forest-like 7-class data set. Each
 // class gets its own incrementally maintained binary view; updates
-// fan out, reads walk the decision list.
+// fan out, reads walk the decision list. (A vector-level workload
+// below the Session front door — a SQL surface for multiclass views
+// is future work on top of the catalog-wide Session API.)
 package main
 
 import (

@@ -3,6 +3,11 @@
 // streams in. Compares the naive eager strategy against Hazy's
 // incremental maintenance on the same update stream and shows the
 // Skiing reorganization behaviour.
+//
+// This example deliberately works below the Session/SQL front door
+// (see examples/quickstart for that): it feeds pre-featurized vector
+// entities straight into a maintenance view via hazy.NewVectorView,
+// isolating the strategy comparison from tokenization and storage.
 package main
 
 import (

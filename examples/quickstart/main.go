@@ -1,12 +1,17 @@
-// Quickstart: declare a classification view over a table of papers,
-// feed it user feedback through plain inserts, and read labels back —
-// the paper's §2.1 workflow through the Go API.
+// Quickstart: the paper's §2.1 workflow through the Session API —
+// declare tables and a classification view in SQL, feed user
+// feedback with plain INSERTs, query the view with SELECT, and
+// attach a concurrent maintenance engine to it, all through the same
+// front door the hazyql REPL and the hazyd server use. The Go-level
+// handles (DB.View, ClassView.Label, …) interoperate with the SQL
+// surface throughout.
 package main
 
 import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"hazy"
 )
@@ -23,12 +28,19 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	sess := db.NewSession()
 
-	// The In relation: papers to classify.
-	papers, err := db.CreateEntityTable("papers", "title")
-	if err != nil {
-		log.Fatal(err)
+	exec := func(stmt string) *hazy.Result {
+		res, err := sess.Exec(stmt)
+		if err != nil {
+			log.Fatalf("%s\n→ %v", stmt, err)
+		}
+		return res
 	}
+
+	// The In relation and the training-examples relation.
+	exec(`CREATE TABLE papers (id BIGINT, title TEXT) KEY id`)
+	exec(`CREATE TABLE feedback (id BIGINT, label BIGINT) KEY id`)
 	titles := map[int64]string{
 		1: "efficient query optimization for relational database systems",
 		2: "a scalable kernel scheduler for multicore operating systems",
@@ -40,75 +52,56 @@ func main() {
 		8: "filesystem scheduler tuning inside the operating systems kernel",
 	}
 	for id, title := range titles {
-		if err := papers.InsertText(id, title); err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	// The training-examples relation: user feedback arrives here.
-	feedback, err := db.CreateExampleTable("feedback")
-	if err != nil {
-		log.Fatal(err)
+		exec(fmt.Sprintf("INSERT INTO papers VALUES (%d, '%s')", id, title))
 	}
 
 	// CREATE CLASSIFICATION VIEW labeled_papers ... (Example 2.1).
-	view, err := db.CreateClassificationView(hazy.ViewSpec{
-		Name:            "labeled_papers",
-		Entities:        "papers",
-		Examples:        "feedback",
-		FeatureFunction: "tf_bag_of_words",
-		Method:          "svm",
-		Arch:            hazy.MainMemory,
-		Strategy:        hazy.Hazy,
-		Mode:            hazy.Eager,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	exec(`CREATE CLASSIFICATION VIEW labeled_papers KEY id
+	      ENTITIES FROM papers KEY id
+	      EXAMPLES FROM feedback KEY id LABEL label
+	      FEATURE FUNCTION tf_bag_of_words USING SVM`)
 
-	// Feedback: a few papers labeled database (+1) or not (−1).
-	// Each insert retrains the model incrementally and maintains the
-	// view — the paper's type-2 dynamic data.
-	for _, fb := range []struct {
-		id    int64
-		label int
-	}{{1, +1}, {2, -1}, {3, +1}, {4, -1}} {
-		if err := feedback.InsertExample(fb.id, fb.label); err != nil {
-			log.Fatal(err)
-		}
-	}
+	// Serve it concurrently: reads come lock-free from published
+	// snapshots, writes batch through the engine's queue — and the
+	// INSERT statements below route through it automatically.
+	exec(`ATTACH ENGINE TO labeled_papers`)
+
+	// Feedback: a few papers labeled database (+1) or not (−1). Each
+	// insert retrains the model incrementally and maintains the view —
+	// the paper's type-2 dynamic data.
+	exec(`INSERT INTO feedback VALUES (1, 1), (2, -1), (3, 1), (4, -1)`)
 
 	// Single Entity reads: "is paper 5 a database paper?"
 	for _, id := range []int64{5, 6, 7, 8} {
-		label, err := view.Label(id)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := exec(fmt.Sprintf("SELECT class FROM labeled_papers WHERE id = %d", id))
 		verdict := "no "
-		if label > 0 {
+		if res.Rows[0][0] == "1" {
 			verdict = "yes"
 		}
 		fmt.Printf("paper %d: database? %s  (%q)\n", id, verdict, titles[id])
 	}
 
 	// All Members: "return all database papers."
-	members, err := view.Members()
-	if err != nil {
-		log.Fatal(err)
+	res := exec(`SELECT id FROM labeled_papers WHERE class = 1`)
+	var members []string
+	for _, row := range res.Rows {
+		members = append(members, row[0])
 	}
-	fmt.Printf("database papers: %v\n", members)
+	fmt.Printf("database papers: [%s]\n", strings.Join(members, " "))
 
 	// New entities arriving later are classified on insert (type-1
-	// dynamic data).
-	if err := papers.InsertText(9, "cost based query optimization of sql database views"); err != nil {
-		log.Fatal(err)
-	}
-	label, err := view.Label(9)
+	// dynamic data) — synchronously through the engine, so the read
+	// right after sees the write.
+	exec(`INSERT INTO papers VALUES (9, 'cost based query optimization of sql database views')`)
+	res = exec(`SELECT class FROM labeled_papers WHERE id = 9`)
+	fmt.Printf("late-arriving paper 9 classified: %s\n", res.Rows[0][0])
+
+	// The Go handles see the same catalog the SQL surface built.
+	exec(`DETACH ENGINE FROM labeled_papers`)
+	view, err := db.View("labeled_papers")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("late-arriving paper 9 classified: %+d\n", label)
-
 	st := view.Stats()
 	fmt.Printf("maintenance: %d updates, %d reorganizations, band [%0.3f, %0.3f]\n",
 		st.Updates, st.Reorgs, st.LowWater, st.HighWater)

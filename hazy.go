@@ -12,26 +12,43 @@
 // changed label, and reorganizing the clustering per the Skiing
 // online strategy, which is 2-competitive as data grows.
 //
-// Quick start:
+// The front door is the Session API, which executes the paper's SQL
+// dialect (§2.1) against the whole catalog — the same statements work
+// embedded, in the hazyql REPL, and over the wire through hazyd's
+// SQL command:
 //
 //	db, _ := hazy.Open(dir)
 //	defer db.Close()
-//	papers, _ := db.CreateEntityTable("papers", "title")
-//	examples, _ := db.CreateExampleTable("feedback")
-//	papers.InsertText(1, "query optimization in relational databases")
-//	v, _ := db.CreateClassificationView(hazy.ViewSpec{
-//	    Name: "labeled_papers", Entities: "papers", Examples: "feedback",
-//	    FeatureFunction: "tf_bag_of_words",
-//	})
-//	examples.InsertExample(1, +1) // trigger retrains + maintains v
-//	label, _ := v.Label(1)
+//	sess := db.NewSession()
+//	sess.Exec(`CREATE TABLE papers (id BIGINT, title TEXT) KEY id`)
+//	sess.Exec(`CREATE TABLE feedback (id BIGINT, label BIGINT) KEY id`)
+//	sess.Exec(`INSERT INTO papers VALUES (1, 'query optimization in relational databases')`)
+//	sess.Exec(`CREATE CLASSIFICATION VIEW labeled_papers KEY id
+//	           ENTITIES FROM papers KEY id
+//	           EXAMPLES FROM feedback KEY id LABEL label
+//	           FEATURE FUNCTION tf_bag_of_words USING SVM`)
+//	sess.Exec(`INSERT INTO feedback VALUES (1, 1)`) // retrains + maintains the view
+//	res, _ := sess.Exec(`SELECT class FROM labeled_papers WHERE id = 1`)
+//
+// The equivalent Go-level calls (CreateEntityTable,
+// CreateClassificationView, ClassView.Label, …) remain available and
+// interoperate with SQL — both surfaces share one catalog, which is
+// persisted in the database directory's manifest and recovered by
+// Open, views included.
+//
+// For concurrent serving, attach the maintenance engine to a view
+// (AttachEngine, or the SQL statement ATTACH ENGINE TO <view>):
+// reads then come lock-free from published snapshots and writes are
+// batched through a bounded queue, whichever surface they arrive on.
 package hazy
 
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"hazy/internal/core"
@@ -61,22 +78,35 @@ type Entity = core.Entity
 // Stats is re-exported from the maintenance core.
 type Stats = core.Stats
 
-// DB is a Hazy database: a catalog of relational tables plus the
-// classification views maintained over them.
+// DB is a Hazy database: a catalog of relational tables, the
+// classification views maintained over them, and the registry of
+// concurrent maintenance engines attached to those views.
 type DB struct {
 	dir      string
 	rel      *relation.DB
 	registry *feature.Registry
+
+	// mu guards the catalog maps, the engine registry, and manifest
+	// writes. View maintenance itself is synchronized by the caller
+	// (single-threaded embedded use, the server's statement lock, or
+	// an attached engine's goroutine).
+	mu       sync.RWMutex
 	views    map[string]*ClassView
 	tables   map[string]*EntityTable
 	examples map[string]*ExampleTable
+	specs    map[string]ViewSpec       // persisted view declarations
+	engines  map[string]*engine.Engine // view name → attached engine
+	pending  []ViewSpec                // manifest views awaiting a custom feature function
+	creating map[string]bool           // view names reserved by an in-flight create
 }
 
-// Open creates or reopens a database directory. Previously created
-// entity and example tables are recovered from the catalog manifest;
-// classification views are a function of those tables (§3.5.1) and
-// are re-declared with CreateClassificationView, which retrains from
-// the persisted examples.
+// Open creates or reopens a database directory. The catalog manifest
+// records every table's kind (entity vs examples) and every view's
+// declaration, so Open recovers the tables and re-declares each
+// classification view — the view contents are recomputed from the
+// persisted entities and examples (§3.5.1), never stored. Directories
+// written before the manifest existed fall back to a schema-shape
+// heuristic for table kinds and recover no views.
 func Open(dir string) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("hazy: %w", err)
@@ -88,32 +118,154 @@ func Open(dir string) (*DB, error) {
 		views:    map[string]*ClassView{},
 		tables:   map[string]*EntityTable{},
 		examples: map[string]*ExampleTable{},
+		specs:    map[string]ViewSpec{},
+		engines:  map[string]*engine.Engine{},
+		creating: map[string]bool{},
 	}
 	names, err := db.rel.Recover()
 	if err != nil {
 		return nil, err
+	}
+	meta, err := loadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	kinds := map[string]metaTable{}
+	if meta != nil {
+		for _, mt := range meta.Tables {
+			kinds[mt.Name] = mt
+		}
 	}
 	for _, name := range names {
 		tbl, err := db.rel.Table(name)
 		if err != nil {
 			return nil, err
 		}
+		if mt, ok := kinds[name]; ok {
+			switch mt.Kind {
+			case "entity":
+				col := tbl.Schema().ColIndex(mt.TextCol)
+				if col < 0 {
+					return nil, fmt.Errorf("hazy: manifest table %q: no column %q", name, mt.TextCol)
+				}
+				db.tables[name] = &EntityTable{db: db, tbl: tbl, textCol: col}
+			case "example":
+				db.examples[name] = &ExampleTable{db: db, tbl: tbl}
+			default:
+				return nil, fmt.Errorf("hazy: manifest table %q: unknown kind %q", name, mt.Kind)
+			}
+			continue
+		}
+		// Pre-manifest directory: guess the kind from the schema shape.
 		schema := tbl.Schema()
 		if len(schema.Cols) != 2 {
 			continue
 		}
 		switch schema.Cols[1].Type {
 		case relation.TString:
-			db.tables[name] = &EntityTable{tbl: tbl, textCol: 1}
+			db.tables[name] = &EntityTable{db: db, tbl: tbl, textCol: 1}
 		case relation.TInt64:
-			db.examples[name] = &ExampleTable{tbl: tbl}
+			db.examples[name] = &ExampleTable{db: db, tbl: tbl}
+		}
+	}
+	if meta != nil {
+		for _, mv := range meta.Views {
+			spec, err := mv.spec()
+			if err != nil {
+				return nil, err
+			}
+			// Views over app-registered feature functions (App. A.2)
+			// cannot be rebuilt yet — the app registers its functions
+			// only after Open returns. Defer them instead of failing
+			// the whole open; RecoverPendingViews finishes the job.
+			ffName := spec.FeatureFunction
+			if ffName == "" {
+				ffName = "tf_bag_of_words"
+			}
+			if !db.registry.Has(ffName) {
+				db.pending = append(db.pending, spec)
+				continue
+			}
+			if _, err := db.createClassificationView(spec, false); err != nil {
+				return nil, fmt.Errorf("hazy: recover view %q: %w", mv.Name, err)
+			}
 		}
 	}
 	return db, nil
 }
 
-// Close flushes and closes all storage.
-func (db *DB) Close() error { return db.rel.Close() }
+// PendingViews lists manifest views whose recovery was deferred
+// because their feature function was not registered at Open time.
+func (db *DB) PendingViews() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.pending))
+	for _, spec := range db.pending {
+		out = append(out, spec.Name)
+	}
+	return out
+}
+
+// RecoverPendingViews re-declares the manifest views deferred by Open
+// for lack of their (custom) feature function. Call it after
+// registering the functions with Registry().Register. Views whose
+// functions are still missing remain pending; the first rebuild
+// error is returned.
+func (db *DB) RecoverPendingViews() error {
+	db.mu.RLock()
+	pending := db.pending
+	db.mu.RUnlock()
+	var remaining []ViewSpec
+	var first error
+	for _, spec := range pending {
+		ffName := spec.FeatureFunction
+		if ffName == "" {
+			ffName = "tf_bag_of_words"
+		}
+		if !db.registry.Has(ffName) {
+			remaining = append(remaining, spec)
+			continue
+		}
+		if _, err := db.createClassificationView(spec, false); err != nil {
+			remaining = append(remaining, spec)
+			if first == nil {
+				first = fmt.Errorf("hazy: recover view %q: %w", spec.Name, err)
+			}
+		}
+	}
+	db.mu.Lock()
+	db.pending = remaining
+	db.mu.Unlock()
+	return first
+}
+
+// Close drains and detaches every attached maintenance engine, writes
+// the catalog manifest, and flushes and closes all storage. It
+// returns the first error — including any unreported asynchronous
+// write failure surfaced by an engine's final drain.
+func (db *DB) Close() error {
+	db.mu.RLock()
+	engines := make([]*engine.Engine, 0, len(db.engines))
+	for _, eng := range db.engines {
+		engines = append(engines, eng)
+	}
+	db.mu.RUnlock()
+	var first error
+	for _, eng := range engines {
+		if err := eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.mu.Lock()
+	if err := db.saveMeta(); err != nil && first == nil {
+		first = err
+	}
+	db.mu.Unlock()
+	if err := db.rel.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
 
 // Registry exposes the feature-function registry so applications can
 // register custom functions (paper App. A.2).
@@ -122,12 +274,13 @@ func (db *DB) Registry() *feature.Registry { return db.registry }
 // EntityTable is a relational table of (id BIGINT, text TEXT) rows —
 // the In relation a classification view is declared over.
 type EntityTable struct {
+	db      *DB
 	tbl     *relation.Table
 	textCol int
 }
 
 // CreateEntityTable creates a table with key column "id" and one text
-// column.
+// column, and records it in the catalog manifest.
 func (db *DB) CreateEntityTable(name, textColumn string) (*EntityTable, error) {
 	schema, err := relation.NewSchema([]relation.Column{
 		{Name: "id", Type: relation.TInt64},
@@ -136,18 +289,37 @@ func (db *DB) CreateEntityTable(name, textColumn string) (*EntityTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	tbl, err := db.rel.CreateTable(name, schema)
 	if err != nil {
 		return nil, err
 	}
-	et := &EntityTable{tbl: tbl, textCol: 1}
+	et := &EntityTable{db: db, tbl: tbl, textCol: 1}
 	db.tables[name] = et
+	if err := db.saveMeta(); err != nil {
+		return nil, err
+	}
 	return et, nil
 }
 
+// Name returns the table name.
+func (t *EntityTable) Name() string { return t.tbl.Name() }
+
+// TextColumn returns the name of the table's text column.
+func (t *EntityTable) TextColumn() string {
+	return t.tbl.Schema().Cols[t.textCol].Name
+}
+
 // InsertText adds an entity row. Views declared over this table pick
-// it up via triggers.
+// it up via triggers; if a view over this table has a maintenance
+// engine attached, the insert routes through the engine's write queue
+// (synchronously — it returns once applied and visible), so both
+// surfaces stay consistent.
 func (t *EntityTable) InsertText(id int64, text string) error {
+	if eng := t.db.engineForEntities(t); eng != nil {
+		return eng.Add(id, text)
+	}
 	return t.tbl.Insert(relation.Tuple{id, text})
 }
 
@@ -165,6 +337,8 @@ func (t *EntityTable) Text(id int64) (string, error) {
 
 // EntityTableByName returns a previously created entity table.
 func (db *DB) EntityTableByName(name string) (*EntityTable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("hazy: no entity table %q", name)
@@ -174,6 +348,8 @@ func (db *DB) EntityTableByName(name string) (*EntityTable, error) {
 
 // ExampleTableByName returns a previously created examples table.
 func (db *DB) ExampleTableByName(name string) (*ExampleTable, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.examples[name]
 	if !ok {
 		return nil, fmt.Errorf("hazy: no example table %q", name)
@@ -192,11 +368,12 @@ func (t *EntityTable) Scan(fn func(id int64, text string) error) error {
 // training examples; inserting into it drives view maintenance, like
 // the paper's SQL INSERTs monitored by triggers.
 type ExampleTable struct {
+	db  *DB
 	tbl *relation.Table
 }
 
 // CreateExampleTable creates an examples table with columns
-// (id, label).
+// (id, label) and records it in the catalog manifest.
 func (db *DB) CreateExampleTable(name string) (*ExampleTable, error) {
 	schema, err := relation.NewSchema([]relation.Column{
 		{Name: "id", Type: relation.TInt64},
@@ -205,20 +382,33 @@ func (db *DB) CreateExampleTable(name string) (*ExampleTable, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	tbl, err := db.rel.CreateTable(name, schema)
 	if err != nil {
 		return nil, err
 	}
-	et := &ExampleTable{tbl: tbl}
+	et := &ExampleTable{db: db, tbl: tbl}
 	db.examples[name] = et
+	if err := db.saveMeta(); err != nil {
+		return nil, err
+	}
 	return et, nil
 }
 
+// Name returns the table name.
+func (t *ExampleTable) Name() string { return t.tbl.Name() }
+
 // InsertExample adds a training example (label must be ±1). Triggers
-// fan it out to every view declared over this table.
+// fan it out to every view declared over this table; if a view over
+// this table has a maintenance engine attached, the insert routes
+// through the engine's write queue (synchronously).
 func (t *ExampleTable) InsertExample(id int64, label int) error {
 	if label != 1 && label != -1 {
 		return fmt.Errorf("hazy: label must be ±1, got %d", label)
+	}
+	if eng := t.db.engineForExamples(t); eng != nil {
+		return eng.Train(id, label)
 	}
 	return t.tbl.Insert(relation.Tuple{id, int64(label)})
 }
@@ -227,14 +417,26 @@ func (t *ExampleTable) InsertExample(id int64, label int) error {
 func (t *ExampleTable) Len() int { return t.tbl.Len() }
 
 // DeleteExample removes a training example; every view over this
-// table retrains its model from scratch (§2.2 footnote).
-func (t *ExampleTable) DeleteExample(id int64) error { return t.tbl.Delete(id) }
+// table retrains its model from scratch (§2.2 footnote). It is
+// rejected while an engine manages a view over this table — the
+// engine's write queue has no retrain op, so a silent delete would
+// leave the served view stale. Detach the engine first.
+func (t *ExampleTable) DeleteExample(id int64) error {
+	if t.db.engineForExamples(t) != nil {
+		return fmt.Errorf("hazy: %s is engine-managed; detach the engine before deleting examples", t.Name())
+	}
+	return t.tbl.Delete(id)
+}
 
 // RelabelExample changes an example's label; every view over this
-// table retrains its model from scratch.
+// table retrains its model from scratch. Like DeleteExample it is
+// rejected while the table is engine-managed.
 func (t *ExampleTable) RelabelExample(id int64, label int) error {
 	if label != 1 && label != -1 {
 		return fmt.Errorf("hazy: label must be ±1, got %d", label)
+	}
+	if t.db.engineForExamples(t) != nil {
+		return fmt.Errorf("hazy: %s is engine-managed; detach the engine before relabeling examples", t.Name())
 	}
 	return t.tbl.Update(relation.Tuple{id, int64(label)})
 }
@@ -260,10 +462,11 @@ type ViewSpec struct {
 	// FeatureFunction is a registered feature-function name
 	// (default tf_bag_of_words).
 	FeatureFunction string
-	// Method is "svm" (default), "logistic", or "ridge" (the USING
-	// clause). Empty means automatic selection once enough examples
-	// arrive — here it simply defaults to SVM, matching the paper's
-	// experimental configuration.
+	// Method is "svm", "logistic", or "ridge" (the USING clause).
+	// Empty means automatic selection (§2.1's leave-one-out model
+	// selection): when enough warm examples are present at
+	// declaration time the method is chosen by k-fold holdout over
+	// them, otherwise it defaults to SVM.
 	Method string
 	// Arch, Strategy, Mode select the maintenance machinery; the
 	// defaults are the paper's best configuration (Hazy-MM, eager).
@@ -278,13 +481,20 @@ type ViewSpec struct {
 	PoolPages int
 }
 
+// autoSelectMin is the minimum number of warm examples before the
+// automatic model selection runs; below it the SVM default stands
+// (there is nothing meaningful to cross-validate).
+const autoSelectMin = 12
+
 // ClassView is a maintained classification view.
 type ClassView struct {
-	name string
-	view core.View
-	ff   feature.Func
-	ents *EntityTable
-	exs  *ExampleTable
+	name   string
+	spec   ViewSpec // the (defaulted) declaration, as persisted
+	method string   // resolved method ("svm" | "logistic" | "ridge")
+	view   core.View
+	ff     feature.Func
+	ents   *EntityTable
+	exs    *ExampleTable
 	// managed is set while an Engine owns this view's maintenance;
 	// the table triggers then skip this view (the engine applies the
 	// maintenance itself, batched, on its own goroutine).
@@ -293,20 +503,60 @@ type ClassView struct {
 
 // CreateClassificationView declares and materializes a view: the
 // feature function makes its corpus pass over the entity table, the
-// core view is built and clustered, and triggers are installed on
-// both tables so subsequent SQL inserts maintain the view.
+// core view is built and clustered, triggers are installed on both
+// tables so subsequent SQL inserts maintain the view, and the
+// declaration is recorded in the catalog manifest so Open re-declares
+// it after a restart.
 func (db *DB) CreateClassificationView(spec ViewSpec) (*ClassView, error) {
-	if _, dup := db.views[spec.Name]; dup {
+	return db.createClassificationView(spec, true)
+}
+
+func (db *DB) createClassificationView(spec ViewSpec, persist bool) (*ClassView, error) {
+	// Reserve the name and resolve the tables under the catalog lock,
+	// then build OUTSIDE it: the corpus pass, warm training, and
+	// clustering can take seconds on a large table, and holding the
+	// write lock that long would stall every concurrent Bind/resolve
+	// (the serving read path). The tables' own locks make the build's
+	// scans safe against concurrent mutations.
+	db.mu.Lock()
+	if _, dup := db.views[spec.Name]; dup || db.creating[spec.Name] {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("hazy: view %q already exists", spec.Name)
 	}
 	et, ok := db.tables[spec.Entities]
 	if !ok {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("hazy: no entity table %q", spec.Entities)
 	}
 	xt, ok := db.examples[spec.Examples]
 	if !ok {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("hazy: no example table %q", spec.Examples)
 	}
+	db.creating[spec.Name] = true
+	db.mu.Unlock()
+
+	cv, err := db.buildView(spec, et, xt)
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.creating, spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	db.views[spec.Name] = cv
+	db.specs[spec.Name] = cv.spec
+	if persist {
+		if err := db.saveMeta(); err != nil {
+			return nil, err
+		}
+	}
+	return cv, nil
+}
+
+// buildView materializes a view and installs its triggers; it takes
+// no catalog locks.
+func (db *DB) buildView(spec ViewSpec, et *EntityTable, xt *ExampleTable) (*ClassView, error) {
 	if spec.FeatureFunction == "" {
 		spec.FeatureFunction = "tf_bag_of_words"
 	}
@@ -354,19 +604,31 @@ func (db *DB) CreateClassificationView(spec ViewSpec) (*ClassView, error) {
 		return nil, err
 	}
 
+	// USING clause absent: automatic model selection (§2.1) by k-fold
+	// holdout over the warm examples, when there are enough of them.
+	// The selection is deterministic (fixed fold shuffle) so a reopen
+	// over the same examples re-declares the same model.
+	method := spec.Method
+	if method == "" {
+		method = learn.MethodSVM
+		if len(warm) >= autoSelectMin {
+			method = learn.SelectMethod(warm, 5, 3, rand.New(rand.NewSource(1)))
+		}
+	}
+
 	opts := core.Options{
 		Mode:       spec.Mode,
 		Alpha:      spec.Alpha,
 		BufferFrac: spec.BufferFrac,
 		Norm:       math.Inf(1), // text: ℓ1-normalized features, p=∞
-		SGD:        learn.SGDConfig{Loss: learn.LossFor(spec.Method)},
+		SGD:        learn.SGDConfig{Loss: learn.LossFor(method)},
 		Warm:       warm,
 	}
 	view, err := core.New(spec.Arch, spec.Strategy, filepath.Join(db.dir, "view-"+spec.Name), spec.PoolPages, entities, opts)
 	if err != nil {
 		return nil, err
 	}
-	cv := &ClassView{name: spec.Name, view: view, ff: ff, ents: et, exs: xt}
+	cv := &ClassView{name: spec.Name, spec: spec, method: method, view: view, ff: ff, ents: et, exs: xt}
 
 	// Trigger: new entities are featurized and classified on arrival
 	// (type-1 dynamic data).
@@ -415,12 +677,13 @@ func (db *DB) CreateClassificationView(spec ViewSpec) (*ClassView, error) {
 		}
 	})
 
-	db.views[spec.Name] = cv
 	return cv, nil
 }
 
 // View returns a previously created view.
 func (db *DB) View(name string) (*ClassView, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	v, ok := db.views[name]
 	if !ok {
 		return nil, fmt.Errorf("hazy: no view %q", name)
@@ -428,8 +691,19 @@ func (db *DB) View(name string) (*ClassView, error) {
 	return v, nil
 }
 
+// Views lists the declared view names, sorted.
+func (db *DB) Views() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return sortedKeys(db.views)
+}
+
 // Name returns the view's name.
 func (v *ClassView) Name() string { return v.name }
+
+// Method returns the resolved training method ("svm", "logistic", or
+// "ridge") — the USING clause, or the automatic selection's choice.
+func (v *ClassView) Method() string { return v.method }
 
 // Label answers a Single Entity read: the current class of entity id.
 func (v *ClassView) Label(id int64) (int, error) { return v.view.Label(id) }
@@ -456,6 +730,9 @@ func (v *ClassView) Core() core.View { return v.view }
 // Entities returns the entity table the view is declared over.
 func (v *ClassView) Entities() *EntityTable { return v.ents }
 
+// Examples returns the examples table the view is declared over.
+func (v *ClassView) Examples() *ExampleTable { return v.exs }
+
 // NewVectorView builds a maintained view directly over feature
 // vectors, bypassing the relational layer — the entry point used by
 // the benchmark harness and numeric applications.
@@ -469,28 +746,121 @@ type Options = core.Options
 // EngineOptions re-exports the maintenance-engine options.
 type EngineOptions = engine.Options
 
-// Engine wraps a view with the concurrent maintenance engine: TRAIN
-// and ADD flow through a bounded queue drained by one maintenance
-// goroutine (group-applied in batches), while reads are answered
-// lock-free from atomically published immutable snapshots. While an
-// engine is attached the view's table triggers are suspended for this
-// view — mutate the entity and example tables only through the
-// engine, and Close it before closing the DB (Close drains the queue
-// and re-enables the triggers). Requires a snapshot-capable
-// (main-memory) view.
-func (db *DB) Engine(v *ClassView, opts engine.Options) (*engine.Engine, error) {
-	if _, ok := v.view.(core.Snapshotter); !ok {
-		return nil, fmt.Errorf("hazy: view %q (%T) does not support snapshots; the engine requires the MainMemory architecture", v.name, v.view)
+// AttachEngine wraps the named view with a concurrent maintenance
+// engine and records it in the DB's engine registry: TRAIN and ADD
+// flow through a bounded queue drained by one maintenance goroutine
+// (group-applied in batches), while reads are answered lock-free from
+// atomically published immutable snapshots. While attached the view's
+// table triggers are suspended for this view, and inserts through the
+// table or Session APIs route through the engine automatically.
+//
+// Each view has at most one engine, and two attached engines may not
+// share an entity or examples table (the mutation routing would be
+// ambiguous). An UNmanaged view may share tables with an engined one;
+// its trigger maintenance then runs on the engine's goroutine, so
+// serve such a view only behind the same serialization as its writes
+// (the server's statement mutex does not cover them — prefer
+// disjoint tables per engined view, as the constraint suggests).
+// DetachEngine — or DB.Close — drains the queue and re-enables the
+// triggers. Requires a snapshot-capable (main-memory) view.
+func (db *DB) AttachEngine(view string, opts EngineOptions) (*engine.Engine, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cv, ok := db.views[view]
+	if !ok {
+		return nil, fmt.Errorf("hazy: no view %q", view)
 	}
-	if v.managed.Swap(true) {
-		return nil, fmt.Errorf("hazy: view %q already has an engine attached", v.name)
+	if _, ok := cv.view.(core.Snapshotter); !ok {
+		return nil, fmt.Errorf("hazy: view %q (%T) does not support snapshots; the engine requires the MainMemory architecture", cv.name, cv.view)
 	}
-	eng, err := engine.New(&viewBackend{cv: v}, opts)
+	for name := range db.engines {
+		other := db.views[name]
+		if other.ents == cv.ents || other.exs == cv.exs {
+			return nil, fmt.Errorf("hazy: view %q shares a table with engine-managed view %q", view, name)
+		}
+	}
+	if cv.managed.Swap(true) {
+		return nil, fmt.Errorf("hazy: view %q already has an engine attached", cv.name)
+	}
+	eng, err := engine.New(&viewBackend{db: db, cv: cv}, opts)
 	if err != nil {
-		v.managed.Store(false)
+		cv.managed.Store(false)
 		return nil, err
 	}
+	db.engines[view] = eng
 	return eng, nil
+}
+
+// DetachEngine closes the named view's engine: the queue drains, the
+// final snapshot is published, the view's triggers resume, and the
+// registry entry is removed. It returns the engine's close error
+// (including any unreported async write failure).
+func (db *DB) DetachEngine(view string) error {
+	db.mu.RLock()
+	eng, ok := db.engines[view]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("hazy: view %q has no engine attached", view)
+	}
+	return eng.Close()
+}
+
+// AttachedEngine returns the engine currently attached to the named
+// view, or nil.
+func (db *DB) AttachedEngine(view string) *engine.Engine {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engines[view]
+}
+
+// viewAndEngine resolves a view and its attached engine under one
+// lock acquisition — the serving hot path.
+func (db *DB) viewAndEngine(name string) (*ClassView, *engine.Engine, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.views[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("hazy: no view %q", name)
+	}
+	return v, db.engines[name], nil
+}
+
+// EnginedViews lists the views with an engine attached, sorted.
+func (db *DB) EnginedViews() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return sortedKeys(db.engines)
+}
+
+// Engine attaches a maintenance engine to v. It is the historical
+// form of AttachEngine and is kept for compatibility; the engine is
+// registered in the DB's engine registry either way.
+func (db *DB) Engine(v *ClassView, opts engine.Options) (*engine.Engine, error) {
+	return db.AttachEngine(v.name, opts)
+}
+
+// engineForEntities returns the engine managing a view over t, if any.
+func (db *DB) engineForEntities(t *EntityTable) *engine.Engine {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for name, eng := range db.engines {
+		if db.views[name].ents == t {
+			return eng
+		}
+	}
+	return nil
+}
+
+// engineForExamples returns the engine managing a view over t, if any.
+func (db *DB) engineForExamples(t *ExampleTable) *engine.Engine {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for name, eng := range db.engines {
+		if db.views[name].exs == t {
+			return eng
+		}
+	}
+	return nil
 }
 
 // viewBackend adapts a ClassView and its tables to engine.Backend.
@@ -498,6 +868,7 @@ func (db *DB) Engine(v *ClassView, opts engine.Options) (*engine.Engine, error) 
 // goroutine; Feature is called concurrently from the read path and
 // relies on the feature functions' internal synchronization.
 type viewBackend struct {
+	db *DB
 	cv *ClassView
 }
 
@@ -553,5 +924,15 @@ func (b *viewBackend) Feature(text string) vector.Vector {
 }
 
 // Detach is called by Engine.Close after the final drain: the view's
-// table triggers resume and a new engine may be attached.
-func (b *viewBackend) Detach() { b.cv.managed.Store(false) }
+// table triggers resume FIRST, then the engine leaves the registry —
+// in that order, so a concurrent insert either routes to the closed
+// engine (an explicit ErrClosed) or runs with live triggers; the
+// opposite order would open a window where the insert bypasses the
+// engine while the trigger still sees the view as managed, silently
+// skipping maintenance. Afterwards a new engine may be attached.
+func (b *viewBackend) Detach() {
+	b.cv.managed.Store(false)
+	b.db.mu.Lock()
+	delete(b.db.engines, b.cv.name)
+	b.db.mu.Unlock()
+}

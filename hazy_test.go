@@ -268,7 +268,8 @@ func TestCustomFeatureFunction(t *testing.T) {
 
 // TestEngineAttachDetach covers the engine lifecycle at the DB
 // level: while attached the view is engine-managed (double attach
-// rejected), and Close drains, re-enables the table triggers, and
+// rejected, registry populated, table mutations routed through the
+// engine), and Close drains, re-enables the table triggers, and
 // allows a fresh attach.
 func TestEngineAttachDetach(t *testing.T) {
 	db, v, examples, _ := buildDB(t, core.MainMemory, core.HazyStrategy, core.Eager)
@@ -279,25 +280,39 @@ func TestEngineAttachDetach(t *testing.T) {
 	if _, err := db.Engine(v, EngineOptions{}); err == nil {
 		t.Fatal("second attach while an engine is active succeeded")
 	}
+	if got := db.AttachedEngine("labeled_papers"); got != eng {
+		t.Fatalf("AttachedEngine = %v, want the attached engine", got)
+	}
 	if err := eng.Train(0, 1); err != nil {
 		t.Fatal(err)
 	}
-	// While managed, direct table inserts bypass view maintenance.
+	// While managed, direct table inserts route through the engine —
+	// one front door: the write is applied, maintained, and visible.
 	if err := examples.InsertExample(1, -1); err != nil {
 		t.Fatal(err)
 	}
-	if got := v.Stats().Updates; got != 1 {
-		t.Fatalf("updates while managed = %d, want 1 (engine op only)", got)
+	if got := eng.ViewStats().Updates; got != 2 {
+		t.Fatalf("updates while managed = %d, want 2 (engine-routed insert)", got)
+	}
+	// Deletes and relabels have no engine op and are rejected.
+	if err := examples.DeleteExample(1); err == nil {
+		t.Fatal("DeleteExample succeeded on an engine-managed table")
+	}
+	if err := examples.RelabelExample(1, 1); err == nil {
+		t.Fatal("RelabelExample succeeded on an engine-managed table")
 	}
 	if err := eng.Close(); err != nil {
 		t.Fatal(err)
+	}
+	if got := db.AttachedEngine("labeled_papers"); got != nil {
+		t.Fatalf("AttachedEngine after Close = %v, want nil", got)
 	}
 	// Detached: triggers resume maintaining the view...
 	if err := examples.InsertExample(2, 1); err != nil {
 		t.Fatal(err)
 	}
-	if got := v.Stats().Updates; got != 2 {
-		t.Fatalf("updates after detach = %d, want 2 (trigger resumed)", got)
+	if got := v.Stats().Updates; got != 3 {
+		t.Fatalf("updates after detach = %d, want 3 (trigger resumed)", got)
 	}
 	// ...and a new engine can attach and serve.
 	eng2, err := db.Engine(v, EngineOptions{})
@@ -308,7 +323,7 @@ func TestEngineAttachDetach(t *testing.T) {
 	if err := eng2.Train(3, -1); err != nil {
 		t.Fatal(err)
 	}
-	if got := eng2.ViewStats().Updates; got != 3 {
-		t.Fatalf("updates after re-attach = %d, want 3", got)
+	if got := eng2.ViewStats().Updates; got != 4 {
+		t.Fatalf("updates after re-attach = %d, want 4", got)
 	}
 }

@@ -67,17 +67,14 @@ func buildConcStack(cfg Config, name string, engineMode bool, entities int) (*co
 			return nil, err
 		}
 	}
+	// db.Close drains any attached engine before closing storage.
 	st := &concStack{db: db, close: func() { db.Close() }}
 	if engineMode {
-		eng, err := db.Engine(view, root.EngineOptions{})
-		if err != nil {
+		if _, err := db.AttachEngine(view.Name(), root.EngineOptions{}); err != nil {
 			return nil, err
 		}
-		st.serve = server.NewEngine(eng)
-		st.close = func() { eng.Close(); db.Close() }
-	} else {
-		st.serve = server.New(view, papers, feedback)
 	}
+	st.serve = server.New(db, server.Options{DefaultView: view.Name()})
 	return st, nil
 }
 

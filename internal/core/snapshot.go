@@ -50,6 +50,12 @@ func (s *Snapshot) Model() *learn.Model { return s.model }
 // Len returns the number of entities in the snapshot.
 func (s *Snapshot) Len() int { return len(s.entries) }
 
+// Entries exposes the snapshot's (id, eps, label) rows — eps-ascending
+// for clustered snapshots. The returned slice is shared immutable
+// state: callers must not modify it. It lets a SQL layer answer full
+// view scans from the snapshot without touching the live tables.
+func (s *Snapshot) Entries() []SnapEntry { return s.entries }
+
 // Stats returns the maintenance counters captured at snapshot time.
 func (s *Snapshot) Stats() Stats { return s.stats }
 

@@ -12,7 +12,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
 	"hazy/internal/learn"
 	"hazy/internal/vector"
@@ -92,6 +94,43 @@ func (a Arch) String() string {
 	default:
 		return "mm"
 	}
+}
+
+// ParseMode is the case-insensitive inverse of Mode.String ("" is the
+// default) — the one mapping shared by the SQL dialect and the
+// catalog manifest.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "eager":
+		return Eager, nil
+	case "lazy":
+		return Lazy, nil
+	}
+	return 0, fmt.Errorf("core: unknown mode %q", s)
+}
+
+// ParseStrategy is the case-insensitive inverse of Strategy.String.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "", "hazy":
+		return HazyStrategy, nil
+	case "naive":
+		return Naive, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", s)
+}
+
+// ParseArch is the case-insensitive inverse of Arch.String.
+func ParseArch(s string) (Arch, error) {
+	switch strings.ToLower(s) {
+	case "", "mm":
+		return MainMemory, nil
+	case "od":
+		return OnDisk, nil
+	case "hybrid":
+		return HybridArch, nil
+	}
+	return 0, fmt.Errorf("core: unknown architecture %q", s)
 }
 
 // ReorgPolicy selects when the Hazy strategy reorganizes — Skiing is

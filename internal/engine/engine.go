@@ -25,12 +25,20 @@
 // that need read-your-writes either use the synchronous write calls
 // (which return only after the batch containing the write is applied
 // and published) or issue an explicit Flush barrier.
+//
+// Asynchronous failures are attributed per producer session: every
+// async op carries a Token, the first error per token is retained,
+// and FlushTok reports only its own token's error — so concurrent
+// sessions sharing one engine never collect each other's failures.
+// The engine-wide Flush, Drain, and Close sweep up unclaimed errors
+// so none are lost when a session disappears without flushing.
 package engine
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by writes enqueued after Close.
@@ -64,6 +72,17 @@ const (
 	opBarrier
 )
 
+// Token identifies one producer session for asynchronous-error
+// attribution: every async op is tagged with a token, the first
+// failure is recorded per token, and FlushTok(tok) collects only that
+// token's error. SharedToken is the legacy engine-wide slot used by
+// the untagged TrainAsync/AddAsync/Flush calls.
+type Token uint64
+
+// SharedToken is the engine-wide error slot shared by all untagged
+// async ops.
+const SharedToken Token = 0
+
 // op is one queued write (or barrier). done is nil for asynchronous
 // ops; otherwise it receives the op's outcome after the batch
 // containing it has been applied and its snapshot published.
@@ -72,6 +91,7 @@ type op struct {
 	id    int64
 	label int
 	text  string
+	tok   Token
 	done  chan error
 }
 
@@ -88,11 +108,25 @@ type Engine struct {
 	closed     bool
 	detachOnce sync.Once
 
-	asyncMu  sync.Mutex
-	asyncErr error // first unreported error from an async op
+	asyncMu   sync.Mutex
+	asyncErrs map[Token]error // first unreported error per session token
+	tokens    atomic.Uint64   // NewToken counter (token 0 is SharedToken)
 
 	snap  snapHolder
 	stats engineCounters
+}
+
+// NewToken allocates a fresh session token for async-error
+// attribution. Tokens are never reused within an engine's lifetime.
+func (e *Engine) NewToken() Token { return Token(e.tokens.Add(1)) }
+
+// Closed reports whether Close has begun: writes will return
+// ErrClosed, reads keep answering from the final snapshot. Long-lived
+// sessions use it to drop references to detached engines.
+func (e *Engine) Closed() bool {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	return e.closed
 }
 
 // New starts an engine over be. The initial snapshot is built
@@ -102,6 +136,7 @@ func New(be Backend, opts Options) (*Engine, error) {
 		be:         be,
 		opts:       opts.withDefaults(),
 		workerDone: make(chan struct{}),
+		asyncErrs:  make(map[Token]error),
 	}
 	e.ops = make(chan op, e.opts.QueueSize)
 	s, err := be.Snapshot()
@@ -145,9 +180,18 @@ func (e *Engine) Train(id int64, label int) error {
 
 // TrainAsync enqueues a training example and returns as soon as it is
 // queued, blocking only for backpressure. A failed async op surfaces
-// through the next Flush (and Stats().Errors).
+// through the next Flush (and Stats().Errors). The op is tagged with
+// SharedToken; sessions that need isolated error reporting use
+// TrainAsyncTok.
 func (e *Engine) TrainAsync(id int64, label int) error {
-	return e.enqueue(op{kind: opTrain, id: id, label: label})
+	return e.TrainAsyncTok(SharedToken, id, label)
+}
+
+// TrainAsyncTok is TrainAsync with the op tagged by a session token:
+// if it fails, only FlushTok(tok) (or an engine-wide Flush/Drain/
+// Close) reports the error.
+func (e *Engine) TrainAsyncTok(tok Token, id int64, label int) error {
+	return e.enqueue(op{kind: opTrain, id: id, label: label, tok: tok})
 }
 
 // Add inserts an entity and returns once it is applied and visible
@@ -157,25 +201,40 @@ func (e *Engine) Add(id int64, text string) error {
 }
 
 // AddAsync enqueues an entity insert and returns as soon as it is
-// queued.
+// queued, tagged with SharedToken.
 func (e *Engine) AddAsync(id int64, text string) error {
-	return e.enqueue(op{kind: opAdd, id: id, text: text})
+	return e.AddAsyncTok(SharedToken, id, text)
+}
+
+// AddAsyncTok is AddAsync with the op tagged by a session token.
+func (e *Engine) AddAsyncTok(tok Token, id int64, text string) error {
+	return e.enqueue(op{kind: opAdd, id: id, text: text, tok: tok})
 }
 
 // Flush is a barrier: it returns after every op enqueued before it
 // has been applied and the covering snapshot published, so a read
 // issued after Flush observes all those writes. It also reports (and
-// clears) the first error from any async op since the previous
-// barrier. The error slot is engine-global, not per-caller: with
-// several concurrent producers, whichever of them flushes first
-// collects the pending error, whoever enqueued the failed op.
-// Callers that need precise attribution use the synchronous write
-// calls, whose errors are returned directly.
+// clears) the first unreported error from any async op since the
+// previous barrier — engine-wide, across every token. Sessions that
+// must not collect each other's failures tag their async ops and use
+// FlushTok instead.
 func (e *Engine) Flush() error {
 	if err := e.enqueueWait(op{kind: opBarrier}); err != nil {
 		return err
 	}
-	return e.takeAsyncErr()
+	return e.takeAnyAsyncErr()
+}
+
+// FlushTok is the per-session barrier: the same global ordering
+// guarantee as Flush (every previously enqueued op, from any
+// producer, is applied and visible), but it reports and clears only
+// the error slot of the given token — one session's failed TRAINA/
+// ADDA can never surface through another session's flush.
+func (e *Engine) FlushTok(tok Token) error {
+	if err := e.enqueueWait(op{kind: opBarrier}); err != nil {
+		return err
+	}
+	return e.takeAsyncErr(tok)
 }
 
 // Drain flushes repeatedly until the queue is empty — including ops
@@ -211,22 +270,50 @@ func (e *Engine) Close() error {
 			d.Detach()
 		}
 	})
-	return e.takeAsyncErr()
+	return e.takeAllAsyncErrs()
 }
 
-func (e *Engine) takeAsyncErr() error {
+// takeAsyncErr reports and clears the first unreported error recorded
+// for tok.
+func (e *Engine) takeAsyncErr(tok Token) error {
 	e.asyncMu.Lock()
 	defer e.asyncMu.Unlock()
-	err := e.asyncErr
-	e.asyncErr = nil
+	err := e.asyncErrs[tok]
+	delete(e.asyncErrs, tok)
 	return err
 }
 
-func (e *Engine) noteAsyncErr(err error) {
+// takeAnyAsyncErr reports and clears one pending error from any
+// token — the engine-wide collection used by Flush and Drain so that
+// no failure is lost when sessions vanish without flushing.
+func (e *Engine) takeAnyAsyncErr() error {
+	e.asyncMu.Lock()
+	defer e.asyncMu.Unlock()
+	for tok, err := range e.asyncErrs {
+		delete(e.asyncErrs, tok)
+		return err
+	}
+	return nil
+}
+
+// takeAllAsyncErrs reports and clears every pending error, joined —
+// Close's final sweep must not drop any token's failure.
+func (e *Engine) takeAllAsyncErrs() error {
+	e.asyncMu.Lock()
+	defer e.asyncMu.Unlock()
+	errs := make([]error, 0, len(e.asyncErrs))
+	for tok, err := range e.asyncErrs {
+		delete(e.asyncErrs, tok)
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+func (e *Engine) noteAsyncErr(tok Token, err error) {
 	e.stats.errors.Add(1)
 	e.asyncMu.Lock()
-	if e.asyncErr == nil {
-		e.asyncErr = err
+	if e.asyncErrs[tok] == nil {
+		e.asyncErrs[tok] = err
 	}
 	e.asyncMu.Unlock()
 }
@@ -307,7 +394,7 @@ func (e *Engine) apply(batch []op) {
 
 	if mutated {
 		if s, err := e.be.Snapshot(); err != nil {
-			e.noteAsyncErr(fmt.Errorf("engine: snapshot: %w", err))
+			e.noteAsyncErr(SharedToken, fmt.Errorf("engine: snapshot: %w", err))
 		} else {
 			e.publish(s)
 		}
@@ -317,7 +404,7 @@ func (e *Engine) apply(batch []op) {
 		if o.done != nil {
 			o.done <- errs[i]
 		} else if errs[i] != nil {
-			e.noteAsyncErr(errs[i])
+			e.noteAsyncErr(o.tok, errs[i])
 		}
 		e.stats.applied.Add(1)
 	}

@@ -254,6 +254,46 @@ func TestAsyncErrorSurfacesOnFlush(t *testing.T) {
 	}
 }
 
+// TestPerTokenErrorAttribution: async failures are reported only to
+// the token that enqueued them — one session's FlushTok never
+// collects another's error — while the engine-wide Flush/Close still
+// sweep up whatever no session claimed.
+func TestPerTokenErrorAttribution(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{})
+	tok1, tok2 := e.NewToken(), e.NewToken()
+	if tok1 == tok2 || tok1 == SharedToken {
+		t.Fatalf("tokens not distinct: %d %d", tok1, tok2)
+	}
+	if err := e.TrainAsyncTok(tok1, 777, 1); err != nil { // unknown entity
+		t.Fatal(err)
+	}
+	if err := e.TrainAsyncTok(tok2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Session 2 flushes first: the barrier applies session 1's doomed
+	// op too, but must not report its failure.
+	if err := e.FlushTok(tok2); err != nil {
+		t.Fatalf("FlushTok(tok2) collected a foreign error: %v", err)
+	}
+	if err := e.FlushTok(tok1); err == nil {
+		t.Fatal("FlushTok(tok1) lost its own error")
+	}
+	if err := e.FlushTok(tok1); err != nil {
+		t.Fatalf("error reported twice: %v", err)
+	}
+	// An unclaimed failure (its session never flushes) still surfaces
+	// at the engine-wide barrier so it cannot be lost.
+	if err := e.AddAsyncTok(tok2, 99, "bogus-text"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err == nil {
+		t.Fatal("engine-wide Flush missed an unclaimed async error")
+	}
+	if st := e.Stats(); st.Errors != 2 {
+		t.Fatalf("errors = %d, want 2", st.Errors)
+	}
+}
+
 func TestSyncErrorsAreImmediate(t *testing.T) {
 	e := start(t, newMemBackend(t), Options{})
 	if err := e.Train(777, 1); err == nil {

@@ -202,6 +202,14 @@ func (r *Registry) Register(name string, ctor func() Func) {
 	r.mu.Unlock()
 }
 
+// Has reports whether a constructor is registered under name.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.ctors[name]
+	return ok
+}
+
 // New instantiates the named feature function.
 func (r *Registry) New(name string) (Func, error) {
 	r.mu.RLock()

@@ -2,6 +2,7 @@ package relation
 
 import (
 	"fmt"
+	"sync"
 
 	"hazy/internal/storage"
 )
@@ -24,9 +25,20 @@ type Trigger func(ev TriggerEvent, old, new Tuple) error
 
 // Table is a heap-backed relation with a hash primary-key index and
 // statement-level triggers.
+//
+// Heap and index access is guarded by an internal RWMutex, so point
+// reads and scans are safe concurrently with mutations — in
+// particular with an attached maintenance engine's goroutine
+// inserting durable rows while another session scans the table over
+// SQL. Triggers fire AFTER the row lock is released (they may scan
+// this very table, e.g. the retrain-from-scratch path), so trigger
+// bodies and the view maintenance they perform still need the
+// caller-level serialization they always had.
 type Table struct {
-	name    string
-	schema  Schema
+	name   string
+	schema Schema
+
+	mu      sync.RWMutex // guards heap, pk, trigger
 	heap    *storage.HeapFile
 	pk      map[int64]storage.RID
 	trigger []Trigger
@@ -49,13 +61,24 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Schema() Schema { return t.schema }
 
 // Len returns the number of rows.
-func (t *Table) Len() int { return len(t.pk) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.pk)
+}
 
 // AddTrigger registers fn to run after mutations.
-func (t *Table) AddTrigger(fn Trigger) { t.trigger = append(t.trigger, fn) }
+func (t *Table) AddTrigger(fn Trigger) {
+	t.mu.Lock()
+	t.trigger = append(t.trigger, fn)
+	t.mu.Unlock()
+}
 
 func (t *Table) fire(ev TriggerEvent, old, new Tuple) error {
-	for _, fn := range t.trigger {
+	t.mu.RLock()
+	triggers := t.trigger
+	t.mu.RUnlock()
+	for _, fn := range triggers {
 		if err := fn(ev, old, new); err != nil {
 			return fmt.Errorf("relation: trigger on %s: %w", t.name, err)
 		}
@@ -69,23 +92,29 @@ func (t *Table) Insert(tup Tuple) error {
 		return err
 	}
 	key := tup.Key(t.schema)
-	if _, dup := t.pk[key]; dup {
-		return fmt.Errorf("relation: duplicate key %d in %s", key, t.name)
-	}
 	rec, err := EncodeTuple(t.schema, tup)
 	if err != nil {
 		return err
 	}
+	t.mu.Lock()
+	if _, dup := t.pk[key]; dup {
+		t.mu.Unlock()
+		return fmt.Errorf("relation: duplicate key %d in %s", key, t.name)
+	}
 	rid, err := t.heap.Insert(rec)
 	if err != nil {
+		t.mu.Unlock()
 		return err
 	}
 	t.pk[key] = rid
+	t.mu.Unlock()
 	return t.fire(AfterInsert, nil, tup)
 }
 
 // Get returns the tuple with the given key.
 func (t *Table) Get(key int64) (Tuple, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	rid, ok := t.pk[key]
 	if !ok {
 		return nil, fmt.Errorf("relation: no key %d in %s", key, t.name)
@@ -99,6 +128,8 @@ func (t *Table) Get(key int64) (Tuple, error) {
 
 // Has reports whether key exists.
 func (t *Table) Has(key int64) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	_, ok := t.pk[key]
 	return ok
 }
@@ -109,58 +140,76 @@ func (t *Table) Update(tup Tuple) error {
 		return err
 	}
 	key := tup.Key(t.schema)
-	rid, ok := t.pk[key]
-	if !ok {
-		return fmt.Errorf("relation: update of missing key %d in %s", key, t.name)
-	}
-	oldRec, err := t.heap.Get(rid)
-	if err != nil {
-		return err
-	}
-	old, err := DecodeTuple(t.schema, oldRec)
-	if err != nil {
-		return err
-	}
 	rec, err := EncodeTuple(t.schema, tup)
 	if err != nil {
 		return err
 	}
+	t.mu.Lock()
+	rid, ok := t.pk[key]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("relation: update of missing key %d in %s", key, t.name)
+	}
+	oldRec, err := t.heap.Get(rid)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	old, err := DecodeTuple(t.schema, oldRec)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	nrid, err := t.heap.Update(rid, rec)
 	if err != nil {
+		t.mu.Unlock()
 		return err
 	}
 	t.pk[key] = nrid
+	t.mu.Unlock()
 	return t.fire(AfterUpdate, old, tup)
 }
 
 // Delete removes the tuple with key, firing AfterDelete.
 func (t *Table) Delete(key int64) error {
+	t.mu.Lock()
 	rid, ok := t.pk[key]
 	if !ok {
+		t.mu.Unlock()
 		return fmt.Errorf("relation: delete of missing key %d in %s", key, t.name)
 	}
 	rec, err := t.heap.Get(rid)
 	if err != nil {
+		t.mu.Unlock()
 		return err
 	}
 	old, err := DecodeTuple(t.schema, rec)
 	if err != nil {
+		t.mu.Unlock()
 		return err
 	}
 	if err := t.heap.Delete(rid); err != nil {
+		t.mu.Unlock()
 		return err
 	}
 	delete(t.pk, key)
+	t.mu.Unlock()
 	return t.fire(AfterDelete, old, nil)
 }
 
 // HeapPages exposes the backing heap's page list (for the catalog
 // manifest).
-func (t *Table) HeapPages() []storage.PageID { return t.heap.Pages() }
+func (t *Table) HeapPages() []storage.PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.Pages()
+}
 
 // recover re-attaches the table to previously written heap pages and
 // rebuilds the primary-key hash index by scanning.
 func (t *Table) recover(pages []storage.PageID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.heap.SetPages(pages)
 	return t.heap.Scan(func(rid storage.RID, rec []byte) error {
 		tup, err := DecodeTuple(t.schema, rec)
@@ -172,8 +221,11 @@ func (t *Table) recover(pages []storage.PageID) error {
 	})
 }
 
-// Scan iterates all tuples in heap order.
+// Scan iterates all tuples in heap order, holding the table's read
+// lock for the duration: the callback must not mutate this table.
 func (t *Table) Scan(fn func(Tuple) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.heap.Scan(func(_ storage.RID, rec []byte) error {
 		tup, err := DecodeTuple(t.schema, rec)
 		if err != nil {

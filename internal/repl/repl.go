@@ -1,0 +1,83 @@
+// Package repl is the statement loop shared by the hazyql command and
+// the end-to-end tests: it reads ';'-terminated SQL statements,
+// executes them against any Executor — an embedded hazy.Session or a
+// remote server connection — and renders the results identically.
+// Because every surface drives this one loop, "the same script
+// produces the same output locally and over the wire" is a property
+// of the code shape, not a test convention.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	root "hazy"
+)
+
+// Executor runs one SQL statement. *hazy.Session implements it
+// directly; internal/server.Client implements it by sending the
+// statement through the SQL wire command.
+type Executor interface {
+	Exec(stmt string) (*root.Result, error)
+}
+
+// Run reads statements from in until EOF (or \q), executing each
+// against e and writing results to out. When interactive, prompts are
+// printed and errors do not stop the loop; in script mode (-f, tests)
+// errors are reported on out the same way but the loop also
+// continues, so a script's output is a deterministic transcript.
+func Run(e Executor, in io.Reader, out io.Writer, interactive bool) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if interactive {
+			if buf.Len() == 0 {
+				fmt.Fprint(out, "hazy> ")
+			} else {
+				fmt.Fprint(out, "  ... ")
+			}
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return nil
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		if strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(stmt), ";")) == "" {
+			prompt()
+			continue
+		}
+		res, err := e.Exec(stmt)
+		switch {
+		case err != nil:
+			fmt.Fprintln(out, "error:", err)
+		case res.Msg != "":
+			fmt.Fprintln(out, res.Msg)
+		default:
+			Render(out, res)
+		}
+		prompt()
+	}
+	return sc.Err()
+}
+
+// Render writes a result set as the REPL's table form.
+func Render(w io.Writer, res *root.Result) {
+	fmt.Fprintln(w, strings.Join(res.Cols, " | "))
+	for _, row := range res.Rows {
+		fmt.Fprintln(w, strings.Join(row, " | "))
+	}
+	fmt.Fprintf(w, "(%d rows)\n", len(res.Rows))
+}

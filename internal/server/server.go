@@ -1,42 +1,50 @@
-// Package server exposes a Hazy classification view over a TCP
-// socket with a newline-delimited text protocol — the deployment
-// shape of the paper's prototype (App. B.1: "Hazy runs in a separate
-// process and IPC is handled using sockets").
+// Package server exposes a whole Hazy catalog over a TCP socket with
+// a newline-delimited text protocol — the deployment shape of the
+// paper's prototype (App. B.1: "Hazy runs in a separate process and
+// IPC is handled using sockets").
+//
+// Every connection is one hazy.Session: SQL statements execute
+// against the shared catalog through the SQL command, and the legacy
+// verbs address any classification view by name, defaulting to the
+// session's current view (USE, or the server's configured default) so
+// pre-catalog clients keep working unchanged.
 //
 // Protocol (one request per line, one response line each):
 //
-//	LABEL <id>          → "+1" | "-1"
-//	COUNT               → "<n>"                  (All Members count)
-//	MEMBERS             → "<id> <id> ..."        (ids labeled +1)
-//	TRAIN <id> <±1>     → "OK"                   (insert training example)
-//	ADD <id> <text...>  → "OK"                   (insert entity)
-//	TRAINA <id> <±1>    → "QUEUED"               (async; engine mode only)
-//	ADDA <id> <text...> → "QUEUED"               (async; engine mode only)
-//	FLUSH               → "OK"                   (barrier; engine mode only)
-//	CLASSIFY <text...>  → "+1" | "-1"            (ad-hoc, not stored)
-//	UNCERTAIN <k>       → "<id> <id> ..."        (active-learning picks)
-//	STATS               → "updates=<n> reorgs=<n> band=<n> [engine counters]"
-//	QUIT                → "BYE" and the connection closes
+//	SQL <stmt>                 → JSON {"cols":…,"rows":…,"msg":…}
+//	USE <view>                 → "OK"        (set session default view)
+//	LABEL [view] <id>          → "+1" | "-1"
+//	COUNT [view]               → "<n>"       (All Members count)
+//	MEMBERS [view]             → "<id> ..."  (ids labeled +1)
+//	TRAIN [view] <id> <±1>     → "OK"        (insert training example)
+//	ADD [view] <id> <text...>  → "OK"        (insert entity)
+//	TRAINA [view] <id> <±1>    → "QUEUED"    (async; engined views only)
+//	ADDA [view] <id> <text...> → "QUEUED"    (async; engined views only)
+//	FLUSH [view]               → "OK"        (per-session barrier)
+//	CLASSIFY <text...>         → "+1" | "-1" (ad-hoc, not stored; default view — USE to retarget)
+//	UNCERTAIN [view] <k>       → "<id> ..."  (active-learning picks)
+//	STATS [view]               → "updates=<n> reorgs=<n> band=<n> [engine counters]"
+//	QUIT                       → "BYE" and the connection closes
 //
 // Errors come back as "ERR <message>".
 //
-// The server runs in one of two modes. In legacy mode (New) every
-// statement serializes behind a single mutex — one statement at a
-// time, like a session. In engine mode (NewEngine) statements go to
-// the concurrent maintenance engine: reads are answered lock-free
-// from the engine's published snapshot and writes enter its batched
-// update queue, so concurrent sessions scale across cores. TRAIN and
-// ADD remain synchronous (the response is sent after the write is
-// applied and visible — read-your-writes); TRAINA and ADDA only
-// enqueue, and FLUSH is the barrier that makes prior async writes
-// visible. FLUSH also surfaces the first failed async write since
-// the previous barrier — engine-wide, not per-session: any session's
-// FLUSH may collect an error from another session's TRAINA/ADDA.
-// Sessions that need per-write errors use the synchronous forms.
+// Engine mode is per view, not per server: a view with a maintenance
+// engine attached (hazy.DB.AttachEngine, or the SQL statement ATTACH
+// ENGINE TO <view>) is served lock-free — reads from the engine's
+// published snapshot, writes through its batched queue — while
+// statements touching non-engined views and all SQL serialize behind
+// the server's statement mutex, one at a time, like the seed's
+// single-session server. TRAIN and ADD stay synchronous everywhere
+// (the response is sent after the write is applied and visible —
+// read-your-writes); TRAINA and ADDA only enqueue, and FLUSH is the
+// barrier that makes prior async writes visible. Async failures are
+// attributed per session: a connection's FLUSH reports only its own
+// failed TRAINA/ADDA, never another session's.
 package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
 	"strconv"
@@ -44,40 +52,49 @@ import (
 	"sync"
 
 	root "hazy"
-	"hazy/internal/engine"
 )
 
-// Uncertain is implemented by views that can surface
-// active-learning candidates.
-type Uncertain interface {
-	MostUncertain(k int) ([]int64, error)
+// Options configures a Server.
+type Options struct {
+	// DefaultView is the view unqualified verbs target before a
+	// session issues USE. It may name a view that clients declare
+	// later over SQL.
+	DefaultView string
 }
 
-// Server serves one classification view and its backing tables.
+// Server serves a catalog: every table, view, and attached engine of
+// one database.
 type Server struct {
-	mu       sync.Mutex // legacy mode: one statement at a time
-	view     *root.ClassView
-	papers   *root.EntityTable
-	feedback *root.ExampleTable
+	db   *root.DB
+	opts Options
 
-	eng *engine.Engine // engine mode when non-nil
+	// stmtMu serializes SQL statements and verbs on non-engined
+	// views; engined-view traffic never takes it.
+	stmtMu sync.Mutex
+
+	// shared backs the exported Exec used by tests and benchmarks;
+	// real connections each get their own session.
+	shared *root.Session
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 }
 
-// New wraps a view with its entity and example tables in legacy
-// single-mutex mode.
-func New(view *root.ClassView, papers *root.EntityTable, feedback *root.ExampleTable) *Server {
-	return &Server{view: view, papers: papers, feedback: feedback, conns: map[net.Conn]struct{}{}}
+// New serves db. Engine mode is decided per view by the DB's engine
+// registry, not by the server.
+func New(db *root.DB, opts Options) *Server {
+	s := &Server{db: db, opts: opts, conns: map[net.Conn]struct{}{}}
+	s.shared = s.newSession()
+	return s
 }
 
-// NewEngine serves through a concurrent maintenance engine; every
-// statement — reads and writes — is answered by the engine, so no
-// server-level lock is taken.
-func NewEngine(eng *engine.Engine) *Server {
-	return &Server{eng: eng, conns: map[net.Conn]struct{}{}}
+func (s *Server) newSession() *root.Session {
+	sess := s.db.NewSession()
+	if s.opts.DefaultView != "" {
+		sess.SetDefaultView(s.opts.DefaultView)
+	}
+	return sess
 }
 
 // Serve accepts connections until the listener closes.
@@ -112,8 +129,8 @@ func (s *Server) untrack(conn net.Conn) {
 }
 
 // Close terminates every live session. Callers close the listener
-// first (so no new sessions arrive), then Close, then drain the
-// engine.
+// first (so no new sessions arrive), then Close, then close the DB
+// (which drains the attached engines).
 func (s *Server) Close() error {
 	s.connMu.Lock()
 	s.closed = true
@@ -128,11 +145,12 @@ func (s *Server) Close() error {
 func (s *Server) session(conn net.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
+	sess := s.newSession()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		resp, quit := s.Exec(sc.Text())
+		resp, quit := s.exec(sess, sc.Text())
 		w.WriteString(resp)
 		w.WriteByte('\n')
 		w.Flush()
@@ -142,32 +160,241 @@ func (s *Server) session(conn net.Conn) {
 	}
 }
 
-// Exec runs one protocol line and returns the response plus whether
-// the session should end. It is exported so tests and benchmarks can
-// drive the statement layer without a TCP transport; it is safe for
-// concurrent use in both modes.
+// Exec runs one protocol line against the server's shared session and
+// returns the response plus whether the session should end. It is
+// exported so tests and benchmarks can drive the statement layer
+// without a TCP transport; it is safe for concurrent use (engined
+// traffic is lock-free, everything else serializes on the statement
+// mutex).
 func (s *Server) Exec(line string) (string, bool) {
-	fields := strings.Fields(line)
+	return s.exec(s.shared, line)
+}
+
+func (s *Server) exec(sess *root.Session, line string) (string, bool) {
+	trimmed := strings.TrimSpace(line)
+	fields := strings.Fields(trimmed)
 	if len(fields) == 0 {
 		return "ERR empty command", false
 	}
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
-	if cmd == "QUIT" {
+	switch cmd {
+	case "QUIT":
 		return "BYE", true
+	case "SQL":
+		stmt := strings.TrimSpace(trimmed[len(fields[0]):])
+		if stmt == "" {
+			return "ERR usage: SQL <statement>", false
+		}
+		return s.execSQL(sess, stmt), false
+	case "USE":
+		if len(args) != 1 {
+			return "ERR usage: USE <view>", false
+		}
+		if err := sess.Use(args[0]); err != nil {
+			return "ERR " + err.Error(), false
+		}
+		return "OK", false
 	}
-	if s.eng != nil {
-		return s.execEngine(cmd, args), false
+	return s.execVerb(sess, cmd, args), false
+}
+
+// execSQL executes one statement under the statement mutex (SQL can
+// touch the catalog and non-engined views; inserts that target
+// engined views still route through their engines inside).
+func (s *Server) execSQL(sess *root.Session, stmt string) string {
+	s.stmtMu.Lock()
+	res, err := sess.Exec(stmt)
+	s.stmtMu.Unlock()
+	if err != nil {
+		return "ERR " + err.Error()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.execLocked(cmd, args), false
+	data, merr := json.Marshal(res)
+	if merr != nil {
+		return "ERR " + merr.Error()
+	}
+	return string(data)
+}
+
+// splitQualifier resolves an optional leading view qualifier: ok
+// when the argument count matches the qualified arity, or for
+// variadic verbs when the first argument is not an integer id.
+func splitQualifier(args []string, unqualified, qualified int, variadic bool) (view string, rest []string, ok bool) {
+	n := len(args)
+	switch {
+	case variadic:
+		if n >= unqualified && isInt(args[0]) {
+			return "", args, true
+		}
+		if n >= qualified && !isInt(args[0]) {
+			return args[0], args[1:], true
+		}
+	case n == unqualified:
+		return "", args, true
+	case n == qualified:
+		return args[0], args[1:], true
+	}
+	return "", nil, false
+}
+
+func isInt(s string) bool {
+	_, err := strconv.ParseInt(s, 10, 64)
+	return err == nil
+}
+
+// execVerb answers one legacy verb. The view is bound exactly once
+// per statement: an engined binding runs lock-free and its
+// operations stay on the bound engine (a concurrent detach yields an
+// explicit engine-closed error, never an unsynchronized fall-through
+// to the live view); otherwise the statement mutex is taken and the
+// view re-bound under it, so a concurrent attach is either fully
+// observed or fully not.
+func (s *Server) execVerb(sess *root.Session, cmd string, args []string) string {
+	var view string
+	var rest []string
+	var ok bool
+	switch cmd {
+	case "LABEL", "UNCERTAIN":
+		view, rest, ok = splitQualifier(args, 1, 2, false)
+		if !ok {
+			return fmt.Sprintf("ERR usage: %s [view] <arg>", cmd)
+		}
+	case "COUNT", "MEMBERS", "FLUSH", "STATS":
+		view, rest, ok = splitQualifier(args, 0, 1, false)
+		if !ok {
+			return fmt.Sprintf("ERR usage: %s [view]", cmd)
+		}
+	case "TRAIN", "TRAINA":
+		view, rest, ok = splitQualifier(args, 2, 3, false)
+		if !ok {
+			return fmt.Sprintf("ERR usage: %s [view] <id> <+1|-1>", cmd)
+		}
+	case "ADD", "ADDA":
+		if len(args) < 2 {
+			return fmt.Sprintf("ERR usage: %s [view] <id> <text>", cmd)
+		}
+		view, rest, ok = splitQualifier(args, 2, 3, true)
+		if !ok {
+			return fmt.Sprintf("ERR usage: %s [view] <id> <text>", cmd)
+		}
+	case "CLASSIFY":
+		// CLASSIFY takes free text, which arity cannot disambiguate
+		// from a view name — it always targets the session's default
+		// view (USE to retarget), so legacy clients' text is never
+		// silently reinterpreted as a qualifier.
+		if len(args) == 0 {
+			return "ERR usage: CLASSIFY <text>"
+		}
+		view, rest = "", args
+	default:
+		return "ERR unknown command " + cmd
+	}
+
+	bv, err := sess.Bind(view)
+	if err == nil && bv.Engined() {
+		return s.applyVerb(bv, cmd, rest)
+	}
+	// Non-engined (or unresolvable — the error paths) serialize
+	// behind the statement mutex; re-bind under it.
+	s.stmtMu.Lock()
+	defer s.stmtMu.Unlock()
+	if bv, err = sess.Bind(view); err != nil {
+		return "ERR " + err.Error()
+	}
+	return s.applyVerb(bv, cmd, rest)
+}
+
+func (s *Server) applyVerb(bv *root.BoundView, cmd string, args []string) string {
+	switch cmd {
+	case "LABEL":
+		id, errmsg := parseID(args, "LABEL <id>")
+		if errmsg != "" {
+			return "ERR " + errmsg
+		}
+		label, err := bv.Label(id)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("%+d", label)
+	case "COUNT":
+		n, err := bv.CountMembers()
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return strconv.Itoa(n)
+	case "MEMBERS":
+		ids, err := bv.Members()
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return joinIDs(ids)
+	case "TRAIN", "TRAINA":
+		id, label, errmsg := parseTrain(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
+		}
+		if label != 1 && label != -1 {
+			return fmt.Sprintf("ERR label must be ±1, got %d", label)
+		}
+		var err error
+		if cmd == "TRAINA" {
+			if err = bv.TrainAsync(id, label); err == nil {
+				return "QUEUED"
+			}
+		} else if err = bv.Train(id, label); err == nil {
+			return "OK"
+		}
+		return "ERR " + err.Error()
+	case "ADD", "ADDA":
+		id, text, errmsg := parseAdd(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
+		}
+		var err error
+		if cmd == "ADDA" {
+			if err = bv.AddAsync(id, text); err == nil {
+				return "QUEUED"
+			}
+		} else if err = bv.Add(id, text); err == nil {
+			return "OK"
+		}
+		return "ERR " + err.Error()
+	case "FLUSH":
+		if err := bv.Flush(); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "CLASSIFY":
+		label, err := bv.Classify(strings.Join(args, " "))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("%+d", label)
+	case "UNCERTAIN":
+		k, errmsg := parseK(args)
+		if errmsg != "" {
+			return "ERR " + errmsg
+		}
+		ids, err := bv.MostUncertain(k)
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return joinIDs(ids)
+	case "STATS":
+		vs, engineStats := bv.ViewStats()
+		line := fmt.Sprintf("updates=%d reorgs=%d band=%d", vs.Updates, vs.Reorgs, vs.BandTuples)
+		if engineStats != "" {
+			line += " " + engineStats
+		}
+		return line
+	}
+	return "ERR unknown command " + cmd
 }
 
 // parseID parses the single-id argument shape of LABEL.
-func parseID(args []string) (int64, string) {
+func parseID(args []string, usage string) (int64, string) {
 	if len(args) != 1 {
-		return 0, "usage: LABEL <id>"
+		return 0, "usage: " + usage
 	}
 	id, err := strconv.ParseInt(args[0], 10, 64)
 	if err != nil {
@@ -179,7 +406,7 @@ func parseID(args []string) (int64, string) {
 // parseTrain parses the shared argument shape of TRAIN/TRAINA.
 func parseTrain(args []string) (id int64, label int, errmsg string) {
 	if len(args) != 2 {
-		return 0, 0, "usage: TRAIN <id> <+1|-1>"
+		return 0, 0, "usage: TRAIN [view] <id> <+1|-1>"
 	}
 	id, err := strconv.ParseInt(args[0], 10, 64)
 	if err != nil {
@@ -195,7 +422,7 @@ func parseTrain(args []string) (id int64, label int, errmsg string) {
 // parseAdd parses the shared argument shape of ADD/ADDA.
 func parseAdd(args []string) (id int64, text string, errmsg string) {
 	if len(args) < 2 {
-		return 0, "", "usage: ADD <id> <text>"
+		return 0, "", "usage: ADD [view] <id> <text>"
 	}
 	id, err := strconv.ParseInt(args[0], 10, 64)
 	if err != nil {
@@ -204,167 +431,15 @@ func parseAdd(args []string) (id int64, text string, errmsg string) {
 	return id, strings.Join(args[1:], " "), ""
 }
 
-// execEngine answers one statement through the maintenance engine.
-// Reads take no locks at all; writes enqueue into the engine.
-func (s *Server) execEngine(cmd string, args []string) string {
-	switch cmd {
-	case "LABEL":
-		id, errmsg := parseID(args)
-		if errmsg != "" {
-			return "ERR " + errmsg
-		}
-		label, err := s.eng.Label(id)
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		return fmt.Sprintf("%+d", label)
-	case "COUNT":
-		n, _ := s.eng.CountMembers()
-		return strconv.Itoa(n)
-	case "MEMBERS":
-		ids, _ := s.eng.Members()
-		return joinIDs(ids)
-	case "TRAIN", "TRAINA":
-		id, label, errmsg := parseTrain(args)
-		if errmsg != "" {
-			return "ERR " + errmsg
-		}
-		if label != 1 && label != -1 {
-			return fmt.Sprintf("ERR label must be ±1, got %d", label)
-		}
-		if cmd == "TRAINA" {
-			if err := s.eng.TrainAsync(id, label); err != nil {
-				return "ERR " + err.Error()
-			}
-			return "QUEUED"
-		}
-		if err := s.eng.Train(id, label); err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
-	case "ADD", "ADDA":
-		id, text, errmsg := parseAdd(args)
-		if errmsg != "" {
-			return "ERR " + errmsg
-		}
-		if cmd == "ADDA" {
-			if err := s.eng.AddAsync(id, text); err != nil {
-				return "ERR " + err.Error()
-			}
-			return "QUEUED"
-		}
-		if err := s.eng.Add(id, text); err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
-	case "FLUSH":
-		if err := s.eng.Flush(); err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
-	case "CLASSIFY":
-		if len(args) == 0 {
-			return "ERR usage: CLASSIFY <text>"
-		}
-		return fmt.Sprintf("%+d", s.eng.Classify(strings.Join(args, " ")))
-	case "UNCERTAIN":
-		k, errmsg := parseK(args)
-		if errmsg != "" {
-			return "ERR " + errmsg
-		}
-		ids, err := s.eng.MostUncertain(k)
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		return joinIDs(ids)
-	case "STATS":
-		vs := s.eng.ViewStats()
-		return fmt.Sprintf("updates=%d reorgs=%d band=%d %s",
-			vs.Updates, vs.Reorgs, vs.BandTuples, s.eng.Stats())
-	default:
-		return "ERR unknown command " + cmd
-	}
-}
-
 func parseK(args []string) (int, string) {
 	if len(args) != 1 {
-		return 0, "usage: UNCERTAIN <k>"
+		return 0, "usage: UNCERTAIN [view] <k>"
 	}
 	k, err := strconv.Atoi(args[0])
 	if err != nil || k < 1 {
 		return 0, "bad k"
 	}
 	return k, ""
-}
-
-// execLocked is the legacy path: the caller holds s.mu.
-func (s *Server) execLocked(cmd string, args []string) string {
-	switch cmd {
-	case "LABEL":
-		id, errmsg := parseID(args)
-		if errmsg != "" {
-			return "ERR " + errmsg
-		}
-		label, err := s.view.Label(id)
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		return fmt.Sprintf("%+d", label)
-	case "COUNT":
-		n, err := s.view.CountMembers()
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		return strconv.Itoa(n)
-	case "MEMBERS":
-		ids, err := s.view.Members()
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		return joinIDs(ids)
-	case "TRAIN":
-		id, label, errmsg := parseTrain(args)
-		if errmsg != "" {
-			return "ERR " + errmsg
-		}
-		if err := s.feedback.InsertExample(id, label); err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
-	case "ADD":
-		id, text, errmsg := parseAdd(args)
-		if errmsg != "" {
-			return "ERR " + errmsg
-		}
-		if err := s.papers.InsertText(id, text); err != nil {
-			return "ERR " + err.Error()
-		}
-		return "OK"
-	case "CLASSIFY":
-		if len(args) == 0 {
-			return "ERR usage: CLASSIFY <text>"
-		}
-		return fmt.Sprintf("%+d", s.view.Classify(strings.Join(args, " ")))
-	case "UNCERTAIN":
-		k, errmsg := parseK(args)
-		if errmsg != "" {
-			return "ERR " + errmsg
-		}
-		u, ok := s.view.Core().(Uncertain)
-		if !ok {
-			return "ERR view does not support uncertainty ranking"
-		}
-		ids, err := u.MostUncertain(k)
-		if err != nil {
-			return "ERR " + err.Error()
-		}
-		return joinIDs(ids)
-	case "STATS":
-		st := s.view.Stats()
-		return fmt.Sprintf("updates=%d reorgs=%d band=%d", st.Updates, st.Reorgs, st.BandTuples)
-	default:
-		return "ERR unknown command " + cmd
-	}
 }
 
 func joinIDs(ids []int64) string {
@@ -408,6 +483,68 @@ func (c *Client) Do(cmd string) (string, error) {
 		return "", fmt.Errorf("server: %s", line[4:])
 	}
 	return line, nil
+}
+
+// Exec runs one SQL statement through the SQL wire command and
+// decodes the result, making Client an executor interchangeable with
+// an embedded hazy.Session (the hazyql -connect mode). The statement
+// is flattened to one line — the wire protocol is line-delimited — so
+// line comments are stripped first (they would otherwise swallow
+// everything after them once the newlines are gone).
+func (c *Client) Exec(stmt string) (*root.Result, error) {
+	flat, err := flattenSQL(stmt)
+	if err != nil {
+		return nil, err
+	}
+	line, err := c.Do("SQL " + flat)
+	if err != nil {
+		return nil, err
+	}
+	var res root.Result
+	if err := json.Unmarshal([]byte(line), &res); err != nil {
+		return nil, fmt.Errorf("server: bad SQL response %q: %w", line, err)
+	}
+	return &res, nil
+}
+
+// flattenSQL rewrites a possibly multi-line statement as a single
+// line: "--" comments outside string literals are dropped to their
+// end of line, and newlines become spaces. Quoted text ('it''s') is
+// preserved byte for byte — which is why a newline INSIDE a literal
+// is an error: it cannot be sent over the line-delimited protocol
+// without either corrupting the data or desyncing the framing.
+func flattenSQL(stmt string) (string, error) {
+	var b strings.Builder
+	inQuote, inComment := false, false
+	for i := 0; i < len(stmt); i++ {
+		ch := stmt[i]
+		switch {
+		case inComment:
+			if ch == '\n' {
+				inComment = false
+				b.WriteByte(' ')
+			}
+		case inQuote:
+			if ch == '\n' || ch == '\r' {
+				return "", fmt.Errorf("server: string literal with a newline cannot be sent over the line-delimited protocol")
+			}
+			b.WriteByte(ch)
+			if ch == '\'' {
+				inQuote = false
+			}
+		case ch == '\'':
+			inQuote = true
+			b.WriteByte(ch)
+		case ch == '-' && i+1 < len(stmt) && stmt[i+1] == '-':
+			inComment = true
+			i++
+		case ch == '\n' || ch == '\r':
+			b.WriteByte(' ')
+		default:
+			b.WriteByte(ch)
+		}
+	}
+	return strings.TrimSpace(b.String()), nil
 }
 
 // Close closes the connection.

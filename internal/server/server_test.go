@@ -11,43 +11,40 @@ import (
 	root "hazy"
 )
 
-// startStack brings up a full stack — database, view, TCP listener —
-// in either legacy (single-mutex) or engine mode and returns a
-// connected client.
-func startStack(t *testing.T, engineMode bool) *Client {
+// startDB brings up a database with one papers/feedback/labeled
+// stack, optionally engine-managed, a TCP listener, and a connected
+// client.
+func startDB(t *testing.T, engineMode bool) (*root.DB, *Client) {
 	t.Helper()
 	db, err := root.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Registered before the engine's cleanup so LIFO order drains the
-	// engine first, then closes the database.
+	// db.Close drains any attached engine before closing storage.
 	t.Cleanup(func() { db.Close() })
-	papers, err := db.CreateEntityTable("papers", "title")
-	if err != nil {
+	if _, err := db.CreateEntityTable("papers", "title"); err != nil {
 		t.Fatal(err)
 	}
-	feedback, err := db.CreateExampleTable("feedback")
-	if err != nil {
+	if _, err := db.CreateExampleTable("feedback"); err != nil {
 		t.Fatal(err)
 	}
-	view, err := db.CreateClassificationView(root.ViewSpec{
+	if _, err := db.CreateClassificationView(root.ViewSpec{
 		Name: "labeled", Entities: "papers", Examples: "feedback",
-	})
-	if err != nil {
+	}); err != nil {
 		t.Fatal(err)
 	}
-	var srv *Server
 	if engineMode {
-		eng, err := db.Engine(view, root.EngineOptions{})
-		if err != nil {
+		if _, err := db.AttachEngine("labeled", root.EngineOptions{}); err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { eng.Close() })
-		srv = NewEngine(eng)
-	} else {
-		srv = New(view, papers, feedback)
 	}
+	return db, serve(t, db, "labeled")
+}
+
+// serve starts a listener over db and returns a connected client.
+func serve(t *testing.T, db *root.DB, defaultView string) *Client {
+	t.Helper()
+	srv := New(db, Options{DefaultView: defaultView})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -60,6 +57,13 @@ func startStack(t *testing.T, engineMode bool) *Client {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// startStack is startDB without the db handle.
+func startStack(t *testing.T, engineMode bool) *Client {
+	t.Helper()
+	_, c := startDB(t, engineMode)
 	return c
 }
 
@@ -198,6 +202,211 @@ func TestAsyncTrainAndFlush(t *testing.T) {
 	must(t, c, "FLUSH")
 	if got := must(t, c, "LABEL 3"); got != "+1" && got != "-1" {
 		t.Fatalf("LABEL 3 = %q", got)
+	}
+}
+
+// TestViewQualifiedVerbs drives the same protocol through explicit
+// view names and USE instead of the server default.
+func TestViewQualifiedVerbs(t *testing.T) {
+	bothModes(t, func(t *testing.T, c *Client) {
+		must(t, c, "ADD labeled 1 relational database query optimization")
+		must(t, c, "ADD labeled 2 kernel interrupt scheduler")
+		must(t, c, "TRAIN labeled 1 +1")
+		must(t, c, "TRAIN labeled 2 -1")
+		if got := must(t, c, "LABEL labeled 1"); got != "+1" {
+			t.Fatalf("LABEL labeled 1 = %q", got)
+		}
+		if got := must(t, c, "COUNT labeled"); got != "1" {
+			t.Fatalf("COUNT labeled = %q", got)
+		}
+		if got := must(t, c, "MEMBERS labeled"); got != "1" {
+			t.Fatalf("MEMBERS labeled = %q", got)
+		}
+		if _, err := c.Do("LABEL nope 1"); err == nil {
+			t.Fatal("unknown view accepted")
+		}
+		if _, err := c.Do("USE nope"); err == nil {
+			t.Fatal("USE of unknown view accepted")
+		}
+		must(t, c, "USE labeled")
+		if got := must(t, c, "LABEL 2"); got != "-1" {
+			t.Fatalf("LABEL 2 after USE = %q", got)
+		}
+	})
+}
+
+// TestMultiViewServer serves two views from one catalog — one
+// engine-managed, one legacy trigger-maintained — through a single
+// connection, using view-qualified verbs and SQL.
+func TestMultiViewServer(t *testing.T) {
+	db, c := startDB(t, true) // "labeled" is engined
+	if _, err := db.CreateEntityTable("docs", "body"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateExampleTable("votes"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateClassificationView(root.ViewSpec{
+		Name: "tagged", Entities: "docs", Examples: "votes",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate both views over the wire.
+	must(t, c, "ADD labeled 1 relational database query optimization")
+	must(t, c, "ADD labeled 2 kernel interrupt scheduler")
+	must(t, c, "TRAIN labeled 1 +1")
+	must(t, c, "TRAIN labeled 2 -1")
+	must(t, c, "ADD tagged 10 spam lottery winner click now")
+	must(t, c, "ADD tagged 11 meeting notes from the design review")
+	must(t, c, "TRAIN tagged 10 +1")
+	must(t, c, "TRAIN tagged 11 -1")
+
+	if got := must(t, c, "LABEL labeled 1"); got != "+1" {
+		t.Fatalf("LABEL labeled 1 = %q", got)
+	}
+	if got := must(t, c, "LABEL tagged 10"); got != "+1" {
+		t.Fatalf("LABEL tagged 10 = %q", got)
+	}
+	if got := must(t, c, "LABEL tagged 11"); got != "-1" {
+		t.Fatalf("LABEL tagged 11 = %q", got)
+	}
+	// Engine mode is per view: async writes work on the engined view
+	// and are rejected on the legacy one.
+	must(t, c, "ADD labeled 3 database transaction processing")
+	if got := must(t, c, "TRAINA labeled 3 +1"); got != "QUEUED" {
+		t.Fatalf("TRAINA labeled = %q", got)
+	}
+	must(t, c, "FLUSH labeled")
+	if _, err := c.Do("TRAINA tagged 11 -1"); err == nil {
+		t.Fatal("TRAINA on a non-engined view accepted")
+	}
+	// The engined view's STATS carry engine counters; the legacy one's
+	// do not.
+	if got := must(t, c, "STATS labeled"); !strings.Contains(got, "snapver=") {
+		t.Fatalf("STATS labeled = %q, want engine counters", got)
+	}
+	if got := must(t, c, "STATS tagged"); strings.Contains(got, "snapver=") {
+		t.Fatalf("STATS tagged = %q, want no engine counters", got)
+	}
+	// SQL sees the whole catalog.
+	res := mustSQL(t, c, "SELECT COUNT(*) FROM tagged WHERE class = 1")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "1" {
+		t.Fatalf("SQL count over tagged = %+v", res)
+	}
+	// The trained-positive ids are members (the tiny corpus makes the
+	// untrained tail's labels model noise, so only inclusion is
+	// asserted).
+	res = mustSQL(t, c, "SELECT id FROM labeled WHERE class = 1")
+	got := map[string]bool{}
+	for _, row := range res.Rows {
+		got[row[0]] = true
+	}
+	if !got["1"] || !got["3"] {
+		t.Fatalf("SQL members over labeled = %+v", res)
+	}
+}
+
+func mustSQL(t *testing.T, c *Client, stmt string) *root.Result {
+	t.Helper()
+	res, err := c.Exec(stmt)
+	if err != nil {
+		t.Fatalf("SQL %s → %v", stmt, err)
+	}
+	return res
+}
+
+// TestSQLOverTCP runs the full §2.1 statement sequence — DDL, view
+// declaration, engine attach, inserts, selects — through the SQL wire
+// command.
+func TestSQLOverTCP(t *testing.T) {
+	db, err := root.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	c := serve(t, db, "")
+
+	for _, stmt := range []string{
+		"CREATE TABLE papers (id BIGINT, title TEXT) KEY id",
+		"CREATE TABLE feedback (id BIGINT, label BIGINT) KEY id",
+		`INSERT INTO papers VALUES
+			(1, 'relational query optimization and indexing'),
+			(2, 'kernel scheduling for multicore operating systems'),
+			(3, 'sql views and transaction processing')`,
+		`CREATE CLASSIFICATION VIEW labeled KEY id
+			ENTITIES FROM papers KEY id
+			EXAMPLES FROM feedback KEY id LABEL l
+			FEATURE FUNCTION tf_bag_of_words USING SVM`,
+		"ATTACH ENGINE TO labeled",
+		"INSERT INTO feedback VALUES (1, 1), (2, -1)",
+	} {
+		if _, err := c.Exec(stmt); err != nil {
+			t.Fatalf("%s → %v", stmt, err)
+		}
+	}
+	res := mustSQL(t, c, "SELECT class FROM labeled WHERE id = 3")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "1" {
+		t.Fatalf("SELECT class = %+v", res)
+	}
+	// The engine attached over SQL serves the verbs too.
+	if got := must(t, c, "LABEL labeled 3"); got != "+1" {
+		t.Fatalf("LABEL labeled 3 = %q", got)
+	}
+	if got := must(t, c, "TRAINA labeled 3 +1"); got != "QUEUED" {
+		t.Fatalf("TRAINA = %q", got)
+	}
+	must(t, c, "FLUSH labeled")
+	if _, err := c.Exec("DETACH ENGINE FROM labeled"); err != nil {
+		t.Fatal(err)
+	}
+	// Detached: trigger maintenance resumes, SQL still answers.
+	res = mustSQL(t, c, "SELECT COUNT(*) FROM labeled")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "3" {
+		t.Fatalf("full count after detach = %+v", res)
+	}
+	res = mustSQL(t, c, "SELECT class FROM labeled WHERE id = 1")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "1" {
+		t.Fatalf("class of trained-positive entity after detach = %+v", res)
+	}
+	if _, err := c.Exec("SELECT * FROM nope"); err == nil {
+		t.Fatal("SQL error not propagated over the wire")
+	}
+}
+
+// TestPerSessionFlush: one connection's failed async write surfaces
+// in ITS next FLUSH, never in a concurrent session's — the per-token
+// error attribution end to end.
+func TestPerSessionFlush(t *testing.T) {
+	c1 := startStack(t, true)
+	must(t, c1, "ADD 1 relational database query optimization")
+	c2, err := Dial(c1.conn.RemoteAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// Session 1 enqueues a doomed op (unknown entity); session 2 a
+	// valid one.
+	must(t, c1, "TRAINA 999 +1")
+	must(t, c2, "TRAINA 1 +1")
+	// Session 2's FLUSH must not collect session 1's failure.
+	if got := must(t, c2, "FLUSH"); got != "OK" {
+		t.Fatalf("session 2 FLUSH = %q", got)
+	}
+	// Session 1's FLUSH reports it...
+	if _, err := c1.Do("FLUSH"); err == nil {
+		t.Fatal("session 1 FLUSH did not report its own failed TRAINA")
+	}
+	// ...exactly once.
+	if got := must(t, c1, "FLUSH"); got != "OK" {
+		t.Fatalf("second FLUSH = %q", got)
+	}
+	// Both sessions observe session 2's applied write.
+	for _, c := range []*Client{c1, c2} {
+		if got := must(t, c, "LABEL 1"); got != "+1" {
+			t.Fatalf("LABEL 1 = %q", got)
+		}
 	}
 }
 

@@ -50,6 +50,20 @@ type Literal struct {
 	Num      float64
 }
 
+// AttachEngine is ATTACH ENGINE TO view [QUEUE n] [BATCH n]: wrap the
+// view with a concurrent maintenance engine (per-view engine mode).
+type AttachEngine struct {
+	View  string
+	Queue int // bounded update-queue size (0 = engine default)
+	Batch int // max group-applied batch (0 = engine default)
+}
+
+// DetachEngine is DETACH ENGINE FROM view: drain and close the view's
+// engine, resuming trigger maintenance.
+type DetachEngine struct {
+	View string
+}
+
 // Select is SELECT list FROM table [WHERE conds].
 type Select struct {
 	Count bool     // SELECT COUNT(*)
@@ -65,7 +79,9 @@ type Cond struct {
 	Lit Literal
 }
 
-func (CreateTable) stmt() {}
-func (CreateView) stmt()  {}
-func (Insert) stmt()      {}
-func (Select) stmt()      {}
+func (CreateTable) stmt()  {}
+func (CreateView) stmt()   {}
+func (Insert) stmt()       {}
+func (Select) stmt()       {}
+func (AttachEngine) stmt() {}
+func (DetachEngine) stmt() {}

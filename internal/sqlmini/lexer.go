@@ -1,8 +1,10 @@
-// Package sqlmini implements the small SQL dialect through which
-// Hazy is used in the paper (§2.1): CREATE TABLE, INSERT, SELECT with
-// simple predicates, and the CREATE CLASSIFICATION VIEW statement of
-// Example 2.1. It executes against the hazy facade, so inserting
-// into an examples table maintains every view declared over it.
+// Package sqlmini is the lexer, parser, and AST for the small SQL
+// dialect through which Hazy is used in the paper (§2.1): CREATE
+// TABLE, INSERT, SELECT with simple predicates, the CREATE
+// CLASSIFICATION VIEW statement of Example 2.1, and the serving
+// extensions ATTACH ENGINE TO / DETACH ENGINE FROM. It is a pure
+// dialect package — statements are executed by the root package's
+// Session, which owns the catalog the statements run against.
 package sqlmini
 
 import (

@@ -88,9 +88,69 @@ func (p *parser) statement() (Stmt, error) {
 		return p.insert()
 	case p.accept("SELECT"):
 		return p.selectStmt()
+	case p.accept("ATTACH"):
+		return p.attachEngine()
+	case p.accept("DETACH"):
+		return p.detachEngine()
 	default:
 		return nil, fmt.Errorf("sql: unknown statement starting at %q", p.peek().text)
 	}
+}
+
+func (p *parser) attachEngine() (Stmt, error) {
+	var st AttachEngine
+	var err error
+	if err := p.expect("ENGINE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("TO"); err != nil {
+		return nil, err
+	}
+	if st.View, err = p.ident(); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("QUEUE"):
+			if st.Queue, err = p.posInt("QUEUE"); err != nil {
+				return nil, err
+			}
+		case p.accept("BATCH"):
+			if st.Batch, err = p.posInt("BATCH"); err != nil {
+				return nil, err
+			}
+		default:
+			return st, nil
+		}
+	}
+}
+
+func (p *parser) detachEngine() (Stmt, error) {
+	var st DetachEngine
+	var err error
+	if err := p.expect("ENGINE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	if st.View, err = p.ident(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// posInt parses a positive integer literal for an engine knob.
+func (p *parser) posInt(clause string) (int, error) {
+	lit, err := p.literal()
+	if err != nil {
+		return 0, err
+	}
+	n := int(lit.Num)
+	if lit.IsString || float64(n) != lit.Num || n < 1 {
+		return 0, fmt.Errorf("sql: %s takes a positive integer", clause)
+	}
+	return n, nil
 }
 
 func (p *parser) createTable() (Stmt, error) {

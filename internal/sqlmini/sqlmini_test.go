@@ -1,30 +1,8 @@
 package sqlmini
 
 import (
-	"strings"
 	"testing"
-
-	root "hazy"
 )
-
-func newEngine(t *testing.T) *Engine {
-	t.Helper()
-	db, err := root.Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { db.Close() })
-	return NewEngine(db)
-}
-
-func mustExec(t *testing.T, e *Engine, sql string) *Result {
-	t.Helper()
-	r, err := e.Exec(sql)
-	if err != nil {
-		t.Fatalf("%s\n→ %v", sql, err)
-	}
-	return r
-}
 
 func TestLexer(t *testing.T) {
 	toks, err := lex("SELECT id, t FROM x WHERE a = 'it''s' AND b <= -2.5 -- comment\n;")
@@ -78,6 +56,43 @@ func TestParsePaperViewSyntax(t *testing.T) {
 	}
 }
 
+func TestParseAttachDetachEngine(t *testing.T) {
+	st, err := Parse("ATTACH ENGINE TO labeled QUEUE 512 BATCH 64;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, ok := st.(AttachEngine)
+	if !ok || ae.View != "labeled" || ae.Queue != 512 || ae.Batch != 64 {
+		t.Fatalf("parsed %#v", st)
+	}
+	st, err = Parse("ATTACH ENGINE TO v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ae := st.(AttachEngine); ae.View != "v" || ae.Queue != 0 || ae.Batch != 0 {
+		t.Fatalf("parsed %#v", st)
+	}
+	st, err = Parse("DETACH ENGINE FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de, ok := st.(DetachEngine); !ok || de.View != "v" {
+		t.Fatalf("parsed %#v", st)
+	}
+	for _, bad := range []string{
+		"ATTACH ENGINE v",
+		"ATTACH ENGINE TO v QUEUE 'x'",
+		"ATTACH ENGINE TO v QUEUE 0",
+		"ATTACH ENGINE TO v BATCH -3",
+		"DETACH ENGINE v",
+		"DETACH ENGINE FROM",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("accepted: %s", bad)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
@@ -94,135 +109,5 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(sql); err == nil {
 			t.Fatalf("accepted: %s", sql)
 		}
-	}
-}
-
-func TestEndToEndSQL(t *testing.T) {
-	e := newEngine(t)
-	mustExec(t, e, "CREATE TABLE papers (id BIGINT, title TEXT) KEY id")
-	mustExec(t, e, "CREATE TABLE feedback (id BIGINT, label BIGINT) KEY id")
-	mustExec(t, e, `INSERT INTO papers VALUES
-		(1, 'relational query optimization and indexing'),
-		(2, 'kernel scheduling for multicore operating systems'),
-		(3, 'sql views and transaction processing'),
-		(4, 'device drivers and interrupt handling'),
-		(5, 'join algorithms for relational databases')`)
-	mustExec(t, e, `
-		CREATE CLASSIFICATION VIEW labeled KEY id
-		ENTITIES FROM papers KEY id
-		EXAMPLES FROM feedback KEY id LABEL l
-		FEATURE FUNCTION tf_bag_of_words
-		USING SVM ARCHITECTURE MM STRATEGY HAZY MODE EAGER`)
-	// Feedback via plain INSERTs (trigger-maintained).
-	mustExec(t, e, "INSERT INTO feedback VALUES (1, 1), (2, -1), (3, 1), (4, -1)")
-
-	// Single entity read.
-	r := mustExec(t, e, "SELECT class FROM labeled WHERE id = 5")
-	if len(r.Rows) != 1 || r.Rows[0][0] != "1" {
-		t.Fatalf("paper 5 should classify as database: %+v", r)
-	}
-	// All members.
-	r = mustExec(t, e, "SELECT id FROM labeled WHERE class = 1")
-	if len(r.Rows) < 2 {
-		t.Fatalf("members: %+v", r)
-	}
-	for _, row := range r.Rows {
-		if row[0] == "2" || row[0] == "4" {
-			t.Fatalf("os paper in database class: %+v", r)
-		}
-	}
-	// Count form.
-	r = mustExec(t, e, "SELECT COUNT(*) FROM labeled WHERE class = 1")
-	if len(r.Rows) != 1 {
-		t.Fatalf("count: %+v", r)
-	}
-	// Negative class via full scan.
-	r = mustExec(t, e, "SELECT id, class FROM labeled WHERE class = -1")
-	for _, row := range r.Rows {
-		if row[1] != "-1" {
-			t.Fatalf("negative scan: %+v", r)
-		}
-	}
-	// Base table select with predicate.
-	r = mustExec(t, e, "SELECT title FROM papers WHERE id = 2")
-	if len(r.Rows) != 1 || !strings.Contains(r.Rows[0][0], "kernel") {
-		t.Fatalf("base select: %+v", r)
-	}
-	r = mustExec(t, e, "SELECT COUNT(*) FROM papers WHERE id >= 3")
-	if r.Rows[0][0] != "3" {
-		t.Fatalf("count papers: %+v", r)
-	}
-	r = mustExec(t, e, "SELECT * FROM feedback WHERE label = 1")
-	if len(r.Rows) != 2 {
-		t.Fatalf("feedback positive: %+v", r)
-	}
-}
-
-func TestSQLValidation(t *testing.T) {
-	e := newEngine(t)
-	if _, err := e.Exec("CREATE TABLE t (a BIGINT, b TEXT, c TEXT) KEY a"); err == nil {
-		t.Fatal("3-column table accepted")
-	}
-	if _, err := e.Exec("INSERT INTO missing VALUES (1, 'x')"); err == nil {
-		t.Fatal("insert into missing table accepted")
-	}
-	if _, err := e.Exec("SELECT * FROM missing"); err == nil {
-		t.Fatal("select from missing table accepted")
-	}
-	mustExec(t, e, "CREATE TABLE papers (id BIGINT, title TEXT) KEY id")
-	if _, err := e.Exec("INSERT INTO papers VALUES (1, 2)"); err == nil {
-		t.Fatal("numeric text accepted")
-	}
-	if _, err := e.Exec("INSERT INTO papers VALUES ('x', 'y')"); err == nil {
-		t.Fatal("string id accepted")
-	}
-	mustExec(t, e, "CREATE TABLE fb (id BIGINT, label BIGINT) KEY id")
-	if _, err := e.Exec("INSERT INTO fb VALUES (1, 7)"); err == nil {
-		t.Fatal("label 7 accepted")
-	}
-	if _, err := e.Exec(`CREATE CLASSIFICATION VIEW v KEY id
-		ENTITIES FROM papers KEY id EXAMPLES FROM fb KEY id LABEL l
-		FEATURE FUNCTION nope`); err == nil {
-		t.Fatal("unknown feature function accepted")
-	}
-	if _, err := e.Exec(`CREATE CLASSIFICATION VIEW v KEY id
-		ENTITIES FROM papers KEY id EXAMPLES FROM fb KEY id LABEL l
-		FEATURE FUNCTION tf_bag_of_words ARCHITECTURE QUANTUM`); err == nil {
-		t.Fatal("unknown architecture accepted")
-	}
-	if _, err := e.Exec("SELECT nope FROM papers"); err == nil {
-		t.Fatal("unknown column accepted")
-	}
-	if _, err := e.Exec("SELECT * FROM papers WHERE nope = 1"); err == nil {
-		t.Fatal("unknown where column accepted")
-	}
-}
-
-func TestViewArchitectureVariantsViaSQL(t *testing.T) {
-	for _, clause := range []string{
-		"ARCHITECTURE MM STRATEGY NAIVE MODE LAZY",
-		"ARCHITECTURE OD STRATEGY HAZY MODE EAGER",
-		"ARCHITECTURE HYBRID MODE LAZY",
-	} {
-		e := newEngine(t)
-		mustExec(t, e, "CREATE TABLE p (id BIGINT, txt TEXT) KEY id")
-		mustExec(t, e, "CREATE TABLE fb (id BIGINT, label BIGINT) KEY id")
-		mustExec(t, e, "INSERT INTO p VALUES (1,'alpha beta'),(2,'gamma delta'),(3,'alpha gamma')")
-		mustExec(t, e, `CREATE CLASSIFICATION VIEW v KEY id
-			ENTITIES FROM p KEY id EXAMPLES FROM fb KEY id LABEL l
-			FEATURE FUNCTION tf_bag_of_words `+clause)
-		mustExec(t, e, "INSERT INTO fb VALUES (1,1),(2,-1)")
-		r := mustExec(t, e, "SELECT COUNT(*) FROM v WHERE class = 1")
-		if len(r.Rows) != 1 {
-			t.Fatalf("%s: %+v", clause, r)
-		}
-	}
-	e := newEngine(t)
-	mustExec(t, e, "CREATE TABLE p (id BIGINT, txt TEXT) KEY id")
-	mustExec(t, e, "CREATE TABLE fb (id BIGINT, label BIGINT) KEY id")
-	if _, err := e.Exec(`CREATE CLASSIFICATION VIEW v KEY id
-		ENTITIES FROM p KEY id EXAMPLES FROM fb KEY id LABEL l
-		FEATURE FUNCTION tf_bag_of_words ARCHITECTURE HYBRID STRATEGY NAIVE`); err == nil {
-		t.Fatal("hybrid+naive accepted")
 	}
 }

@@ -1,0 +1,148 @@
+package hazy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hazy/internal/core"
+)
+
+// The hazy-level catalog manifest persists what the storage-level
+// manifest (internal/relation's catalog.json) cannot know: which
+// dialect shape each table has (entity vs examples, and the entity
+// text column) and every declared classification view's spec. With
+// it, Open recovers tables by their recorded kind instead of guessing
+// from the schema shape, and re-declares each view — the view's
+// contents are still recomputed from the persisted tables (§3.5.1),
+// only the declaration is durable.
+
+const metaFile = "hazy.json"
+
+type metaTable struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "entity" | "example"
+	// TextCol is the entity table's text column name (empty for
+	// example tables).
+	TextCol string `json:"text_col,omitempty"`
+}
+
+type metaView struct {
+	Name     string `json:"name"`
+	Entities string `json:"entities"`
+	Examples string `json:"examples"`
+	Feature  string `json:"feature,omitempty"`
+	// Method is the declared USING clause; empty means automatic
+	// selection, re-run over the warm examples at every open.
+	Method     string  `json:"method,omitempty"`
+	Arch       string  `json:"arch"`
+	Strategy   string  `json:"strategy"`
+	Mode       string  `json:"mode"`
+	Alpha      float64 `json:"alpha,omitempty"`
+	BufferFrac float64 `json:"buffer_frac,omitempty"`
+	PoolPages  int     `json:"pool_pages,omitempty"`
+}
+
+type metaManifest struct {
+	Tables []metaTable `json:"tables"`
+	Views  []metaView  `json:"views"`
+}
+
+// saveMeta writes the hazy-level manifest atomically. Callers hold
+// db.mu (read or write).
+func (db *DB) saveMeta() error {
+	var m metaManifest
+	for _, name := range sortedKeys(db.tables) {
+		m.Tables = append(m.Tables, metaTable{
+			Name: name, Kind: "entity", TextCol: db.tables[name].TextColumn(),
+		})
+	}
+	for _, name := range sortedKeys(db.examples) {
+		m.Tables = append(m.Tables, metaTable{Name: name, Kind: "example"})
+	}
+	// Pending views (deferred for a missing custom feature function)
+	// stay in the manifest: they are still declared, just not rebuilt
+	// in this process yet.
+	specs := make([]ViewSpec, 0, len(db.specs)+len(db.pending))
+	for _, name := range sortedKeys(db.specs) {
+		specs = append(specs, db.specs[name])
+	}
+	specs = append(specs, db.pending...)
+	for _, spec := range specs {
+		m.Views = append(m.Views, metaView{
+			Name:       spec.Name,
+			Entities:   spec.Entities,
+			Examples:   spec.Examples,
+			Feature:    spec.FeatureFunction,
+			Method:     spec.Method,
+			Arch:       spec.Arch.String(),
+			Strategy:   spec.Strategy.String(),
+			Mode:       spec.Mode.String(),
+			Alpha:      spec.Alpha,
+			BufferFrac: spec.BufferFrac,
+			PoolPages:  spec.PoolPages,
+		})
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("hazy: marshal manifest: %w", err)
+	}
+	tmp := filepath.Join(db.dir, metaFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("hazy: write manifest: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, metaFile))
+}
+
+// loadMeta reads the hazy-level manifest; a missing file returns nil
+// (a pre-manifest directory, recovered by the schema heuristic).
+func loadMeta(dir string) (*metaManifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hazy: read manifest: %w", err)
+	}
+	var m metaManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("hazy: parse manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// spec reconstructs a ViewSpec from its manifest row.
+func (mv metaView) spec() (ViewSpec, error) {
+	spec := ViewSpec{
+		Name:            mv.Name,
+		Entities:        mv.Entities,
+		Examples:        mv.Examples,
+		FeatureFunction: mv.Feature,
+		Method:          mv.Method,
+		Alpha:           mv.Alpha,
+		BufferFrac:      mv.BufferFrac,
+		PoolPages:       mv.PoolPages,
+	}
+	var err error
+	if spec.Arch, err = core.ParseArch(mv.Arch); err != nil {
+		return spec, fmt.Errorf("hazy: manifest view %q: %w", mv.Name, err)
+	}
+	if spec.Strategy, err = core.ParseStrategy(mv.Strategy); err != nil {
+		return spec, fmt.Errorf("hazy: manifest view %q: %w", mv.Name, err)
+	}
+	if spec.Mode, err = core.ParseMode(mv.Mode); err != nil {
+		return spec, fmt.Errorf("hazy: manifest view %q: %w", mv.Name, err)
+	}
+	return spec, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -7,8 +7,10 @@ import (
 
 // TestReopenRecoversTablesAndRebuildsView is the paper's §3.5.1
 // durability story end to end: entities and training examples
-// persist; the classification view is recomputed on reopen from the
-// recovered tables and must agree with the pre-restart view.
+// persist; the classification view's declaration is recovered from
+// the catalog manifest and its contents are recomputed on reopen
+// from the recovered tables, so it must agree with the pre-restart
+// view without any re-declaration.
 func TestReopenRecoversTablesAndRebuildsView(t *testing.T) {
 	dir := t.TempDir()
 	r := rand.New(rand.NewSource(77))
@@ -84,11 +86,17 @@ func TestReopenRecoversTablesAndRebuildsView(t *testing.T) {
 	if feedback.Len() != 80 {
 		t.Fatalf("recovered %d examples", feedback.Len())
 	}
-	view, err := db.CreateClassificationView(ViewSpec{
-		Name: "labeled", Entities: "papers", Examples: "feedback",
-	})
+	// The view was re-declared by Open from the manifest — no
+	// CreateClassificationView needed, and a duplicate declaration is
+	// rejected like any other.
+	view, err := db.View("labeled")
 	if err != nil {
 		t.Fatal(err)
+	}
+	if _, err := db.CreateClassificationView(ViewSpec{
+		Name: "labeled", Entities: "papers", Examples: "feedback",
+	}); err == nil {
+		t.Fatal("re-declaring the recovered view succeeded")
 	}
 	for id := int64(0); id < 120; id++ {
 		got, err := view.Label(id)
@@ -107,6 +115,73 @@ func TestReopenRecoversTablesAndRebuildsView(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := feedback.InsertExample(500, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenRecoversTableKindsFromManifest is the regression for the
+// seed's schema-shape guessing: table kinds now come from the
+// manifest, so an entity table whose text column is named "label" —
+// which shares its column NAMES with an examples table — and tables
+// that a 2-column heuristic would misfile all come back with their
+// declared kinds, and the declared views over them are recovered.
+func TestReopenRecoversTableKindsFromManifest(t *testing.T) {
+	dir := t.TempDir()
+	{
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// An entity table with a trap column name.
+		if _, err := db.CreateEntityTable("docs", "label"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateExampleTable("votes"); err != nil {
+			t.Fatal(err)
+		}
+		docs, _ := db.EntityTableByName("docs")
+		docs.InsertText(1, "relational database query")
+		docs.InsertText(2, "kernel interrupt scheduler")
+		if _, err := db.CreateClassificationView(ViewSpec{
+			Name: "tagged", Entities: "docs", Examples: "votes", Method: "logistic",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	docs, err := db.EntityTableByName("docs")
+	if err != nil {
+		t.Fatalf("docs not recovered as an entity table: %v", err)
+	}
+	if got := docs.TextColumn(); got != "label" {
+		t.Fatalf("recovered text column %q, want %q", got, "label")
+	}
+	if _, err := db.ExampleTableByName("docs"); err == nil {
+		t.Fatal("entity table also recovered as an examples table")
+	}
+	if _, err := db.ExampleTableByName("votes"); err != nil {
+		t.Fatalf("votes not recovered as an examples table: %v", err)
+	}
+	v, err := db.View("tagged")
+	if err != nil {
+		t.Fatalf("view not recovered from manifest: %v", err)
+	}
+	if got := v.Method(); got != "logistic" {
+		t.Fatalf("recovered view method %q, want %q", got, "logistic")
+	}
+	// The recovered stack is live: feedback maintains the view.
+	votes, _ := db.ExampleTableByName("votes")
+	if err := votes.InsertExample(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Label(2); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,746 @@
+package hazy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hazy/internal/core"
+	"hazy/internal/engine"
+	"hazy/internal/sqlmini"
+)
+
+// Result is a statement's output: column names plus stringified rows
+// (ints render without decimals). It serializes to JSON for the
+// server's SQL wire command.
+type Result struct {
+	Cols []string   `json:"cols,omitempty"`
+	Rows [][]string `json:"rows,omitempty"`
+	// Msg is set for DDL/DML statements with no result set.
+	Msg string `json:"msg,omitempty"`
+}
+
+// Session is the database's front door: it executes SQL statements
+// (the paper's §2.1 dialect) against the whole catalog and carries
+// the per-session state the statement surface needs — the default
+// view for unqualified commands and the engine tokens that keep one
+// session's asynchronous write failures from surfacing in another
+// session's FLUSH.
+//
+// Every consumer goes through a Session: embedded Go callers, each
+// hazyql REPL, and every TCP connection served by hazyd. Sessions are
+// cheap; create one per actor. A Session's engine-backed operations
+// (reads and writes on engined views) are safe for concurrent use;
+// catalog DDL and operations on non-engined views need external
+// serialization, exactly like the underlying DB.
+type Session struct {
+	db *DB
+
+	mu      sync.RWMutex
+	defView string
+	toks    map[*engine.Engine]engine.Token
+}
+
+// NewSession opens a session over the database.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, toks: map[*engine.Engine]engine.Token{}}
+}
+
+// DB returns the session's database.
+func (s *Session) DB() *DB { return s.db }
+
+// Use sets the session's default view — the target of unqualified
+// wire verbs (LABEL <id> and friends). The view must exist.
+func (s *Session) Use(view string) error {
+	if _, err := s.db.View(view); err != nil {
+		return err
+	}
+	s.SetDefaultView(view)
+	return nil
+}
+
+// SetDefaultView sets the default view without checking that it
+// exists yet (servers configure a default before clients declare it).
+func (s *Session) SetDefaultView(view string) {
+	s.mu.Lock()
+	s.defView = view
+	s.mu.Unlock()
+}
+
+// DefaultView returns the session's default view name ("" if unset).
+func (s *Session) DefaultView() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.defView
+}
+
+// token returns this session's error-attribution token for eng,
+// allocating it on first use. Entries for engines that have since
+// been closed (detach/re-attach cycles) are pruned so a long-lived
+// session does not pin dead engines and their final snapshots.
+func (s *Session) token(eng *engine.Engine) engine.Token {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for old := range s.toks {
+		if old != eng && old.Closed() {
+			delete(s.toks, old)
+		}
+	}
+	tok, ok := s.toks[eng]
+	if !ok {
+		tok = eng.NewToken()
+		s.toks[eng] = tok
+	}
+	return tok
+}
+
+// resolve maps a view name ("" = the session default) to the view and
+// its attached engine (nil when unmanaged).
+func (s *Session) resolve(view string) (*ClassView, *engine.Engine, error) {
+	name := view
+	if name == "" {
+		name = s.DefaultView()
+	}
+	if name == "" {
+		return nil, nil, fmt.Errorf("hazy: no view named and no default view set (USE <view>)")
+	}
+	return s.db.viewAndEngine(name)
+}
+
+// BoundView is a view handle resolved once: the view and whichever
+// engine was attached at bind time travel together, so a caller's
+// "engined?" decision and its subsequent operations cannot diverge
+// when an engine is attached or detached concurrently. If the bound
+// engine has since been detached, its writes fail with an explicit
+// engine-closed error (never a silent fallback to the unsynchronized
+// live view) and its reads answer from the engine's final snapshot.
+type BoundView struct {
+	s   *Session
+	cv  *ClassView
+	eng *engine.Engine // nil when unmanaged at bind time
+}
+
+// Bind resolves a view name ("" = the session default) once.
+func (s *Session) Bind(view string) (*BoundView, error) {
+	cv, eng, err := s.resolve(view)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundView{s: s, cv: cv, eng: eng}, nil
+}
+
+// Engined reports whether the view had an engine attached at bind
+// time (reads and writes then bypass statement-level locking).
+func (bv *BoundView) Engined() bool { return bv.eng != nil }
+
+// Name returns the bound view's name.
+func (bv *BoundView) Name() string { return bv.cv.Name() }
+
+// Label answers a Single Entity read — lock-free from the engine's
+// published snapshot when the view is engined.
+func (bv *BoundView) Label(id int64) (int, error) {
+	if bv.eng != nil {
+		return bv.eng.Label(id)
+	}
+	return bv.cv.Label(id)
+}
+
+// Members answers an All Members read.
+func (bv *BoundView) Members() ([]int64, error) {
+	if bv.eng != nil {
+		return bv.eng.Members()
+	}
+	return bv.cv.Members()
+}
+
+// CountMembers counts the +1-labeled entities.
+func (bv *BoundView) CountMembers() (int, error) {
+	if bv.eng != nil {
+		return bv.eng.CountMembers()
+	}
+	return bv.cv.CountMembers()
+}
+
+// Classify scores free text against the view's current model without
+// storing anything.
+func (bv *BoundView) Classify(text string) (int, error) {
+	if bv.eng != nil {
+		return bv.eng.Classify(text), nil
+	}
+	return bv.cv.Classify(text), nil
+}
+
+// Uncertain is implemented by views that can surface active-learning
+// candidates.
+type Uncertain interface {
+	MostUncertain(k int) ([]int64, error)
+}
+
+// MostUncertain returns up to k ids nearest the decision boundary
+// (active-learning picks).
+func (bv *BoundView) MostUncertain(k int) ([]int64, error) {
+	if bv.eng != nil {
+		return bv.eng.MostUncertain(k)
+	}
+	u, ok := bv.cv.Core().(Uncertain)
+	if !ok {
+		return nil, fmt.Errorf("hazy: view %q does not support uncertainty ranking", bv.cv.Name())
+	}
+	return u.MostUncertain(k)
+}
+
+// Train inserts a training example into the view's examples table
+// (synchronous: it returns once the write is applied and visible,
+// whichever path — trigger or engine — maintains the view).
+func (bv *BoundView) Train(id int64, label int) error {
+	if bv.eng != nil {
+		if label != 1 && label != -1 {
+			return fmt.Errorf("hazy: label must be ±1, got %d", label)
+		}
+		return bv.eng.Train(id, label)
+	}
+	return bv.cv.exs.InsertExample(id, label)
+}
+
+// Add inserts an entity into the view's entity table (synchronous).
+func (bv *BoundView) Add(id int64, text string) error {
+	if bv.eng != nil {
+		return bv.eng.Add(id, text)
+	}
+	return bv.cv.ents.InsertText(id, text)
+}
+
+// TrainAsync enqueues a training example on the view's engine and
+// returns as soon as it is queued. The op is tagged with the owning
+// session's token: a failure surfaces only in that session's Flush.
+// Requires an engine attached at bind time.
+func (bv *BoundView) TrainAsync(id int64, label int) error {
+	if bv.eng == nil {
+		return fmt.Errorf("hazy: view %q has no engine attached (async writes need one)", bv.cv.Name())
+	}
+	return bv.eng.TrainAsyncTok(bv.s.token(bv.eng), id, label)
+}
+
+// AddAsync enqueues an entity insert, tagged with the owning
+// session's token.
+func (bv *BoundView) AddAsync(id int64, text string) error {
+	if bv.eng == nil {
+		return fmt.Errorf("hazy: view %q has no engine attached (async writes need one)", bv.cv.Name())
+	}
+	return bv.eng.AddAsyncTok(bv.s.token(bv.eng), id, text)
+}
+
+// Flush is the owning session's barrier on the view's engine: every
+// previously enqueued write (any session's) is applied and visible
+// when it returns, and the first failure among THIS session's async
+// ops — and only this session's — is reported and cleared.
+func (bv *BoundView) Flush() error {
+	if bv.eng == nil {
+		return fmt.Errorf("hazy: view %q has no engine attached (nothing to flush)", bv.cv.Name())
+	}
+	return bv.eng.FlushTok(bv.s.token(bv.eng))
+}
+
+// ViewStats returns the view's maintenance counters (from the
+// published snapshot when engined) plus the engine's serving
+// counters rendered as a string ("" when unmanaged).
+func (bv *BoundView) ViewStats() (Stats, string) {
+	if bv.eng != nil {
+		return bv.eng.ViewStats(), bv.eng.Stats().String()
+	}
+	return bv.cv.Stats(), ""
+}
+
+// The name-addressed Session forms below re-resolve per call — the
+// convenience surface for embedded use; servers bind once per
+// statement (Bind) so the engined decision and the operation agree.
+
+// Label answers a Single Entity read on the named view ("" = default).
+func (s *Session) Label(view string, id int64) (int, error) {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return 0, err
+	}
+	return bv.Label(id)
+}
+
+// Members answers an All Members read on the named view.
+func (s *Session) Members(view string) ([]int64, error) {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return nil, err
+	}
+	return bv.Members()
+}
+
+// CountMembers counts the +1-labeled entities of the named view.
+func (s *Session) CountMembers(view string) (int, error) {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return 0, err
+	}
+	return bv.CountMembers()
+}
+
+// Classify scores free text against the named view's current model.
+func (s *Session) Classify(view, text string) (int, error) {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return 0, err
+	}
+	return bv.Classify(text)
+}
+
+// MostUncertain returns up to k ids nearest the named view's decision
+// boundary.
+func (s *Session) MostUncertain(view string, k int) ([]int64, error) {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return nil, err
+	}
+	return bv.MostUncertain(k)
+}
+
+// Train inserts a training example into the named view's examples
+// table (synchronous).
+func (s *Session) Train(view string, id int64, label int) error {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return err
+	}
+	return bv.Train(id, label)
+}
+
+// Add inserts an entity into the named view's entity table
+// (synchronous).
+func (s *Session) Add(view string, id int64, text string) error {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return err
+	}
+	return bv.Add(id, text)
+}
+
+// TrainAsync enqueues a training example on the named view's engine,
+// tagged with this session's token.
+func (s *Session) TrainAsync(view string, id int64, label int) error {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return err
+	}
+	return bv.TrainAsync(id, label)
+}
+
+// AddAsync enqueues an entity insert on the named view's engine,
+// tagged with this session's token.
+func (s *Session) AddAsync(view string, id int64, text string) error {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return err
+	}
+	return bv.AddAsync(id, text)
+}
+
+// Flush is this session's barrier on the named view's engine.
+func (s *Session) Flush(view string) error {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return err
+	}
+	return bv.Flush()
+}
+
+// ViewStats returns the named view's maintenance counters plus the
+// engine's serving counters ("" when unmanaged).
+func (s *Session) ViewStats(view string) (Stats, string, error) {
+	bv, err := s.Bind(view)
+	if err != nil {
+		return Stats{}, "", err
+	}
+	vs, es := bv.ViewStats()
+	return vs, es, nil
+}
+
+// Exec parses and executes one SQL statement against the catalog.
+func (s *Session) Exec(src string) (*Result, error) {
+	st, err := sqlmini.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case sqlmini.CreateTable:
+		return s.createTable(st)
+	case sqlmini.CreateView:
+		return s.createView(st)
+	case sqlmini.Insert:
+		return s.insert(st)
+	case sqlmini.Select:
+		return s.selectStmt(st)
+	case sqlmini.AttachEngine:
+		return s.attachEngine(st)
+	case sqlmini.DetachEngine:
+		return s.detachEngine(st)
+	default:
+		return nil, fmt.Errorf("sql: unhandled statement %T", st)
+	}
+}
+
+// tableKind reports which dialect shape name has in the catalog:
+// "entity", "example", or "" when unknown.
+func (s *Session) tableKind(name string) string {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	if _, ok := s.db.tables[name]; ok {
+		return "entity"
+	}
+	if _, ok := s.db.examples[name]; ok {
+		return "example"
+	}
+	return ""
+}
+
+func (s *Session) createTable(st sqlmini.CreateTable) (*Result, error) {
+	if len(st.Cols) != 2 || !strings.EqualFold(st.Cols[0].Name, "id") ||
+		st.Cols[0].Type != "BIGINT" || !strings.EqualFold(st.Key, "id") {
+		return nil, fmt.Errorf("sql: the mini dialect supports tables (id BIGINT, col TEXT|BIGINT) KEY id")
+	}
+	switch st.Cols[1].Type {
+	case "TEXT":
+		if _, err := s.db.CreateEntityTable(st.Name, st.Cols[1].Name); err != nil {
+			return nil, err
+		}
+	case "BIGINT":
+		if _, err := s.db.CreateExampleTable(st.Name); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sql: second column must be TEXT (entities) or BIGINT (examples)")
+	}
+	return &Result{Msg: "CREATE TABLE"}, nil
+}
+
+func (s *Session) createView(st sqlmini.CreateView) (*Result, error) {
+	spec := ViewSpec{
+		Name:            st.Name,
+		Entities:        st.Entities,
+		Examples:        st.Examples,
+		FeatureFunction: st.Feature,
+		Method:          strings.ToLower(st.Using),
+	}
+	var err error
+	if spec.Arch, err = core.ParseArch(st.Arch); err != nil {
+		return nil, fmt.Errorf("sql: unknown ARCHITECTURE %q", st.Arch)
+	}
+	if spec.Strategy, err = core.ParseStrategy(st.Strategy); err != nil {
+		return nil, fmt.Errorf("sql: unknown STRATEGY %q", st.Strategy)
+	}
+	if spec.Mode, err = core.ParseMode(st.Mode); err != nil {
+		return nil, fmt.Errorf("sql: unknown MODE %q", st.Mode)
+	}
+	if spec.Arch == core.HybridArch && spec.Strategy == core.Naive {
+		return nil, fmt.Errorf("sql: HYBRID requires STRATEGY HAZY")
+	}
+	if _, err := s.db.CreateClassificationView(spec); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: "CREATE CLASSIFICATION VIEW"}, nil
+}
+
+func (s *Session) attachEngine(st sqlmini.AttachEngine) (*Result, error) {
+	if _, err := s.db.AttachEngine(st.View, EngineOptions{
+		QueueSize: st.Queue, MaxBatch: st.Batch,
+	}); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: "ATTACH ENGINE"}, nil
+}
+
+func (s *Session) detachEngine(st sqlmini.DetachEngine) (*Result, error) {
+	if err := s.db.DetachEngine(st.View); err != nil {
+		return nil, err
+	}
+	return &Result{Msg: "DETACH ENGINE"}, nil
+}
+
+func (s *Session) insert(st sqlmini.Insert) (*Result, error) {
+	// One catalog lookup per statement, not per row.
+	s.db.mu.RLock()
+	entity, entityOK := s.db.tables[st.Table]
+	example, exampleOK := s.db.examples[st.Table]
+	s.db.mu.RUnlock()
+	if !entityOK && !exampleOK {
+		return nil, fmt.Errorf("sql: no table %q", st.Table)
+	}
+	for _, row := range st.Rows {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("sql: %s rows take 2 values, got %d", st.Table, len(row))
+		}
+		if row[0].IsString {
+			return nil, fmt.Errorf("sql: id must be an integer")
+		}
+		id := int64(row[0].Num)
+		if entityOK {
+			if !row[1].IsString {
+				return nil, fmt.Errorf("sql: entity text must be a string")
+			}
+			if err := entity.InsertText(id, row[1].Str); err != nil {
+				return nil, err
+			}
+		} else {
+			if row[1].IsString {
+				return nil, fmt.Errorf("sql: label must be ±1")
+			}
+			if err := example.InsertExample(id, int(row[1].Num)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Result{Msg: fmt.Sprintf("INSERT %d", len(st.Rows))}, nil
+}
+
+// row materializers ----------------------------------------------------
+
+type tableRow struct {
+	id  int64
+	val string // text, label, or class rendered as string
+}
+
+func litStr(l sqlmini.Literal) string {
+	if l.IsString {
+		return l.Str
+	}
+	if l.Num == float64(int64(l.Num)) {
+		return strconv.FormatInt(int64(l.Num), 10)
+	}
+	return strconv.FormatFloat(l.Num, 'g', -1, 64)
+}
+
+func cmpInt(a int64, op string, b float64) bool {
+	af := float64(a)
+	switch op {
+	case "=":
+		return af == b
+	case "<>":
+		return af != b
+	case "<":
+		return af < b
+	case ">":
+		return af > b
+	case "<=":
+		return af <= b
+	case ">=":
+		return af >= b
+	}
+	return false
+}
+
+func (s *Session) selectStmt(st sqlmini.Select) (*Result, error) {
+	// Views first: SELECT over a classification view. The view and
+	// its engine resolve together (one lock acquisition) so the
+	// engined decision cannot diverge from the view being read.
+	if cv, eng, err := s.db.viewAndEngine(st.From); err == nil {
+		return s.selectView(st, cv, eng)
+	}
+	kind := s.tableKind(st.From)
+	if kind == "" {
+		return nil, fmt.Errorf("sql: no table or view %q", st.From)
+	}
+	var rows []tableRow
+	var secondCol string
+	if kind == "entity" {
+		tbl, err := s.db.EntityTableByName(st.From)
+		if err != nil {
+			return nil, err
+		}
+		secondCol = tbl.TextColumn()
+		err = tbl.Scan(func(id int64, text string) error {
+			rows = append(rows, tableRow{id, text})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tbl, err := s.db.ExampleTableByName(st.From)
+		if err != nil {
+			return nil, err
+		}
+		secondCol = "label"
+		err = tbl.Scan(func(id int64, label int) error {
+			rows = append(rows, tableRow{id, strconv.Itoa(label)})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range st.Where {
+		if !strings.EqualFold(c.Col, "id") && !strings.EqualFold(c.Col, secondCol) {
+			return nil, fmt.Errorf("sql: unknown column %q in WHERE", c.Col)
+		}
+	}
+	// Apply predicates.
+	filtered := rows[:0]
+	for _, r := range rows {
+		keep := true
+		for _, c := range st.Where {
+			switch {
+			case strings.EqualFold(c.Col, "id"):
+				if c.Lit.IsString || !cmpInt(r.id, c.Op, c.Lit.Num) {
+					keep = false
+				}
+			case strings.EqualFold(c.Col, secondCol):
+				want := litStr(c.Lit)
+				switch c.Op {
+				case "=":
+					keep = keep && r.val == want
+				case "<>":
+					keep = keep && r.val != want
+				default:
+					// Numeric comparison for the BIGINT column.
+					n, err := strconv.ParseInt(r.val, 10, 64)
+					if err != nil || c.Lit.IsString || !cmpInt(n, c.Op, c.Lit.Num) {
+						keep = false
+					}
+				}
+			default:
+				return nil, fmt.Errorf("sql: unknown column %q in WHERE", c.Col)
+			}
+		}
+		if keep {
+			filtered = append(filtered, r)
+		}
+	}
+	return project(st, filtered, []string{"id", secondCol})
+}
+
+// selectView evaluates SELECT over a classification view with columns
+// (id, class). When the view has an engine attached, every read comes
+// from the engine's published snapshot — including full view scans —
+// so concurrent maintenance never races a query.
+func (s *Session) selectView(st sqlmini.Select, v *ClassView, eng *engine.Engine) (*Result, error) {
+	label := v.Label
+	members := v.Members
+	countMembers := v.CountMembers
+	if eng != nil {
+		label = eng.Label
+		members = eng.Members
+		countMembers = eng.CountMembers
+	}
+
+	// Recognize the point-read pattern WHERE id = k.
+	var idEq *int64
+	var classEq *int
+	for _, c := range st.Where {
+		switch {
+		case strings.EqualFold(c.Col, "id") && c.Op == "=" && !c.Lit.IsString:
+			id := int64(c.Lit.Num)
+			idEq = &id
+		case strings.EqualFold(c.Col, "class") && c.Op == "=" && !c.Lit.IsString:
+			cl := int(c.Lit.Num)
+			if cl != 1 && cl != -1 {
+				return nil, fmt.Errorf("sql: class literal must be ±1")
+			}
+			classEq = &cl
+		default:
+			return nil, fmt.Errorf("sql: view predicates support id = k and class = ±1")
+		}
+	}
+	var rows []tableRow
+	switch {
+	case idEq != nil:
+		l, err := label(*idEq)
+		if err != nil {
+			return nil, err
+		}
+		if classEq == nil || *classEq == l {
+			rows = append(rows, tableRow{*idEq, strconv.Itoa(l)})
+		}
+	case classEq != nil && *classEq == 1:
+		// All Members fast path.
+		if st.Count {
+			n, err := countMembers()
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Cols: []string{"count"}, Rows: [][]string{{strconv.Itoa(n)}}}, nil
+		}
+		ids, err := members()
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, id := range ids {
+			rows = append(rows, tableRow{id, "1"})
+		}
+	default:
+		// Full view scan (optionally class = -1): enumerate entities —
+		// from the snapshot when engined, from the entity table
+		// otherwise — in id order.
+		if eng != nil {
+			for _, e := range eng.Snapshot().Entries() {
+				if classEq == nil || *classEq == int(e.Label) {
+					rows = append(rows, tableRow{e.ID, strconv.Itoa(int(e.Label))})
+				}
+			}
+		} else {
+			ms := map[int64]bool{}
+			ids, err := members()
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range ids {
+				ms[id] = true
+			}
+			err = v.Entities().Scan(func(id int64, _ string) error {
+				l := -1
+				if ms[id] {
+					l = 1
+				}
+				if classEq == nil || *classEq == l {
+					rows = append(rows, tableRow{id, strconv.Itoa(l)})
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].id < rows[b].id })
+	}
+	return project(st, rows, []string{"id", "class"})
+}
+
+// project renders the select list over (id, second-column) rows.
+func project(st sqlmini.Select, rows []tableRow, cols []string) (*Result, error) {
+	if st.Count {
+		return &Result{Cols: []string{"count"}, Rows: [][]string{{strconv.Itoa(len(rows))}}}, nil
+	}
+	want := st.Cols
+	if len(want) == 1 && want[0] == "*" {
+		want = cols
+	}
+	idx := make([]int, len(want))
+	for i, c := range want {
+		switch {
+		case strings.EqualFold(c, cols[0]):
+			idx[i] = 0
+		case strings.EqualFold(c, cols[1]):
+			idx[i] = 1
+		default:
+			return nil, fmt.Errorf("sql: unknown column %q (have %v)", c, cols)
+		}
+	}
+	res := &Result{Cols: want}
+	for _, r := range rows {
+		vals := [2]string{strconv.FormatInt(r.id, 10), r.val}
+		out := make([]string, len(idx))
+		for i, j := range idx {
+			out[i] = vals[j]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}

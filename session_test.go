@@ -1,0 +1,434 @@
+package hazy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hazy/internal/feature"
+	"hazy/internal/learn"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db.NewSession()
+}
+
+func mustExec(t *testing.T, s *Session, sql string) *Result {
+	t.Helper()
+	r, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("%s\n→ %v", sql, err)
+	}
+	return r
+}
+
+func TestEndToEndSQL(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE papers (id BIGINT, title TEXT) KEY id")
+	mustExec(t, s, "CREATE TABLE feedback (id BIGINT, label BIGINT) KEY id")
+	mustExec(t, s, `INSERT INTO papers VALUES
+		(1, 'relational query optimization and indexing'),
+		(2, 'kernel scheduling for multicore operating systems'),
+		(3, 'sql views and transaction processing'),
+		(4, 'device drivers and interrupt handling'),
+		(5, 'join algorithms for relational databases')`)
+	mustExec(t, s, `
+		CREATE CLASSIFICATION VIEW labeled KEY id
+		ENTITIES FROM papers KEY id
+		EXAMPLES FROM feedback KEY id LABEL l
+		FEATURE FUNCTION tf_bag_of_words
+		USING SVM ARCHITECTURE MM STRATEGY HAZY MODE EAGER`)
+	// Feedback via plain INSERTs (trigger-maintained).
+	mustExec(t, s, "INSERT INTO feedback VALUES (1, 1), (2, -1), (3, 1), (4, -1)")
+
+	// Single entity read.
+	r := mustExec(t, s, "SELECT class FROM labeled WHERE id = 5")
+	if len(r.Rows) != 1 || r.Rows[0][0] != "1" {
+		t.Fatalf("paper 5 should classify as database: %+v", r)
+	}
+	// All members.
+	r = mustExec(t, s, "SELECT id FROM labeled WHERE class = 1")
+	if len(r.Rows) < 2 {
+		t.Fatalf("members: %+v", r)
+	}
+	for _, row := range r.Rows {
+		if row[0] == "2" || row[0] == "4" {
+			t.Fatalf("os paper in database class: %+v", r)
+		}
+	}
+	// Count form.
+	r = mustExec(t, s, "SELECT COUNT(*) FROM labeled WHERE class = 1")
+	if len(r.Rows) != 1 {
+		t.Fatalf("count: %+v", r)
+	}
+	// Negative class via full scan.
+	r = mustExec(t, s, "SELECT id, class FROM labeled WHERE class = -1")
+	for _, row := range r.Rows {
+		if row[1] != "-1" {
+			t.Fatalf("negative scan: %+v", r)
+		}
+	}
+	// Base table select with predicate.
+	r = mustExec(t, s, "SELECT title FROM papers WHERE id = 2")
+	if len(r.Rows) != 1 || !strings.Contains(r.Rows[0][0], "kernel") {
+		t.Fatalf("base select: %+v", r)
+	}
+	r = mustExec(t, s, "SELECT COUNT(*) FROM papers WHERE id >= 3")
+	if r.Rows[0][0] != "3" {
+		t.Fatalf("count papers: %+v", r)
+	}
+	r = mustExec(t, s, "SELECT * FROM feedback WHERE label = 1")
+	if len(r.Rows) != 2 {
+		t.Fatalf("feedback positive: %+v", r)
+	}
+}
+
+func TestSQLValidation(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Exec("CREATE TABLE t (a BIGINT, b TEXT, c TEXT) KEY a"); err == nil {
+		t.Fatal("3-column table accepted")
+	}
+	if _, err := s.Exec("INSERT INTO missing VALUES (1, 'x')"); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+	if _, err := s.Exec("SELECT * FROM missing"); err == nil {
+		t.Fatal("select from missing table accepted")
+	}
+	mustExec(t, s, "CREATE TABLE papers (id BIGINT, title TEXT) KEY id")
+	if _, err := s.Exec("INSERT INTO papers VALUES (1, 2)"); err == nil {
+		t.Fatal("numeric text accepted")
+	}
+	if _, err := s.Exec("INSERT INTO papers VALUES ('x', 'y')"); err == nil {
+		t.Fatal("string id accepted")
+	}
+	mustExec(t, s, "CREATE TABLE fb (id BIGINT, label BIGINT) KEY id")
+	if _, err := s.Exec("INSERT INTO fb VALUES (1, 7)"); err == nil {
+		t.Fatal("label 7 accepted")
+	}
+	if _, err := s.Exec(`CREATE CLASSIFICATION VIEW v KEY id
+		ENTITIES FROM papers KEY id EXAMPLES FROM fb KEY id LABEL l
+		FEATURE FUNCTION nope`); err == nil {
+		t.Fatal("unknown feature function accepted")
+	}
+	if _, err := s.Exec(`CREATE CLASSIFICATION VIEW v KEY id
+		ENTITIES FROM papers KEY id EXAMPLES FROM fb KEY id LABEL l
+		FEATURE FUNCTION tf_bag_of_words ARCHITECTURE QUANTUM`); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+	if _, err := s.Exec("SELECT nope FROM papers"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if _, err := s.Exec("SELECT * FROM papers WHERE nope = 1"); err == nil {
+		t.Fatal("unknown where column accepted")
+	}
+	if _, err := s.Exec("ATTACH ENGINE TO nope"); err == nil {
+		t.Fatal("attach to unknown view accepted")
+	}
+	if _, err := s.Exec("DETACH ENGINE FROM nope"); err == nil {
+		t.Fatal("detach from unknown view accepted")
+	}
+}
+
+func TestViewArchitectureVariantsViaSQL(t *testing.T) {
+	for _, clause := range []string{
+		"ARCHITECTURE MM STRATEGY NAIVE MODE LAZY",
+		"ARCHITECTURE OD STRATEGY HAZY MODE EAGER",
+		"ARCHITECTURE HYBRID MODE LAZY",
+	} {
+		s := newSession(t)
+		mustExec(t, s, "CREATE TABLE p (id BIGINT, txt TEXT) KEY id")
+		mustExec(t, s, "CREATE TABLE fb (id BIGINT, label BIGINT) KEY id")
+		mustExec(t, s, "INSERT INTO p VALUES (1,'alpha beta'),(2,'gamma delta'),(3,'alpha gamma')")
+		mustExec(t, s, `CREATE CLASSIFICATION VIEW v KEY id
+			ENTITIES FROM p KEY id EXAMPLES FROM fb KEY id LABEL l
+			FEATURE FUNCTION tf_bag_of_words `+clause)
+		mustExec(t, s, "INSERT INTO fb VALUES (1,1),(2,-1)")
+		r := mustExec(t, s, "SELECT COUNT(*) FROM v WHERE class = 1")
+		if len(r.Rows) != 1 {
+			t.Fatalf("%s: %+v", clause, r)
+		}
+	}
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE p (id BIGINT, txt TEXT) KEY id")
+	mustExec(t, s, "CREATE TABLE fb (id BIGINT, label BIGINT) KEY id")
+	if _, err := s.Exec(`CREATE CLASSIFICATION VIEW v KEY id
+		ENTITIES FROM p KEY id EXAMPLES FROM fb KEY id LABEL l
+		FEATURE FUNCTION tf_bag_of_words ARCHITECTURE HYBRID STRATEGY NAIVE`); err == nil {
+		t.Fatal("hybrid+naive accepted")
+	}
+	// The engine requires a snapshot-capable view: attaching to an
+	// on-disk one is rejected in SQL too.
+	mustExec(t, s, `CREATE CLASSIFICATION VIEW odv KEY id
+		ENTITIES FROM p KEY id EXAMPLES FROM fb KEY id LABEL l
+		FEATURE FUNCTION tf_bag_of_words ARCHITECTURE OD`)
+	if _, err := s.Exec("ATTACH ENGINE TO odv"); err == nil {
+		t.Fatal("engine attached to an on-disk view")
+	}
+}
+
+// TestAttachEngineViaSQL drives the per-view engine lifecycle
+// entirely through SQL: inserts route through the engine while
+// attached (synchronously — read-your-writes holds for the following
+// SELECTs), and DETACH drains and resumes triggers.
+func TestAttachEngineViaSQL(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE p (id BIGINT, txt TEXT) KEY id")
+	mustExec(t, s, "CREATE TABLE fb (id BIGINT, label BIGINT) KEY id")
+	mustExec(t, s, "INSERT INTO p VALUES (1,'alpha beta'),(2,'gamma delta'),(3,'alpha gamma')")
+	mustExec(t, s, `CREATE CLASSIFICATION VIEW v KEY id
+		ENTITIES FROM p KEY id EXAMPLES FROM fb KEY id LABEL l
+		FEATURE FUNCTION tf_bag_of_words`)
+	mustExec(t, s, "ATTACH ENGINE TO v QUEUE 64 BATCH 16")
+	if s.DB().AttachedEngine("v") == nil {
+		t.Fatal("engine not registered")
+	}
+	if _, err := s.Exec("ATTACH ENGINE TO v"); err == nil {
+		t.Fatal("double attach accepted")
+	}
+	mustExec(t, s, "INSERT INTO fb VALUES (1,1),(2,-1)")
+	mustExec(t, s, "INSERT INTO p VALUES (4,'alpha alpha beta')")
+	r := mustExec(t, s, "SELECT class FROM v WHERE id = 4")
+	if len(r.Rows) != 1 || r.Rows[0][0] != "1" {
+		t.Fatalf("engined point read: %+v", r)
+	}
+	r = mustExec(t, s, "SELECT id, class FROM v")
+	if len(r.Rows) != 4 {
+		t.Fatalf("engined full scan: %+v", r)
+	}
+	mustExec(t, s, "DETACH ENGINE FROM v")
+	if s.DB().AttachedEngine("v") != nil {
+		t.Fatal("engine still registered after detach")
+	}
+	mustExec(t, s, "INSERT INTO fb VALUES (3,1)")
+	r = mustExec(t, s, "SELECT COUNT(*) FROM v WHERE class = 1")
+	if len(r.Rows) != 1 {
+		t.Fatalf("count after detach: %+v", r)
+	}
+}
+
+// TestAutomaticModelSelection: a view declared without USING runs the
+// paper's §2.1 model selection over the warm examples when enough are
+// present, and falls back to the SVM otherwise.
+func TestAutomaticModelSelection(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	papers, _ := db.CreateEntityTable("papers", "title")
+	feedback, _ := db.CreateExampleTable("feedback")
+	r := rand.New(rand.NewSource(41))
+	for id := int64(0); id < 40; id++ {
+		if err := papers.InsertText(id, title(r, id%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Too few warm examples: default SVM, no selection.
+	v1, err := db.CreateClassificationView(ViewSpec{
+		Name: "few", Entities: "papers", Examples: "feedback",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v1.Method(); got != learn.MethodSVM {
+		t.Fatalf("method with no warm examples = %q, want %q", got, learn.MethodSVM)
+	}
+
+	// Warm the examples table past the selection threshold and
+	// declare another automatic view: the selection runs and lands on
+	// a valid method.
+	for id := int64(0); id < int64(autoSelectMin+8); id++ {
+		label := -1
+		if id%2 == 0 {
+			label = 1
+		}
+		if err := feedback.InsertExample(id, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2, err := db.CreateClassificationView(ViewSpec{
+		Name: "auto", Entities: "papers", Examples: "feedback",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch v2.Method() {
+	case learn.MethodSVM, learn.MethodLogistic, learn.MethodRidge:
+	default:
+		t.Fatalf("selected method %q", v2.Method())
+	}
+	// An explicit USING clause is never overridden.
+	v3, err := db.CreateClassificationView(ViewSpec{
+		Name: "explicit", Entities: "papers", Examples: "feedback", Method: "ridge",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v3.Method(); got != learn.MethodRidge {
+		t.Fatalf("explicit method = %q, want ridge", got)
+	}
+	// The selection is deterministic: a second DB over the same data
+	// picks the same method (what makes manifest recovery stable).
+	dir2 := t.TempDir()
+	db2, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	p2, _ := db2.CreateEntityTable("papers", "title")
+	f2, _ := db2.CreateExampleTable("feedback")
+	papers.Scan(func(id int64, text string) error { return p2.InsertText(id, text) })
+	feedback.Scan(func(id int64, label int) error { return f2.InsertExample(id, label) })
+	v4, err := db2.CreateClassificationView(ViewSpec{
+		Name: "auto", Entities: "papers", Examples: "feedback",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4.Method() != v2.Method() {
+		t.Fatalf("selection not deterministic: %q vs %q", v4.Method(), v2.Method())
+	}
+}
+
+// TestConcurrentScanAndEngineWrites: SQL base-table scans must be
+// safe against the engine goroutine durably inserting into the same
+// tables (the relation layer's internal locks) — run under -race.
+func TestConcurrentScanAndEngineWrites(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE p (id BIGINT, txt TEXT) KEY id")
+	mustExec(t, s, "CREATE TABLE fb (id BIGINT, label BIGINT) KEY id")
+	mustExec(t, s, "INSERT INTO p VALUES (1,'alpha beta'),(2,'gamma delta')")
+	mustExec(t, s, `CREATE CLASSIFICATION VIEW v KEY id
+		ENTITIES FROM p KEY id EXAMPLES FROM fb KEY id LABEL l
+		FEATURE FUNCTION tf_bag_of_words`)
+	mustExec(t, s, "ATTACH ENGINE TO v")
+
+	done := make(chan error, 1)
+	go func() {
+		s2 := s.DB().NewSession()
+		for id := int64(100); id < 200; id++ {
+			if err := s2.AddAsync("v", id, "alpha gamma text"); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- s2.Flush("v")
+	}()
+	for i := 0; i < 100; i++ {
+		if _, err := s.Exec("SELECT COUNT(*) FROM p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	r := mustExec(t, s, "SELECT COUNT(*) FROM p")
+	if r.Rows[0][0] != "102" {
+		t.Fatalf("entities after concurrent ingest = %v", r.Rows)
+	}
+}
+
+// TestPendingViewRecovery: a manifest view over an app-registered
+// feature function must not brick Open — it is deferred until the
+// app registers the function and calls RecoverPendingViews.
+func TestPendingViewRecovery(t *testing.T) {
+	dir := t.TempDir()
+	{
+		db, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Registry().Register("custom_tfidf", func() feature.Func { return feature.NewTFIDF() })
+		papers, _ := db.CreateEntityTable("papers", "title")
+		if _, err := db.CreateExampleTable("feedback"); err != nil {
+			t.Fatal(err)
+		}
+		papers.InsertText(1, "relational database query optimization")
+		if _, err := db.CreateClassificationView(ViewSpec{
+			Name: "v", Entities: "papers", Examples: "feedback", FeatureFunction: "custom_tfidf",
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen WITHOUT the custom function: Open succeeds, the view is
+	// pending, the tables are live.
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open bricked by unregistered feature function: %v", err)
+	}
+	defer db.Close()
+	if got := db.PendingViews(); len(got) != 1 || got[0] != "v" {
+		t.Fatalf("PendingViews = %v", got)
+	}
+	if _, err := db.View("v"); err == nil {
+		t.Fatal("pending view available before recovery")
+	}
+	// Register and recover.
+	db.Registry().Register("custom_tfidf", func() feature.Func { return feature.NewTFIDF() })
+	if err := db.RecoverPendingViews(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.PendingViews(); len(got) != 0 {
+		t.Fatalf("still pending after recovery: %v", got)
+	}
+	v, err := db.View("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Label(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerSessionFlushEmbedded: two embedded sessions over one engined
+// view; each session's Flush reports only its own async failures.
+func TestPerSessionFlushEmbedded(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	papers, _ := db.CreateEntityTable("papers", "title")
+	if _, err := db.CreateExampleTable("feedback"); err != nil {
+		t.Fatal(err)
+	}
+	papers.InsertText(1, "relational database query optimization")
+	if _, err := db.CreateClassificationView(ViewSpec{
+		Name: "v", Entities: "papers", Examples: "feedback",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AttachEngine("v", EngineOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := db.NewSession(), db.NewSession()
+
+	if err := s1.TrainAsync("v", 999, 1); err != nil { // unknown entity: fails at apply
+		t.Fatal(err)
+	}
+	if err := s2.TrainAsync("v", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Flush("v"); err != nil {
+		t.Fatalf("session 2 flush collected a foreign error: %v", err)
+	}
+	if err := s1.Flush("v"); err == nil {
+		t.Fatal("session 1 flush lost its own error")
+	}
+	if err := s1.Flush("v"); err != nil {
+		t.Fatalf("error reported twice: %v", err)
+	}
+	if label, err := s2.Label("v", 1); err != nil || label != 1 {
+		t.Fatalf("Label = %d, %v", label, err)
+	}
+}

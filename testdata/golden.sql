@@ -1,0 +1,56 @@
+-- Golden end-to-end script: the paper's §2.1 workflow, twice over —
+-- two independent classification views in one catalog, both served
+-- through concurrent maintenance engines. The same transcript must
+-- come out of (a) an embedded hazy.Session, (b) hazyql -f, and
+-- (c) a hazyd server driven through the SQL wire command.
+
+CREATE TABLE papers (id BIGINT, title TEXT) KEY id;
+CREATE TABLE feedback (id BIGINT, label BIGINT) KEY id;
+CREATE TABLE docs (id BIGINT, body TEXT) KEY id;
+CREATE TABLE votes (id BIGINT, label BIGINT) KEY id;
+
+INSERT INTO papers VALUES
+  (1, 'relational query optimization and indexing'),
+  (2, 'kernel scheduling for multicore operating systems'),
+  (3, 'sql views and transaction processing'),
+  (4, 'device drivers and interrupt handling'),
+  (5, 'join algorithms for relational databases');
+INSERT INTO docs VALUES
+  (10, 'lottery winner click here now'),
+  (11, 'meeting notes from the quarterly design review'),
+  (12, 'you are a winner click to claim the lottery prize'),
+  (13, 'agenda and notes for the review meeting');
+
+CREATE CLASSIFICATION VIEW labeled KEY id
+  ENTITIES FROM papers KEY id
+  EXAMPLES FROM feedback KEY id LABEL label
+  FEATURE FUNCTION tf_bag_of_words USING SVM;
+CREATE CLASSIFICATION VIEW spam KEY id
+  ENTITIES FROM docs KEY id
+  EXAMPLES FROM votes KEY id LABEL label
+  FEATURE FUNCTION tf_bag_of_words USING LOGISTIC;
+
+ATTACH ENGINE TO labeled;
+ATTACH ENGINE TO spam QUEUE 128 BATCH 32;
+
+INSERT INTO feedback VALUES (1, 1), (2, -1), (3, 1), (4, -1);
+INSERT INTO votes VALUES (10, 1), (11, -1);
+
+SELECT class FROM labeled WHERE id = 5;
+SELECT id FROM labeled WHERE class = 1;
+SELECT COUNT(*) FROM labeled WHERE class = 1;
+SELECT id, class FROM spam;
+SELECT COUNT(*) FROM spam WHERE class = 1;
+SELECT title FROM papers WHERE id = 2;
+SELECT COUNT(*) FROM votes;
+
+-- Late-arriving entities are classified on insert, through the
+-- engines (type-1 dynamic data).
+INSERT INTO papers VALUES (6, 'cost based query optimization of sql database views');
+INSERT INTO docs VALUES (14, 'claim your lottery prize now winner');
+SELECT class FROM labeled WHERE id = 6;
+SELECT class FROM spam WHERE id = 14;
+
+DETACH ENGINE FROM labeled;
+SELECT class FROM labeled WHERE id = 6;
+SELECT COUNT(*) FROM spam;
