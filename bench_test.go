@@ -11,6 +11,7 @@ package hazy
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"testing"
 
@@ -340,6 +341,121 @@ func BenchmarkFig13BandMaintenance(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(v.Stats().BandTuples), "band-tuples")
+}
+
+// SQL read-path benchmark ---------------------------------------------
+
+// sqlBenchEntities sizes the serving corpus the planner benches run
+// against — large enough that a full scan visibly loses to the
+// pushed-down plans.
+const sqlBenchEntities = 50_000
+
+var (
+	sqlBenchOnce sync.Once
+	sqlBenchSess *Session
+	sqlBenchErr  error
+)
+
+// sqlBenchTitle is a deterministic two-topic corpus line.
+func sqlBenchTitle(id int64) string {
+	if id%2 == 0 {
+		return fmt.Sprintf("kernel scheduler interrupt driver paging memory %d", id)
+	}
+	return fmt.Sprintf("relational database query optimization index transactions %d", id)
+}
+
+// sqlBenchSession lazily builds one 50k-entity engined view and keeps
+// it for the whole bench process (the temp dir is left to the OS, as
+// the DB must outlive every sub-benchmark).
+func sqlBenchSession(b *testing.B) *Session {
+	b.Helper()
+	sqlBenchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "hazy-sqlbench-*")
+		if err != nil {
+			sqlBenchErr = err
+			return
+		}
+		db, err := Open(dir)
+		if err != nil {
+			sqlBenchErr = err
+			return
+		}
+		papers, err := db.CreateEntityTable("papers", "title")
+		if err != nil {
+			sqlBenchErr = err
+			return
+		}
+		feedback, err := db.CreateExampleTable("feedback")
+		if err != nil {
+			sqlBenchErr = err
+			return
+		}
+		for id := int64(0); id < sqlBenchEntities; id++ {
+			if err := papers.InsertText(id, sqlBenchTitle(id)); err != nil {
+				sqlBenchErr = err
+				return
+			}
+		}
+		// Warm examples before declaration (one corpus pass, one
+		// clustering), then a few post-declaration trains so the
+		// watermark band is non-degenerate.
+		for id := int64(0); id < 400; id++ {
+			if err := feedback.InsertExample(id, 1-2*int(id%2)); err != nil {
+				sqlBenchErr = err
+				return
+			}
+		}
+		if _, err := db.CreateClassificationView(ViewSpec{
+			Name: "served", Entities: "papers", Examples: "feedback", Method: "svm",
+		}); err != nil {
+			sqlBenchErr = err
+			return
+		}
+		for id := int64(400); id < 430; id++ {
+			if err := feedback.InsertExample(id, 1-2*int(id%2)); err != nil {
+				sqlBenchErr = err
+				return
+			}
+		}
+		if _, err := db.AttachEngine("served", EngineOptions{}); err != nil {
+			sqlBenchErr = err
+			return
+		}
+		sqlBenchSess = db.NewSession()
+	})
+	if sqlBenchErr != nil {
+		b.Fatal(sqlBenchErr)
+	}
+	return sqlBenchSess
+}
+
+// BenchmarkSQLReadPath compares the planner's physical plans on the
+// same 50k-entity engined view: the full scan every query used to
+// pay, against the pushed-down members count, eps-range index scan,
+// id point read, and boundary walk. COUNT-shaped statements keep row
+// rendering out of the measurement.
+func BenchmarkSQLReadPath(b *testing.B) {
+	cases := []struct {
+		name string
+		stmt string
+	}{
+		{"FullScan", "SELECT COUNT(*) FROM served WHERE class = -1"},
+		{"MembersCount", "SELECT COUNT(*) FROM served WHERE class = 1"},
+		{"EpsRange", "SELECT COUNT(*) FROM served WHERE eps >= -0.05 AND eps <= 0.05"},
+		{"PointRead", "SELECT class FROM served WHERE id = 25000"},
+		{"Uncertain", "SELECT id FROM served ORDER BY ABS(eps) LIMIT 10"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			s := sqlBenchSession(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(c.stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSkiingVsOpt regenerates the Lemma 3.2 analysis: the

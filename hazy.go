@@ -29,6 +29,12 @@
 //	           FEATURE FUNCTION tf_bag_of_words USING SVM`)
 //	sess.Exec(`INSERT INTO feedback VALUES (1, 1)`) // retrains + maintains the view
 //	res, _ := sess.Exec(`SELECT class FROM labeled_papers WHERE id = 1`)
+//	sess.Exec(`SELECT id FROM labeled_papers ORDER BY ABS(eps) LIMIT 5`) // active-learning picks
+//
+// SELECTs are lowered by the internal/exec planner onto the physical
+// structure that answers them — id point reads, the members set, or
+// an eps-range scan of the clustered layout — and stream row at a
+// time (Session.Query); EXPLAIN SELECT prints the chosen plan.
 //
 // The equivalent Go-level calls (CreateEntityTable,
 // CreateClassificationView, ClassView.Label, …) remain available and
@@ -718,6 +724,18 @@ func (v *ClassView) CountMembers() (int, error) { return v.view.CountMembers() }
 // storing anything (ad-hoc prediction).
 func (v *ClassView) Classify(text string) int {
 	return v.view.Model().Predict(v.ff.ComputeFeature(text))
+}
+
+// Eps returns the entity's stored eps — its signed distance to the
+// decision boundary under the model of the last reorganization, the
+// quantity the Hazy strategy clusters on. It is the SQL surface's
+// `eps` column; views built with the naive strategy keep no eps and
+// return an error.
+func (v *ClassView) Eps(id int64) (float64, error) {
+	if ei, ok := v.view.(core.EpsIndexed); ok && ei.Clustered() {
+		return ei.EpsOf(id)
+	}
+	return 0, fmt.Errorf("hazy: view %q has no eps clustering (naive strategy)", v.name)
 }
 
 // Stats exposes maintenance counters.

@@ -398,40 +398,100 @@ func (t *Tree) findLeaf(k Key) (storage.PageID, error) {
 	}
 }
 
+// Cursor is a pull-based scan over the entries with lo ≤ key.Eps ≤ hi
+// in key order — the iterator form of Range, built for the streaming
+// SQL executor's eps-range index scans: each Next returns one entry,
+// so an operator pipeline can interleave index steps with heap reads
+// and stop early (LIMIT) without visiting the rest of the range.
+//
+// The cursor keeps the current leaf pinned between Next calls and
+// releases it when it advances to the next leaf, hits the end of the
+// range, or is Closed. Callers must Close it (Close is idempotent)
+// and must not mutate the tree while a cursor is open — the same
+// single-writer discipline Range always required.
+type Cursor struct {
+	t    *Tree
+	hi   float64
+	page storage.PageID // pinned leaf; InvalidPage when exhausted
+	buf  []byte
+	i, n int
+}
+
+// NewCursor positions a cursor at the first entry with key.Eps ≥ lo.
+func (t *Tree) NewCursor(lo, hi float64) (*Cursor, error) {
+	start := Key{Eps: lo, ID: math.MinInt64}
+	id, err := t.findLeaf(start)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cursor{t: t, hi: hi, page: id}
+	buf, err := t.pool.Pin(id)
+	if err != nil {
+		c.page = storage.InvalidPage
+		return nil, err
+	}
+	c.buf, c.n = buf, nodeCount(buf)
+	c.i = leafSearch(buf, start)
+	return c, nil
+}
+
+// Next returns the next entry in the range, or ok=false when the
+// range is exhausted (the cursor then releases its pin).
+func (c *Cursor) Next() (Key, storage.RID, bool, error) {
+	for c.page != storage.InvalidPage {
+		if c.i < c.n {
+			k := leafKey(c.buf, c.i)
+			if k.Eps > c.hi {
+				c.Close()
+				return Key{}, storage.RID{}, false, nil
+			}
+			rid := leafRID(c.buf, c.i)
+			c.i++
+			return k, rid, true, nil
+		}
+		next := nodeLink(c.buf)
+		c.t.pool.Unpin(c.page, false)
+		c.page, c.buf = next, nil
+		if next == storage.InvalidPage {
+			break
+		}
+		buf, err := c.t.pool.Pin(next)
+		if err != nil {
+			c.page = storage.InvalidPage
+			return Key{}, storage.RID{}, false, err
+		}
+		c.buf, c.n, c.i = buf, nodeCount(buf), 0
+	}
+	return Key{}, storage.RID{}, false, nil
+}
+
+// Close releases the cursor's leaf pin.
+func (c *Cursor) Close() {
+	if c.page != storage.InvalidPage {
+		c.t.pool.Unpin(c.page, false)
+		c.page, c.buf = storage.InvalidPage, nil
+	}
+}
+
 // Range calls fn for every entry with lo ≤ key.Eps ≤ hi, in key
 // order. fn returning false stops the scan early. This is Hazy's
 // incremental-step scan of the water band [lw, hw].
 func (t *Tree) Range(lo, hi float64, fn func(k Key, rid storage.RID) (bool, error)) error {
-	start := Key{Eps: lo, ID: math.MinInt64}
-	id, err := t.findLeaf(start)
+	c, err := t.NewCursor(lo, hi)
 	if err != nil {
 		return err
 	}
-	for id != storage.InvalidPage {
-		buf, err := t.pool.Pin(id)
-		if err != nil {
+	defer c.Close()
+	for {
+		k, rid, ok, err := c.Next()
+		if err != nil || !ok {
 			return err
 		}
-		n := nodeCount(buf)
-		i := leafSearch(buf, start)
-		for ; i < n; i++ {
-			k := leafKey(buf, i)
-			if k.Eps > hi {
-				t.pool.Unpin(id, false)
-				return nil
-			}
-			rid := leafRID(buf, i)
-			cont, err := fn(k, rid)
-			if err != nil || !cont {
-				t.pool.Unpin(id, false)
-				return err
-			}
+		cont, err := fn(k, rid)
+		if err != nil || !cont {
+			return err
 		}
-		next := nodeLink(buf)
-		t.pool.Unpin(id, false)
-		id = next
 	}
-	return nil
 }
 
 // Scan visits every entry in key order.

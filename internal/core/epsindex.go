@@ -1,0 +1,257 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"hazy/internal/btree"
+	"hazy/internal/storage"
+)
+
+// This file is the read surface the streaming SQL executor plans
+// against: every clustered layout — the snapshot a serving engine
+// publishes, the main-memory entries slice, and the on-disk B+-tree —
+// exposes the same three capabilities, so the planner can push an
+// eps-band predicate down to whichever physical structure the view
+// happens to have instead of rescanning everything (paper §3.2.2's
+// "clustered B+-tree index on t.eps", generalized to all layouts).
+
+// RowCursor streams (id, eps, label) rows, eps-ascending, one row per
+// Next. Close releases any held resources (page pins for the on-disk
+// cursor) and is idempotent; callers must Close even after an error.
+type RowCursor interface {
+	Next() (SnapEntry, bool, error)
+	Close()
+}
+
+// EpsIndexed is implemented by view layouts that maintain the eps
+// clustering and can expose it: per-entity eps point reads and
+// streaming eps-range scans. Clustered reports whether the instance
+// actually has the clustering (the Hazy strategy) — the naive layouts
+// carry no eps and answer false.
+type EpsIndexed interface {
+	Clustered() bool
+	EpsOf(id int64) (float64, error)
+	ScanEps(lo, hi float64) (RowCursor, error)
+}
+
+var errNotClustered = fmt.Errorf("core: eps requires the Hazy strategy (no eps clustering)")
+
+// sliceCursor streams pre-resolved entries — the snapshot cursor.
+type sliceCursor struct {
+	entries []SnapEntry
+	i       int
+}
+
+func (c *sliceCursor) Next() (SnapEntry, bool, error) {
+	if c.i >= len(c.entries) {
+		return SnapEntry{}, false, nil
+	}
+	e := c.entries[c.i]
+	c.i++
+	return e, true, nil
+}
+
+func (c *sliceCursor) Close() {}
+
+// Snapshot ------------------------------------------------------------
+
+// Clustered reports whether the snapshot's entries are eps-ascending
+// (Hazy strategy at export time).
+func (s *Snapshot) Clustered() bool { return s.clustered }
+
+// EpsOf returns the entity's eps under the snapshot's stored model.
+func (s *Snapshot) EpsOf(id int64) (float64, error) {
+	if !s.clustered {
+		return 0, errNotClustered
+	}
+	i, ok := s.byID[id]
+	if !ok {
+		return 0, fmt.Errorf("core: no entity %d", id)
+	}
+	return s.entries[i].Eps, nil
+}
+
+// ScanEps streams the snapshot entries with eps ∈ [lo, hi] — a binary
+// search plus a sub-slice walk over immutable state, safe from any
+// goroutine.
+func (s *Snapshot) ScanEps(lo, hi float64) (RowCursor, error) {
+	if !s.clustered {
+		return nil, errNotClustered
+	}
+	a := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Eps >= lo })
+	b := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].Eps > hi })
+	if b < a {
+		b = a // inverted range (lo > hi): empty scan, like the other layouts
+	}
+	return &sliceCursor{entries: s.entries[a:b]}, nil
+}
+
+// MemView -------------------------------------------------------------
+
+// Clustered reports whether the view keeps its entries eps-sorted.
+func (v *MemView) Clustered() bool { return v.strategy == HazyStrategy }
+
+// EpsOf returns the entity's eps under the stored model.
+func (v *MemView) EpsOf(id int64) (float64, error) {
+	if v.strategy != HazyStrategy {
+		return 0, errNotClustered
+	}
+	ent, ok := v.byID[id]
+	if !ok {
+		return 0, fmt.Errorf("core: no entity %d", id)
+	}
+	return ent.eps, nil
+}
+
+// memCursor walks the eps-sorted entries of a band, resolving each
+// label exactly the way Label does (maintained label in eager mode,
+// watermark test then current model in lazy mode) without mutating
+// any maintenance state. Like every non-snapshot read of a MemView it
+// relies on external serialization against writers.
+type memCursor struct {
+	v      *MemView
+	i, end int
+}
+
+func (c *memCursor) Next() (SnapEntry, bool, error) {
+	if c.i >= c.end {
+		return SnapEntry{}, false, nil
+	}
+	ent := c.v.entries[c.i]
+	c.i++
+	label := int(ent.label)
+	if c.v.opts.Mode == Lazy {
+		if l, certain := c.v.wm.Test(ent.eps); certain {
+			label = l
+		} else {
+			label = c.v.trainer.Model().Predict(ent.f)
+		}
+	}
+	return SnapEntry{ID: ent.id, Eps: ent.eps, Label: int8(label)}, true, nil
+}
+
+func (c *memCursor) Close() {}
+
+// ScanEps streams the entries with eps ∈ [lo, hi] in eps order.
+func (v *MemView) ScanEps(lo, hi float64) (RowCursor, error) {
+	if v.strategy != HazyStrategy {
+		return nil, errNotClustered
+	}
+	a, b := v.band(lo, hi)
+	return &memCursor{v: v, i: a, end: b}, nil
+}
+
+// DiskView ------------------------------------------------------------
+
+// Clustered reports whether the on-disk table keeps the (eps, id)
+// B+-tree.
+func (v *DiskView) Clustered() bool { return v.strategy == HazyStrategy }
+
+// EpsOf returns the entity's stored eps, reading only the record
+// header (no feature-vector decode).
+func (v *DiskView) EpsOf(id int64) (float64, error) {
+	if v.strategy != HazyStrategy {
+		return 0, errNotClustered
+	}
+	return v.dt.GetEps(id)
+}
+
+// diskCursor drives a B+-tree cursor over [lo, hi], resolving each
+// row's label per the view's mode: eager reads the maintained class
+// byte; lazy tests the watermarks and only decodes the feature vector
+// for rows inside the band, where the current model must decide.
+type diskCursor struct {
+	v   *DiskView
+	cur *btree.Cursor
+}
+
+func (c *diskCursor) Next() (SnapEntry, bool, error) {
+	k, rid, ok, err := c.cur.Next()
+	if err != nil || !ok {
+		return SnapEntry{}, false, err
+	}
+	label, err := c.v.rowLabel(k, rid)
+	if err != nil {
+		return SnapEntry{}, false, err
+	}
+	return SnapEntry{ID: k.ID, Eps: k.Eps, Label: int8(label)}, true, nil
+}
+
+func (c *diskCursor) Close() { c.cur.Close() }
+
+// rowLabel resolves one indexed row's label without mutating
+// maintenance state (no Skiing waste accrual — the streaming read
+// path leaves reorganization scheduling to writes and legacy reads).
+func (v *DiskView) rowLabel(k btree.Key, rid storage.RID) (int, error) {
+	if v.opts.Mode == Lazy {
+		if label, certain := v.wm.Test(k.Eps); certain {
+			return label, nil
+		}
+		var label int
+		err := v.dt.heap.View(rid, func(rec []byte) error {
+			_, _, _, f, err := decodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			label = v.trainer.Model().Predict(f)
+			return nil
+		})
+		return label, err
+	}
+	var label int
+	err := v.dt.heap.View(rid, func(rec []byte) error {
+		label = decodeClass(rec[recClassOff])
+		return nil
+	})
+	return label, err
+}
+
+// ScanEps streams the indexed rows with eps ∈ [lo, hi] in key order.
+func (v *DiskView) ScanEps(lo, hi float64) (RowCursor, error) {
+	if v.strategy != HazyStrategy {
+		return nil, errNotClustered
+	}
+	cur, err := v.dt.tree.NewCursor(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &diskCursor{v: v, cur: cur}, nil
+}
+
+// GetEps reads just the eps field of id's record.
+func (dt *diskTable) GetEps(id int64) (float64, error) {
+	rid, ok := dt.byID[id]
+	if !ok {
+		return 0, fmt.Errorf("core: no entity %d", id)
+	}
+	var eps float64
+	err := dt.heap.View(rid, func(rec []byte) error {
+		if len(rec) < recVecOff {
+			return fmt.Errorf("core: short disk record (%d bytes)", len(rec))
+		}
+		eps = math.Float64frombits(binary.LittleEndian.Uint64(rec[recEpsOff:]))
+		return nil
+	})
+	return eps, err
+}
+
+// HybridView ----------------------------------------------------------
+
+// EpsOf answers from the in-memory ε-map (App. B.4's first stop)
+// before falling back to disk.
+func (h *HybridView) EpsOf(id int64) (float64, error) {
+	if eps, ok := h.epsMap[id]; ok {
+		return eps, nil
+	}
+	return h.DiskView.EpsOf(id)
+}
+
+var (
+	_ EpsIndexed = (*Snapshot)(nil)
+	_ EpsIndexed = (*MemView)(nil)
+	_ EpsIndexed = (*DiskView)(nil)
+	_ EpsIndexed = (*HybridView)(nil)
+)

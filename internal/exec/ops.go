@@ -1,0 +1,314 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Pred is one compiled conjunct: child column `col` compared against a
+// literal. The comparison semantics mirror the dialect's historical
+// behaviour: numeric columns never match string literals; string
+// columns compare rendered text under = and <>, and parse as integers
+// for the ordered operators (unparsable rows simply don't match).
+type Pred struct {
+	Col int
+	Op  string // = <> < > <= >=
+	Lit Value
+	// name is the column's name, kept for EXPLAIN.
+	name string
+}
+
+// NewPred builds a predicate over child column col (named name).
+func NewPred(col int, name, op string, lit Value) Pred {
+	return Pred{Col: col, Op: op, Lit: lit, name: name}
+}
+
+func cmpFloat(a float64, op string, b float64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "<>":
+		return a != b
+	case "<":
+		return a < b
+	case ">":
+		return a > b
+	case "<=":
+		return a <= b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+// match evaluates the predicate against one row.
+func (p Pred) match(row Row) bool {
+	v := row[p.Col]
+	if v.kind == KString {
+		switch p.Op {
+		case "=":
+			return v.s == p.Lit.Render()
+		case "<>":
+			return v.s != p.Lit.Render()
+		default:
+			n, err := strconv.ParseInt(v.s, 10, 64)
+			if err != nil || p.Lit.kind == KString {
+				return false
+			}
+			return cmpFloat(float64(n), p.Op, p.Lit.num())
+		}
+	}
+	if p.Lit.kind == KString {
+		return false
+	}
+	return cmpFloat(v.num(), p.Op, p.Lit.num())
+}
+
+func (p Pred) describe() string {
+	lit := p.Lit.Render()
+	if p.Lit.kind == KString {
+		lit = "'" + lit + "'"
+	}
+	return fmt.Sprintf("%s %s %s", p.name, p.Op, lit)
+}
+
+// Filter streams the child rows that satisfy every predicate.
+type Filter struct {
+	Child Operator
+	Preds []Pred
+}
+
+// Open opens the child.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Next pulls child rows until one passes.
+func (f *Filter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass := true
+		for _, p := range f.Preds {
+			if !p.match(row) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+// Close closes the child.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Describe renders the node.
+func (f *Filter) Describe() (string, Operator) {
+	parts := make([]string, len(f.Preds))
+	for i, p := range f.Preds {
+		parts[i] = p.describe()
+	}
+	return fmt.Sprintf("Filter(%s)", strings.Join(parts, " AND ")), f.Child
+}
+
+// Project reorders the child row onto the select list.
+type Project struct {
+	Child Operator
+	Idx   []int
+	Names []string
+}
+
+// Open opens the child.
+func (p *Project) Open() error { return p.Child.Open() }
+
+// Next projects one child row.
+func (p *Project) Next() (Row, bool, error) {
+	row, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Row, len(p.Idx))
+	for i, j := range p.Idx {
+		out[i] = row[j]
+	}
+	return out, true, nil
+}
+
+// Close closes the child.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Describe renders the node.
+func (p *Project) Describe() (string, Operator) {
+	return fmt.Sprintf("Project(%s)", strings.Join(p.Names, ", ")), p.Child
+}
+
+// Sort materializes the child and emits its rows ordered by one key
+// column — the only blocking operator in the pipeline. The sort is
+// stable, so ties keep the child's (deterministic) order.
+type Sort struct {
+	Child Operator
+	Key   int
+	Abs   bool
+	Desc  bool
+	// name is the key column's name, for EXPLAIN.
+	name string
+
+	rows []Row
+	i    int
+}
+
+// NewSort builds a sort on child column key (named name).
+func NewSort(child Operator, key int, name string, abs, desc bool) *Sort {
+	return &Sort{Child: child, Key: key, Abs: abs, Desc: desc, name: name}
+}
+
+// Open drains the child and sorts.
+func (s *Sort) Open() error {
+	if err := s.Child.Open(); err != nil {
+		return err
+	}
+	s.rows, s.i = nil, 0
+	for {
+		row, ok, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	key := func(r Row) float64 {
+		v := r[s.Key].num()
+		if s.Abs {
+			v = math.Abs(v)
+		}
+		return v
+	}
+	str := len(s.rows) > 0 && s.rows[0][s.Key].kind == KString
+	sort.SliceStable(s.rows, func(a, b int) bool {
+		var less bool
+		if str {
+			less = s.rows[a][s.Key].s < s.rows[b][s.Key].s
+		} else {
+			less = key(s.rows[a]) < key(s.rows[b])
+		}
+		if s.Desc {
+			return !less && !equalKey(s.rows[a], s.rows[b], s.Key, str)
+		}
+		return less
+	})
+	return nil
+}
+
+func equalKey(a, b Row, key int, str bool) bool {
+	if str {
+		return a[key].s == b[key].s
+	}
+	return a[key].num() == b[key].num()
+}
+
+// Next emits the next sorted row.
+func (s *Sort) Next() (Row, bool, error) {
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.i]
+	s.i++
+	return row, true, nil
+}
+
+// Close releases the materialized rows and closes the child.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return s.Child.Close()
+}
+
+// Describe renders the node.
+func (s *Sort) Describe() (string, Operator) {
+	key := s.name
+	if s.Abs {
+		key = "abs(" + key + ")"
+	}
+	if s.Desc {
+		key += " desc"
+	}
+	return fmt.Sprintf("Sort(%s)", key), s.Child
+}
+
+// Limit stops the stream after N rows, letting the whole pipeline
+// below it quit early.
+type Limit struct {
+	Child Operator
+	N     int
+	seen  int
+}
+
+// Open opens the child.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.Child.Open()
+}
+
+// Next forwards up to N rows.
+func (l *Limit) Next() (Row, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	row, ok, err := l.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return row, true, nil
+}
+
+// Close closes the child.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// Describe renders the node.
+func (l *Limit) Describe() (string, Operator) {
+	return fmt.Sprintf("Limit(%d)", l.N), l.Child
+}
+
+// Count drains the child and emits one row: the row count.
+type Count struct {
+	Child Operator
+	done  bool
+}
+
+// Open opens the child.
+func (c *Count) Open() error {
+	c.done = false
+	return c.Child.Open()
+}
+
+// Next counts the child's stream.
+func (c *Count) Next() (Row, bool, error) {
+	if c.done {
+		return nil, false, nil
+	}
+	c.done = true
+	n := int64(0)
+	for {
+		_, ok, err := c.Child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return Row{IntVal(n)}, true, nil
+		}
+		n++
+	}
+}
+
+// Close closes the child.
+func (c *Count) Close() error { return c.Child.Close() }
+
+// Describe renders the node.
+func (c *Count) Describe() (string, Operator) { return "Count", c.Child }

@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// renderEpsRange pretty-prints an eps interval for EXPLAIN, omitting
+// infinite endpoints.
+func renderEpsRange(lo, hi float64) string {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return "eps"
+	case math.IsInf(lo, -1):
+		return fmt.Sprintf("eps <= %g", hi)
+	case math.IsInf(hi, 1):
+		return fmt.Sprintf("eps >= %g", lo)
+	default:
+		return fmt.Sprintf("%g <= eps <= %g", lo, hi)
+	}
+}
+
+// cursorScan adapts a source Cursor to an Operator — the shared body
+// of the full-scan and eps-range leaves.
+type cursorScan struct {
+	open func() (Cursor, error)
+	desc string
+	cur  Cursor
+}
+
+func (s *cursorScan) Open() error {
+	cur, err := s.open()
+	if err != nil {
+		return err
+	}
+	s.cur = cur
+	return nil
+}
+
+func (s *cursorScan) Next() (Row, bool, error) {
+	if s.cur == nil {
+		return nil, false, nil
+	}
+	return s.cur.Next()
+}
+
+func (s *cursorScan) Close() error {
+	if s.cur != nil {
+		s.cur.Close()
+		s.cur = nil
+	}
+	return nil
+}
+
+func (s *cursorScan) Describe() (string, Operator) { return s.desc, nil }
+
+// NewFullScan streams every row of the view.
+func NewFullScan(src ViewSource) Operator {
+	return &cursorScan{
+		open: src.Scan,
+		desc: fmt.Sprintf("FullScan(%s, %s)", src.Name(), src.Origin()),
+	}
+}
+
+// NewEpsRange streams the view rows with eps ∈ [lo, hi] straight off
+// the clustered layout — the paper's index scan of an eps band.
+func NewEpsRange(src ViewSource, lo, hi float64) Operator {
+	return &cursorScan{
+		open: func() (Cursor, error) { return src.ScanEps(lo, hi) },
+		desc: fmt.Sprintf("EpsRange(%s, %s, %s)", src.Name(), src.Origin(), renderEpsRange(lo, hi)),
+	}
+}
+
+// NewTableScan streams a relational table in heap order.
+func NewTableScan(src TableSource) Operator {
+	return &cursorScan{
+		open: src.Scan,
+		desc: fmt.Sprintf("TableScan(%s)", src.Name()),
+	}
+}
+
+// PointRead answers WHERE id = k on a view with one source lookup —
+// the Single Entity read. A missing id is an error, as it always was
+// on views (tables treat a missing key as an empty result instead).
+type PointRead struct {
+	Src ViewSource
+	ID  int64
+	// NeedEps fetches eps alongside the label; the planner sets it
+	// only when the query references eps, so unclustered views can
+	// still answer plain point reads.
+	NeedEps bool
+	done    bool
+}
+
+// Open resets the leaf.
+func (p *PointRead) Open() error {
+	p.done = false
+	return nil
+}
+
+// Next emits the single row.
+func (p *PointRead) Next() (Row, bool, error) {
+	if p.done {
+		return nil, false, nil
+	}
+	p.done = true
+	label, err := p.Src.Label(p.ID)
+	if err != nil {
+		return nil, false, err
+	}
+	eps := 0.0
+	if p.NeedEps {
+		if eps, err = p.Src.Eps(p.ID); err != nil {
+			return nil, false, err
+		}
+	}
+	return Row{IntVal(p.ID), IntVal(int64(label)), FloatVal(eps)}, true, nil
+}
+
+// Close is a no-op.
+func (p *PointRead) Close() error { return nil }
+
+// Describe renders the node.
+func (p *PointRead) Describe() (string, Operator) {
+	return fmt.Sprintf("PointRead(%s, %s, id=%d)", p.Src.Name(), p.Src.Origin(), p.ID), nil
+}
+
+// MembersScan answers WHERE class = 1 from the members set — the All
+// Members fast path — emitting (id, 1) rows in id order.
+type MembersScan struct {
+	Src ViewSource
+	ids []int64
+	i   int
+}
+
+// Open materializes and sorts the member ids (the set is what the
+// source maintains; its order is not).
+func (m *MembersScan) Open() error {
+	ids, err := m.Src.Members()
+	if err != nil {
+		return err
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	m.ids, m.i = ids, 0
+	return nil
+}
+
+// Next emits the next member.
+func (m *MembersScan) Next() (Row, bool, error) {
+	if m.i >= len(m.ids) {
+		return nil, false, nil
+	}
+	id := m.ids[m.i]
+	m.i++
+	return Row{IntVal(id), IntVal(1), FloatVal(0)}, true, nil
+}
+
+// Close releases the ids.
+func (m *MembersScan) Close() error {
+	m.ids = nil
+	return nil
+}
+
+// Describe renders the node.
+func (m *MembersScan) Describe() (string, Operator) {
+	return fmt.Sprintf("MembersScan(%s, %s)", m.Src.Name(), m.Src.Origin()), nil
+}
+
+// MembersCount answers COUNT(*) WHERE class = 1 without materializing
+// a single id.
+type MembersCount struct {
+	Src  ViewSource
+	done bool
+}
+
+// Open resets the leaf.
+func (m *MembersCount) Open() error {
+	m.done = false
+	return nil
+}
+
+// Next emits the count row.
+func (m *MembersCount) Next() (Row, bool, error) {
+	if m.done {
+		return nil, false, nil
+	}
+	m.done = true
+	n, err := m.Src.CountMembers()
+	if err != nil {
+		return nil, false, err
+	}
+	return Row{IntVal(int64(n))}, true, nil
+}
+
+// Close is a no-op.
+func (m *MembersCount) Close() error { return nil }
+
+// Describe renders the node.
+func (m *MembersCount) Describe() (string, Operator) {
+	return fmt.Sprintf("MembersCount(%s, %s)", m.Src.Name(), m.Src.Origin()), nil
+}
+
+// Uncertain answers ORDER BY ABS(eps) LIMIT k by walking outward from
+// the decision boundary over the clustered layout — the active-
+// learning read, subsuming the wire verb UNCERTAIN k.
+type Uncertain struct {
+	Src ViewSource
+	K   int
+	// NeedClass / NeedEps fetch the extra columns per emitted id when
+	// the select list wants them.
+	NeedClass bool
+	NeedEps   bool
+	ids       []int64
+	i         int
+}
+
+// Open materializes the k boundary ids (k rows, not the view).
+func (u *Uncertain) Open() error {
+	ids, err := u.Src.MostUncertain(u.K)
+	if err != nil {
+		return err
+	}
+	u.ids, u.i = ids, 0
+	return nil
+}
+
+// Next emits the next boundary id.
+func (u *Uncertain) Next() (Row, bool, error) {
+	if u.i >= len(u.ids) {
+		return nil, false, nil
+	}
+	id := u.ids[u.i]
+	u.i++
+	label, eps := 0, 0.0
+	var err error
+	if u.NeedClass {
+		if label, err = u.Src.Label(id); err != nil {
+			return nil, false, err
+		}
+	}
+	if u.NeedEps {
+		if eps, err = u.Src.Eps(id); err != nil {
+			return nil, false, err
+		}
+	}
+	return Row{IntVal(id), IntVal(int64(label)), FloatVal(eps)}, true, nil
+}
+
+// Close releases the ids.
+func (u *Uncertain) Close() error {
+	u.ids = nil
+	return nil
+}
+
+// Describe renders the node.
+func (u *Uncertain) Describe() (string, Operator) {
+	return fmt.Sprintf("Uncertain(%s, %s, k=%d)", u.Src.Name(), u.Src.Origin(), u.K), nil
+}
+
+// TableGet answers WHERE id = k on a table through the primary-key
+// index; a missing key is an empty result.
+type TableGet struct {
+	Src  TableSource
+	ID   int64
+	done bool
+}
+
+// Open resets the leaf.
+func (g *TableGet) Open() error {
+	g.done = false
+	return nil
+}
+
+// Next emits the row, if present.
+func (g *TableGet) Next() (Row, bool, error) {
+	if g.done {
+		return nil, false, nil
+	}
+	g.done = true
+	return g.Src.Get(g.ID)
+}
+
+// Close is a no-op.
+func (g *TableGet) Close() error { return nil }
+
+// Describe renders the node.
+func (g *TableGet) Describe() (string, Operator) {
+	return fmt.Sprintf("TableGet(%s, id=%d)", g.Src.Name(), g.ID), nil
+}

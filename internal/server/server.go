@@ -12,6 +12,10 @@
 // Protocol (one request per line, one response line each):
 //
 //	SQL <stmt>                 → JSON {"cols":…,"rows":…,"msg":…}
+//	                             (SELECT rows are written into the
+//	                             response line as the plan streams
+//	                             them — the result is never
+//	                             materialized server-side)
 //	USE <view>                 → "OK"        (set session default view)
 //	LABEL [view] <id>          → "+1" | "-1"
 //	COUNT [view]               → "<n>"       (All Members count)
@@ -150,11 +154,15 @@ func (s *Server) session(conn net.Conn) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
-		resp, quit := s.exec(sess, sc.Text())
-		w.WriteString(resp)
-		w.WriteByte('\n')
-		w.Flush()
-		if quit {
+		quit, err := s.serveLine(sess, sc.Text(), w)
+		if err == nil {
+			err = w.Flush()
+		}
+		if err != nil || quit {
+			// err means the response line can no longer be completed
+			// coherently (an I/O failure, or a SELECT that died after
+			// rows were already on the wire); the only sound move in a
+			// line-delimited protocol is to drop the connection.
 			return
 		}
 	}
@@ -167,53 +175,131 @@ func (s *Server) session(conn net.Conn) {
 // traffic is lock-free, everything else serializes on the statement
 // mutex).
 func (s *Server) Exec(line string) (string, bool) {
-	return s.exec(s.shared, line)
+	var b strings.Builder
+	w := bufio.NewWriter(&b)
+	quit, err := s.serveLine(s.shared, line, w)
+	if err != nil {
+		// No wire to desync here — surface the failure as an ERR line.
+		return "ERR " + err.Error(), quit
+	}
+	w.Flush()
+	return strings.TrimSuffix(b.String(), "\n"), quit
 }
 
-func (s *Server) exec(sess *root.Session, line string) (string, bool) {
+// writeLine writes one complete response line.
+func writeLine(w *bufio.Writer, line string) error {
+	if _, err := w.WriteString(line); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+// serveLine answers one protocol line, writing the full response
+// (trailing newline included) to w. The returned error means the
+// connection is no longer coherent and must be closed; ordinary
+// statement failures are written as ERR lines and return nil.
+func (s *Server) serveLine(sess *root.Session, line string, w *bufio.Writer) (quit bool, err error) {
 	trimmed := strings.TrimSpace(line)
 	fields := strings.Fields(trimmed)
 	if len(fields) == 0 {
-		return "ERR empty command", false
+		return false, writeLine(w, "ERR empty command")
 	}
 	cmd := strings.ToUpper(fields[0])
 	args := fields[1:]
 	switch cmd {
 	case "QUIT":
-		return "BYE", true
+		return true, writeLine(w, "BYE")
 	case "SQL":
 		stmt := strings.TrimSpace(trimmed[len(fields[0]):])
 		if stmt == "" {
-			return "ERR usage: SQL <statement>", false
+			return false, writeLine(w, "ERR usage: SQL <statement>")
 		}
-		return s.execSQL(sess, stmt), false
+		return false, s.streamSQL(sess, stmt, w)
 	case "USE":
 		if len(args) != 1 {
-			return "ERR usage: USE <view>", false
+			return false, writeLine(w, "ERR usage: USE <view>")
 		}
 		if err := sess.Use(args[0]); err != nil {
-			return "ERR " + err.Error(), false
+			return false, writeLine(w, "ERR "+err.Error())
 		}
-		return "OK", false
+		return false, writeLine(w, "OK")
 	}
-	return s.execVerb(sess, cmd, args), false
+	return false, writeLine(w, s.execVerb(sess, cmd, args))
 }
 
-// execSQL executes one statement under the statement mutex (SQL can
-// touch the catalog and non-engined views; inserts that target
-// engined views still route through their engines inside).
-func (s *Server) execSQL(sess *root.Session, stmt string) string {
+// streamSQL executes one statement and writes the one-line JSON
+// response incrementally: each SELECT row is encoded and written as
+// the plan produces it, so a large result flows to the client row at
+// a time instead of being materialized. The byte stream is identical
+// to a json.Marshal of the equivalent Result.
+//
+// The statement mutex covers planning and every non-SELECT statement
+// (SQL can touch the catalog and non-engined views; inserts targeting
+// engined views still route through their engines inside), but NOT
+// the streaming: snapshot-bound and table plans read immutable or
+// internally locked state, so a client that reads its result slowly
+// cannot wedge other connections' statements behind the mutex. Plans
+// over live (non-engined) views do need the serialization, so they
+// are drained under the mutex — the old materializing behavior —
+// and streamed from memory after it is released.
+func (s *Server) streamSQL(sess *root.Session, stmt string, w *bufio.Writer) error {
 	s.stmtMu.Lock()
-	res, err := sess.Exec(stmt)
+	rows, err := sess.Query(stmt)
+	if err == nil && rows.Live() {
+		if merr := rows.Materialize(); merr != nil {
+			rows.Close()
+			rows, err = nil, merr
+		}
+	}
 	s.stmtMu.Unlock()
 	if err != nil {
-		return "ERR " + err.Error()
+		return writeLine(w, "ERR "+err.Error())
 	}
-	data, merr := json.Marshal(res)
+	defer rows.Close()
+	if msg := rows.Msg(); msg != "" {
+		data, merr := json.Marshal(root.Result{Msg: msg})
+		if merr != nil {
+			return writeLine(w, "ERR "+merr.Error())
+		}
+		return writeLine(w, string(data))
+	}
+	// Pull the first row before committing any bytes: errors that
+	// surface on the first pull — a point read of a missing id — must
+	// still become ERR responses, not half-written JSON.
+	row, ok, err := rows.Next()
+	if err != nil {
+		return writeLine(w, "ERR "+err.Error())
+	}
+	cols, merr := json.Marshal(rows.Cols())
 	if merr != nil {
-		return "ERR " + merr.Error()
+		return writeLine(w, "ERR "+merr.Error())
 	}
-	return string(data)
+	if _, err := w.WriteString(`{"cols":` + string(cols)); err != nil {
+		return err
+	}
+	for n := 0; ok; n++ {
+		sep := `,`
+		if n == 0 {
+			sep = `,"rows":[`
+		}
+		data, merr := json.Marshal(row)
+		if merr != nil {
+			return merr
+		}
+		if _, err := w.WriteString(sep + string(data)); err != nil {
+			return err
+		}
+		if row, ok, err = rows.Next(); err != nil {
+			// Mid-stream failure with rows already on the wire.
+			return err
+		}
+		if !ok {
+			if _, err := w.WriteString(`]`); err != nil {
+				return err
+			}
+		}
+	}
+	return writeLine(w, `}`)
 }
 
 // splitQualifier resolves an optional leading view qualifier: ok
@@ -509,7 +595,7 @@ func (c *Client) Exec(stmt string) (*root.Result, error) {
 
 // flattenSQL rewrites a possibly multi-line statement as a single
 // line: "--" comments outside string literals are dropped to their
-// end of line, and newlines become spaces. Quoted text ('it''s') is
+// end of line, and newlines become spaces. Quoted text ('it”s') is
 // preserved byte for byte — which is why a newline INSIDE a literal
 // is an error: it cannot be sent over the line-delimited protocol
 // without either corrupting the data or desyncing the framing.

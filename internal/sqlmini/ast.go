@@ -64,12 +64,32 @@ type DetachEngine struct {
 	View string
 }
 
-// Select is SELECT list FROM table [WHERE conds].
+// Select is
+//
+//	SELECT list FROM table [WHERE conds]
+//	       [ORDER BY [ABS(]col[)] [ASC|DESC]] [LIMIT n].
 type Select struct {
 	Count bool     // SELECT COUNT(*)
 	Cols  []string // or explicit columns; ["*"] = all
 	From  string
 	Where []Cond
+	Order *OrderBy // nil when absent
+	Limit int      // -1 when absent
+}
+
+// OrderBy is the ORDER BY clause: one key column, optionally wrapped
+// in ABS() — the form active-learning reads take (ORDER BY ABS(eps)
+// LIMIT k walks outward from the decision boundary).
+type OrderBy struct {
+	Col  string
+	Abs  bool
+	Desc bool
+}
+
+// Explain is EXPLAIN SELECT ...: plan the query and return the chosen
+// plan as text instead of executing it.
+type Explain struct {
+	Sel Select
 }
 
 // Cond is one conjunct: col op literal.
@@ -83,5 +103,6 @@ func (CreateTable) stmt()  {}
 func (CreateView) stmt()   {}
 func (Insert) stmt()       {}
 func (Select) stmt()       {}
+func (Explain) stmt()      {}
 func (AttachEngine) stmt() {}
 func (DetachEngine) stmt() {}

@@ -1,0 +1,28 @@
+package sqlmini
+
+import "fmt"
+
+// SyntaxError is a lexer or parser failure that knows where the
+// statement broke: the byte offset into the source and the offending
+// token's text. hazyql and the server surface the rendered form, so a
+// client can point at the exact spot in a long statement instead of
+// guessing.
+type SyntaxError struct {
+	Offset int    // byte offset of the offending token in the source
+	Token  string // offending token text; "" at end of input
+	Msg    string
+}
+
+// Error renders "sql: <msg> at byte <offset> near <token>".
+func (e *SyntaxError) Error() string {
+	where := "end of input"
+	if e.Token != "" {
+		where = fmt.Sprintf("%q", e.Token)
+	}
+	return fmt.Sprintf("sql: %s at byte %d near %s", e.Msg, e.Offset, where)
+}
+
+// errAt builds a SyntaxError anchored at token t.
+func errAt(t token, format string, args ...any) error {
+	return &SyntaxError{Offset: t.pos, Token: t.text, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,14 +1,17 @@
 // Package sqlmini is the lexer, parser, and AST for the small SQL
 // dialect through which Hazy is used in the paper (§2.1): CREATE
-// TABLE, INSERT, SELECT with simple predicates, the CREATE
+// TABLE, INSERT, SELECT with simple predicates plus ORDER BY
+// ([ABS(]col[)] [ASC|DESC]) and LIMIT, EXPLAIN SELECT, the CREATE
 // CLASSIFICATION VIEW statement of Example 2.1, and the serving
 // extensions ATTACH ENGINE TO / DETACH ENGINE FROM. It is a pure
 // dialect package — statements are executed by the root package's
 // Session, which owns the catalog the statements run against.
+// Lexer and parser failures are *SyntaxError values carrying the
+// byte offset and offending token, so every surface can say where a
+// statement broke.
 package sqlmini
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -62,11 +65,12 @@ func lex(src string) ([]token, error) {
 			}
 			toks = append(toks, token{tokNumber, src[start:i], start})
 		case c == '\'':
+			start := i
 			i++
 			var b strings.Builder
 			for {
 				if i >= n {
-					return nil, fmt.Errorf("sql: unterminated string at %d", i)
+					return nil, &SyntaxError{Offset: start, Token: "'", Msg: "unterminated string"}
 				}
 				if src[i] == '\'' {
 					if i+1 < n && src[i+1] == '\'' {
@@ -80,7 +84,7 @@ func lex(src string) ([]token, error) {
 				b.WriteByte(src[i])
 				i++
 			}
-			toks = append(toks, token{tokString, b.String(), i})
+			toks = append(toks, token{tokString, b.String(), start})
 		case c == '<' && i+1 < n && (src[i+1] == '=' || src[i+1] == '>'):
 			toks = append(toks, token{tokPunct, src[i : i+2], i})
 			i += 2
@@ -91,7 +95,7 @@ func lex(src string) ([]token, error) {
 			toks = append(toks, token{tokPunct, string(c), i})
 			i++
 		default:
-			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i)
+			return nil, &SyntaxError{Offset: i, Token: string(c), Msg: "unexpected character"}
 		}
 	}
 	toks = append(toks, token{tokEOF, "", n})

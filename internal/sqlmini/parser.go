@@ -1,7 +1,6 @@
 package sqlmini
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 )
@@ -12,6 +11,8 @@ type parser struct {
 }
 
 // Parse parses one SQL statement (a trailing semicolon is allowed).
+// Failures are *SyntaxError values carrying the byte offset and the
+// offending token.
 func Parse(src string) (Stmt, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -24,7 +25,7 @@ func Parse(src string) (Stmt, error) {
 	}
 	p.accept(";")
 	if p.peek().kind != tokEOF {
-		return nil, fmt.Errorf("sql: trailing input at %q", p.peek().text)
+		return nil, errAt(p.peek(), "trailing input")
 	}
 	return st, nil
 }
@@ -57,7 +58,7 @@ func (p *parser) accept(s string) bool {
 
 func (p *parser) expect(s string) error {
 	if !p.accept(s) {
-		return fmt.Errorf("sql: expected %q, got %q", s, p.peek().text)
+		return errAt(p.peek(), "expected %q, got %q", s, p.peek().text)
 	}
 	return nil
 }
@@ -65,7 +66,7 @@ func (p *parser) expect(s string) error {
 func (p *parser) ident() (string, error) {
 	t := p.peek()
 	if t.kind != tokIdent {
-		return "", fmt.Errorf("sql: expected identifier, got %q", t.text)
+		return "", errAt(t, "expected identifier, got %q", t.text)
 	}
 	p.next()
 	return t.text, nil
@@ -83,17 +84,26 @@ func (p *parser) statement() (Stmt, error) {
 			}
 			return p.createView()
 		}
-		return nil, fmt.Errorf("sql: CREATE must be followed by TABLE or CLASSIFICATION VIEW")
+		return nil, errAt(p.peek(), "CREATE must be followed by TABLE or CLASSIFICATION VIEW")
 	case p.accept("INSERT"):
 		return p.insert()
 	case p.accept("SELECT"):
 		return p.selectStmt()
+	case p.accept("EXPLAIN"):
+		if err := p.expect("SELECT"); err != nil {
+			return nil, err
+		}
+		st, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return Explain{Sel: st.(Select)}, nil
 	case p.accept("ATTACH"):
 		return p.attachEngine()
 	case p.accept("DETACH"):
 		return p.detachEngine()
 	default:
-		return nil, fmt.Errorf("sql: unknown statement starting at %q", p.peek().text)
+		return nil, errAt(p.peek(), "unknown statement starting at %q", p.peek().text)
 	}
 }
 
@@ -142,13 +152,14 @@ func (p *parser) detachEngine() (Stmt, error) {
 
 // posInt parses a positive integer literal for an engine knob.
 func (p *parser) posInt(clause string) (int, error) {
+	at := p.peek()
 	lit, err := p.literal()
 	if err != nil {
 		return 0, err
 	}
 	n := int(lit.Num)
 	if lit.IsString || float64(n) != lit.Num || n < 1 {
-		return 0, fmt.Errorf("sql: %s takes a positive integer", clause)
+		return 0, errAt(at, "%s takes a positive integer", clause)
 	}
 	return n, nil
 }
@@ -167,6 +178,7 @@ func (p *parser) createTable() (Stmt, error) {
 		if col.Name, err = p.ident(); err != nil {
 			return nil, err
 		}
+		at := p.peek()
 		typ, err := p.ident()
 		if err != nil {
 			return nil, err
@@ -175,7 +187,7 @@ func (p *parser) createTable() (Stmt, error) {
 		switch col.Type {
 		case "BIGINT", "DOUBLE", "TEXT":
 		default:
-			return nil, fmt.Errorf("sql: unsupported type %q", typ)
+			return nil, errAt(at, "unsupported type %q", typ)
 		}
 		st.Cols = append(st.Cols, col)
 		if p.accept(")") {
@@ -282,7 +294,7 @@ func (p *parser) createView() (Stmt, error) {
 			st.Mode = strings.ToUpper(m)
 		default:
 			if st.Entities == "" || st.Examples == "" {
-				return nil, fmt.Errorf("sql: classification view needs ENTITIES FROM and EXAMPLES FROM clauses")
+				return nil, errAt(p.peek(), "classification view needs ENTITIES FROM and EXAMPLES FROM clauses")
 			}
 			return st, nil
 		}
@@ -299,7 +311,7 @@ func (p *parser) literal() (Literal, error) {
 		p.next()
 		f, err := strconv.ParseFloat(t.text, 64)
 		if err != nil {
-			return Literal{}, fmt.Errorf("sql: bad number %q", t.text)
+			return Literal{}, errAt(t, "bad number %q", t.text)
 		}
 		return Literal{Num: f}, nil
 	case tokPunct:
@@ -307,7 +319,7 @@ func (p *parser) literal() (Literal, error) {
 			p.next()
 			lit, err := p.literal()
 			if err != nil || lit.IsString {
-				return Literal{}, fmt.Errorf("sql: bad signed literal")
+				return Literal{}, errAt(t, "bad signed literal")
 			}
 			if t.text == "-" {
 				lit.Num = -lit.Num
@@ -315,7 +327,7 @@ func (p *parser) literal() (Literal, error) {
 			return lit, nil
 		}
 	}
-	return Literal{}, fmt.Errorf("sql: expected literal, got %q", t.text)
+	return Literal{}, errAt(t, "expected literal, got %q", t.text)
 }
 
 func (p *parser) insert() (Stmt, error) {
@@ -357,7 +369,7 @@ func (p *parser) insert() (Stmt, error) {
 }
 
 func (p *parser) selectStmt() (Stmt, error) {
-	var st Select
+	st := Select{Limit: -1}
 	var err error
 	if isKw(p.peek(), "COUNT") {
 		p.next()
@@ -399,7 +411,7 @@ func (p *parser) selectStmt() (Stmt, error) {
 			}
 			op := p.peek()
 			if op.kind != tokPunct || !strings.Contains("= <> < > <= >=", op.text) {
-				return nil, fmt.Errorf("sql: expected comparison operator, got %q", op.text)
+				return nil, errAt(op, "expected comparison operator, got %q", op.text)
 			}
 			p.next()
 			c.Op = op.text
@@ -411,6 +423,45 @@ func (p *parser) selectStmt() (Stmt, error) {
 				break
 			}
 		}
+	}
+	if p.accept("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{}
+		if isKw(p.peek(), "ABS") {
+			p.next()
+			ob.Abs = true
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			if ob.Col, err = p.ident(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		} else if ob.Col, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if p.accept("DESC") {
+			ob.Desc = true
+		} else {
+			p.accept("ASC")
+		}
+		st.Order = ob
+	}
+	if p.accept("LIMIT") {
+		at := p.peek()
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		n := int(lit.Num)
+		if lit.IsString || float64(n) != lit.Num || n < 0 {
+			return nil, errAt(at, "LIMIT takes a non-negative integer")
+		}
+		st.Limit = n
 	}
 	return st, nil
 }

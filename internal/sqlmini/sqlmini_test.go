@@ -93,6 +93,93 @@ func TestParseAttachDetachEngine(t *testing.T) {
 	}
 }
 
+func TestParseSelectOrderLimitExplain(t *testing.T) {
+	st, err := Parse("SELECT id FROM v WHERE eps >= -0.5 AND eps <= 0.5 ORDER BY eps DESC LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(Select)
+	if len(sel.Where) != 2 || sel.Where[0].Col != "eps" || sel.Where[0].Op != ">=" || sel.Where[0].Lit.Num != -0.5 {
+		t.Fatalf("where: %+v", sel.Where)
+	}
+	if sel.Order == nil || sel.Order.Col != "eps" || !sel.Order.Desc || sel.Order.Abs {
+		t.Fatalf("order: %+v", sel.Order)
+	}
+	if sel.Limit != 10 {
+		t.Fatalf("limit: %d", sel.Limit)
+	}
+
+	st, err = Parse("SELECT id FROM v ORDER BY ABS(eps) ASC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel = st.(Select)
+	if sel.Order == nil || !sel.Order.Abs || sel.Order.Col != "eps" || sel.Order.Desc || sel.Limit != 3 {
+		t.Fatalf("abs order: %+v limit %d", sel.Order, sel.Limit)
+	}
+
+	st, err = Parse("SELECT class FROM v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel = st.(Select); sel.Limit != -1 || sel.Order != nil {
+		t.Fatalf("defaults: %+v", sel)
+	}
+
+	st, err = Parse("EXPLAIN SELECT COUNT(*) FROM v WHERE class = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(Explain)
+	if !ok || !ex.Sel.Count || ex.Sel.From != "v" {
+		t.Fatalf("explain: %#v", st)
+	}
+
+	for _, bad := range []string{
+		"SELECT id FROM v ORDER id",
+		"SELECT id FROM v ORDER BY ABS(eps LIMIT 2",
+		"SELECT id FROM v LIMIT -1",
+		"SELECT id FROM v LIMIT 'x'",
+		"SELECT id FROM v LIMIT 2.5",
+		"EXPLAIN INSERT INTO t VALUES (1, 2)",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("accepted: %s", bad)
+		}
+	}
+}
+
+// TestSyntaxErrorPositions pins that lexer and parser failures carry
+// the byte offset and the offending token — what hazyql and the
+// server surface so a client sees where a statement broke.
+func TestSyntaxErrorPositions(t *testing.T) {
+	cases := []struct {
+		src    string
+		offset int
+		token  string
+	}{
+		{"SELECT id FRM v", 10, "FRM"},                   // expected FROM
+		{"SELECT * FROM t WHERE a LIKE 'x'", 24, "LIKE"}, // bad operator
+		{"SELECT * FROM t extra", 16, "extra"},           // trailing input
+		{"SELECT * FROM t WHERE a = 'oops", 26, "'"},     // unterminated string
+		{"a ~ b", 2, "~"},                                // bad character
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Fatalf("accepted: %s", c.src)
+		}
+		se, ok := err.(*SyntaxError)
+		if !ok {
+			t.Fatalf("%s: error %v (%T) is not a *SyntaxError", c.src, err, err)
+		}
+		if se.Offset != c.offset || se.Token != c.token {
+			t.Fatalf("%s: got offset %d token %q (%v), want offset %d token %q",
+				c.src, se.Offset, se.Token, se, c.offset, c.token)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",

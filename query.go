@@ -1,0 +1,405 @@
+package hazy
+
+import (
+	"fmt"
+	"math"
+
+	"hazy/internal/core"
+	"hazy/internal/exec"
+	"hazy/internal/relation"
+	"hazy/internal/sqlmini"
+)
+
+// This file binds the catalog to the streaming executor: it
+// implements exec's ViewSource / TableSource / Catalog interfaces
+// over the DB's views, engines, and tables, and wraps a built plan as
+// the Rows cursor the Session's query surface returns.
+
+// Rows is a streaming statement result: column names up front, then
+// one rendered row per Next. SELECT rows flow straight out of the
+// operator pipeline — nothing is materialized beyond what the plan
+// itself requires (a Sort, and nothing else) — which is what lets the
+// server write a large result to the wire row by row. Callers must
+// Close (idempotent); DDL/DML statements yield a Rows with only Msg
+// set.
+type Rows struct {
+	cols   []string
+	msg    string
+	live   bool
+	op     exec.Operator
+	static [][]string // pre-rendered rows (EXPLAIN, Materialize)
+	i      int
+	closed bool
+}
+
+// Live reports whether the plan reads live (non-snapshot) view state
+// and therefore needs the caller's serialization for as long as it
+// streams. Snapshot-bound plans and table plans are not live: they
+// read immutable state or internally locked tables and may stream
+// after the caller's statement lock is released.
+func (r *Rows) Live() bool { return r.live }
+
+// Materialize drains the plan into memory so the Rows stops touching
+// its sources — the server uses it to bound how long a live plan
+// holds the statement mutex to the drain, not the client's read pace.
+func (r *Rows) Materialize() error {
+	if r.op == nil || r.closed {
+		return nil
+	}
+	op := r.op
+	r.op = nil
+	defer op.Close()
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.Render()
+		}
+		r.static = append(r.static, out)
+	}
+}
+
+// Cols returns the result's column names (nil for DDL/DML).
+func (r *Rows) Cols() []string { return r.cols }
+
+// Msg returns the DDL/DML acknowledgment ("" for result sets).
+func (r *Rows) Msg() string { return r.msg }
+
+// Next returns the next rendered row, or ok=false at end of stream.
+func (r *Rows) Next() ([]string, bool, error) {
+	if r.closed {
+		return nil, false, nil
+	}
+	if r.op != nil {
+		row, ok, err := r.op.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.Render()
+		}
+		return out, true, nil
+	}
+	if r.i >= len(r.static) {
+		return nil, false, nil
+	}
+	row := r.static[r.i]
+	r.i++
+	return row, true, nil
+}
+
+// Close releases the plan's resources (cursors, page pins).
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.op != nil {
+		return r.op.Close()
+	}
+	return nil
+}
+
+// sessionCatalog resolves FROM names for the planner. Each lookup
+// binds view and engine together (one lock acquisition), and an
+// engined view binds the engine's published snapshot — every operator
+// of the resulting plan then reads one immutable state, lock-free,
+// however long the result streams. Binding a live (unmanaged) view is
+// recorded so the result can say it needs serialization (Rows.Live).
+type sessionCatalog struct {
+	s    *Session
+	live bool
+}
+
+func (c *sessionCatalog) View(name string) (exec.ViewSource, bool, error) {
+	cv, eng, err := c.s.db.viewAndEngine(name)
+	if err != nil {
+		return nil, false, nil // no such view; the planner tries tables
+	}
+	if eng != nil {
+		return &snapshotSource{name: name, snap: eng.Snapshot()}, true, nil
+	}
+	c.live = true
+	return &liveSource{cv: cv}, true, nil
+}
+
+func (c *sessionCatalog) Table(name string) (exec.TableSource, bool, error) {
+	c.s.db.mu.RLock()
+	defer c.s.db.mu.RUnlock()
+	if t, ok := c.s.db.tables[name]; ok {
+		return &tableSource{name: name, tbl: t.tbl, cols: []exec.Column{
+			{Name: "id", Kind: exec.KInt},
+			{Name: t.TextColumn(), Kind: exec.KString},
+		}}, true, nil
+	}
+	if t, ok := c.s.db.examples[name]; ok {
+		return &tableSource{name: name, tbl: t.tbl, cols: []exec.Column{
+			{Name: "id", Kind: exec.KInt},
+			{Name: "label", Kind: exec.KInt},
+		}}, true, nil
+	}
+	return nil, false, nil
+}
+
+// entryRow converts a core row to an executor row.
+func entryRow(e core.SnapEntry) exec.Row {
+	return exec.Row{exec.IntVal(e.ID), exec.IntVal(int64(e.Label)), exec.FloatVal(e.Eps)}
+}
+
+// coreCursor adapts a core.RowCursor to the executor.
+type coreCursor struct {
+	c core.RowCursor
+}
+
+func (c coreCursor) Next() (exec.Row, bool, error) {
+	e, ok, err := c.c.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return entryRow(e), true, nil
+}
+
+func (c coreCursor) Close() { c.c.Close() }
+
+// entriesCursor streams a snapshot's entry slice.
+type entriesCursor struct {
+	entries []core.SnapEntry
+	i       int
+}
+
+func (c *entriesCursor) Next() (exec.Row, bool, error) {
+	if c.i >= len(c.entries) {
+		return nil, false, nil
+	}
+	e := c.entries[c.i]
+	c.i++
+	return entryRow(e), true, nil
+}
+
+func (c *entriesCursor) Close() {}
+
+// snapshotSource serves an engined view's plan from one published
+// snapshot: immutable, so safe from any goroutine with no locks, and
+// consistent for the whole statement however long it streams.
+type snapshotSource struct {
+	name string
+	snap *core.Snapshot
+}
+
+func (s *snapshotSource) Name() string    { return s.name }
+func (s *snapshotSource) Origin() string  { return "snapshot" }
+func (s *snapshotSource) Clustered() bool { return s.snap.Clustered() }
+
+func (s *snapshotSource) Label(id int64) (int, error)   { return s.snap.Label(id) }
+func (s *snapshotSource) Eps(id int64) (float64, error) { return s.snap.EpsOf(id) }
+func (s *snapshotSource) Members() ([]int64, error)     { return s.snap.Members(), nil }
+func (s *snapshotSource) CountMembers() (int, error)    { return s.snap.CountMembers(), nil }
+func (s *snapshotSource) MostUncertain(k int) ([]int64, error) {
+	return s.snap.MostUncertain(k)
+}
+
+func (s *snapshotSource) Scan() (exec.Cursor, error) {
+	return &entriesCursor{entries: s.snap.Entries()}, nil
+}
+
+func (s *snapshotSource) ScanEps(lo, hi float64) (exec.Cursor, error) {
+	c, err := s.snap.ScanEps(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return coreCursor{c: c}, nil
+}
+
+// liveSource serves an unmanaged view's plan from the live structure.
+// Like every non-engined read it relies on the caller's serialization
+// (the server's statement mutex, or single-threaded embedded use).
+type liveSource struct {
+	cv *ClassView
+}
+
+func (s *liveSource) Name() string   { return s.cv.Name() }
+func (s *liveSource) Origin() string { return "live" }
+
+func (s *liveSource) epsIndex() (core.EpsIndexed, bool) {
+	ei, ok := s.cv.view.(core.EpsIndexed)
+	return ei, ok && ei.Clustered()
+}
+
+func (s *liveSource) Clustered() bool {
+	_, ok := s.epsIndex()
+	return ok
+}
+
+func (s *liveSource) Label(id int64) (int, error)   { return s.cv.Label(id) }
+func (s *liveSource) Eps(id int64) (float64, error) { return s.cv.Eps(id) }
+func (s *liveSource) Members() ([]int64, error)     { return s.cv.Members() }
+func (s *liveSource) CountMembers() (int, error)    { return s.cv.CountMembers() }
+
+func (s *liveSource) MostUncertain(k int) ([]int64, error) {
+	u, ok := s.cv.Core().(Uncertain)
+	if !ok {
+		return nil, fmt.Errorf("hazy: view %q does not support uncertainty ranking", s.cv.Name())
+	}
+	return u.MostUncertain(k)
+}
+
+func (s *liveSource) Scan() (exec.Cursor, error) {
+	if ei, ok := s.epsIndex(); ok {
+		c, err := ei.ScanEps(math.Inf(-1), math.Inf(1))
+		if err != nil {
+			return nil, err
+		}
+		return coreCursor{c: c}, nil
+	}
+	// Naive layouts keep no eps clustering to stream from; fall back
+	// to the members set joined against the entity table — the
+	// pre-executor full-scan path — materialized at open.
+	ids, err := s.cv.Members()
+	if err != nil {
+		return nil, err
+	}
+	member := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		member[id] = true
+	}
+	var rows []exec.Row
+	err = s.cv.Entities().Scan(func(id int64, _ string) error {
+		label := int64(-1)
+		if member[id] {
+			label = 1
+		}
+		rows = append(rows, exec.Row{exec.IntVal(id), exec.IntVal(label), exec.FloatVal(0)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &sliceCursor{rows: rows}, nil
+}
+
+func (s *liveSource) ScanEps(lo, hi float64) (exec.Cursor, error) {
+	ei, ok := s.epsIndex()
+	if !ok {
+		return nil, fmt.Errorf("hazy: view %q has no eps clustering", s.cv.Name())
+	}
+	c, err := ei.ScanEps(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return coreCursor{c: c}, nil
+}
+
+// sliceCursor streams pre-built rows (the naive-layout fallback and
+// table scans, which buffer at open because the underlying heap scan
+// holds the table's read lock for its duration).
+type sliceCursor struct {
+	rows []exec.Row
+	i    int
+}
+
+func (c *sliceCursor) Next() (exec.Row, bool, error) {
+	if c.i >= len(c.rows) {
+		return nil, false, nil
+	}
+	r := c.rows[c.i]
+	c.i++
+	return r, true, nil
+}
+
+func (c *sliceCursor) Close() {}
+
+// tableSource serves entity and examples tables: a primary-key point
+// read and a heap-order scan, both through the relation layer's own
+// locking (safe against an engine's concurrent durable inserts).
+type tableSource struct {
+	name string
+	tbl  *relation.Table
+	cols []exec.Column
+}
+
+func (s *tableSource) Name() string           { return s.name }
+func (s *tableSource) Columns() []exec.Column { return s.cols }
+
+func (s *tableSource) row(tup relation.Tuple) exec.Row {
+	row := make(exec.Row, len(s.cols))
+	for i, c := range s.cols {
+		if c.Kind == exec.KString {
+			row[i] = exec.StrVal(tup[i].(string))
+		} else {
+			row[i] = exec.IntVal(tup[i].(int64))
+		}
+	}
+	return row
+}
+
+func (s *tableSource) Get(id int64) (exec.Row, bool, error) {
+	if !s.tbl.Has(id) {
+		return nil, false, nil
+	}
+	tup, err := s.tbl.Get(id)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.row(tup), true, nil
+}
+
+func (s *tableSource) Scan() (exec.Cursor, error) {
+	rows := make([]exec.Row, 0, s.tbl.Len())
+	err := s.tbl.Scan(func(tup relation.Tuple) error {
+		rows = append(rows, s.row(tup))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &sliceCursor{rows: rows}, nil
+}
+
+// Query parses one SQL statement and returns its result as a
+// streaming Rows cursor. SELECTs are planned onto the catalog's read
+// surfaces and stream row at a time; EXPLAIN SELECT returns the plan
+// text without executing it; every other statement executes
+// immediately and returns its acknowledgment in Msg.
+func (s *Session) Query(src string) (*Rows, error) {
+	st, err := sqlmini.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case sqlmini.Select:
+		cat := &sessionCatalog{s: s}
+		plan, err := exec.Build(st, cat)
+		if err != nil {
+			return nil, err
+		}
+		if err := plan.Root.Open(); err != nil {
+			plan.Root.Close()
+			return nil, err
+		}
+		return &Rows{cols: plan.Cols, op: plan.Root, live: cat.live}, nil
+	case sqlmini.Explain:
+		plan, err := exec.Build(st.Sel, &sessionCatalog{s: s})
+		if err != nil {
+			return nil, err
+		}
+		lines := plan.Explain()
+		rows := make([][]string, len(lines))
+		for i, l := range lines {
+			rows[i] = []string{l}
+		}
+		return &Rows{cols: []string{"plan"}, static: rows}, nil
+	default:
+		res, err := s.execStmt(st)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{msg: res.Msg}, nil
+	}
+}

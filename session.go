@@ -2,8 +2,6 @@ package hazy
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
 
@@ -363,12 +361,35 @@ func (s *Session) ViewStats(view string) (Stats, string, error) {
 	return vs, es, nil
 }
 
-// Exec parses and executes one SQL statement against the catalog.
+// Exec parses and executes one SQL statement against the catalog,
+// materializing the result. It is Query plus a drain — callers that
+// want to stream a large SELECT row at a time (the server's SQL wire
+// command does) use Query directly.
 func (s *Session) Exec(src string) (*Result, error) {
-	st, err := sqlmini.Parse(src)
+	rows, err := s.Query(src)
 	if err != nil {
 		return nil, err
 	}
+	defer rows.Close()
+	if rows.Msg() != "" {
+		return &Result{Msg: rows.Msg()}, nil
+	}
+	res := &Result{Cols: rows.Cols()}
+	for {
+		row, ok, err := rows.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, row)
+	}
+}
+
+// execStmt executes one non-SELECT statement (Query handles SELECT
+// and EXPLAIN through the planner).
+func (s *Session) execStmt(st sqlmini.Stmt) (*Result, error) {
 	switch st := st.(type) {
 	case sqlmini.CreateTable:
 		return s.createTable(st)
@@ -376,8 +397,6 @@ func (s *Session) Exec(src string) (*Result, error) {
 		return s.createView(st)
 	case sqlmini.Insert:
 		return s.insert(st)
-	case sqlmini.Select:
-		return s.selectStmt(st)
 	case sqlmini.AttachEngine:
 		return s.attachEngine(st)
 	case sqlmini.DetachEngine:
@@ -385,20 +404,6 @@ func (s *Session) Exec(src string) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("sql: unhandled statement %T", st)
 	}
-}
-
-// tableKind reports which dialect shape name has in the catalog:
-// "entity", "example", or "" when unknown.
-func (s *Session) tableKind(name string) string {
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	if _, ok := s.db.tables[name]; ok {
-		return "entity"
-	}
-	if _, ok := s.db.examples[name]; ok {
-		return "example"
-	}
-	return ""
 }
 
 func (s *Session) createTable(st sqlmini.CreateTable) (*Result, error) {
@@ -500,247 +505,8 @@ func (s *Session) insert(st sqlmini.Insert) (*Result, error) {
 	return &Result{Msg: fmt.Sprintf("INSERT %d", len(st.Rows))}, nil
 }
 
-// row materializers ----------------------------------------------------
-
-type tableRow struct {
-	id  int64
-	val string // text, label, or class rendered as string
-}
-
-func litStr(l sqlmini.Literal) string {
-	if l.IsString {
-		return l.Str
-	}
-	if l.Num == float64(int64(l.Num)) {
-		return strconv.FormatInt(int64(l.Num), 10)
-	}
-	return strconv.FormatFloat(l.Num, 'g', -1, 64)
-}
-
-func cmpInt(a int64, op string, b float64) bool {
-	af := float64(a)
-	switch op {
-	case "=":
-		return af == b
-	case "<>":
-		return af != b
-	case "<":
-		return af < b
-	case ">":
-		return af > b
-	case "<=":
-		return af <= b
-	case ">=":
-		return af >= b
-	}
-	return false
-}
-
-func (s *Session) selectStmt(st sqlmini.Select) (*Result, error) {
-	// Views first: SELECT over a classification view. The view and
-	// its engine resolve together (one lock acquisition) so the
-	// engined decision cannot diverge from the view being read.
-	if cv, eng, err := s.db.viewAndEngine(st.From); err == nil {
-		return s.selectView(st, cv, eng)
-	}
-	kind := s.tableKind(st.From)
-	if kind == "" {
-		return nil, fmt.Errorf("sql: no table or view %q", st.From)
-	}
-	var rows []tableRow
-	var secondCol string
-	if kind == "entity" {
-		tbl, err := s.db.EntityTableByName(st.From)
-		if err != nil {
-			return nil, err
-		}
-		secondCol = tbl.TextColumn()
-		err = tbl.Scan(func(id int64, text string) error {
-			rows = append(rows, tableRow{id, text})
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		tbl, err := s.db.ExampleTableByName(st.From)
-		if err != nil {
-			return nil, err
-		}
-		secondCol = "label"
-		err = tbl.Scan(func(id int64, label int) error {
-			rows = append(rows, tableRow{id, strconv.Itoa(label)})
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	for _, c := range st.Where {
-		if !strings.EqualFold(c.Col, "id") && !strings.EqualFold(c.Col, secondCol) {
-			return nil, fmt.Errorf("sql: unknown column %q in WHERE", c.Col)
-		}
-	}
-	// Apply predicates.
-	filtered := rows[:0]
-	for _, r := range rows {
-		keep := true
-		for _, c := range st.Where {
-			switch {
-			case strings.EqualFold(c.Col, "id"):
-				if c.Lit.IsString || !cmpInt(r.id, c.Op, c.Lit.Num) {
-					keep = false
-				}
-			case strings.EqualFold(c.Col, secondCol):
-				want := litStr(c.Lit)
-				switch c.Op {
-				case "=":
-					keep = keep && r.val == want
-				case "<>":
-					keep = keep && r.val != want
-				default:
-					// Numeric comparison for the BIGINT column.
-					n, err := strconv.ParseInt(r.val, 10, 64)
-					if err != nil || c.Lit.IsString || !cmpInt(n, c.Op, c.Lit.Num) {
-						keep = false
-					}
-				}
-			default:
-				return nil, fmt.Errorf("sql: unknown column %q in WHERE", c.Col)
-			}
-		}
-		if keep {
-			filtered = append(filtered, r)
-		}
-	}
-	return project(st, filtered, []string{"id", secondCol})
-}
-
-// selectView evaluates SELECT over a classification view with columns
-// (id, class). When the view has an engine attached, every read comes
-// from the engine's published snapshot — including full view scans —
-// so concurrent maintenance never races a query.
-func (s *Session) selectView(st sqlmini.Select, v *ClassView, eng *engine.Engine) (*Result, error) {
-	label := v.Label
-	members := v.Members
-	countMembers := v.CountMembers
-	if eng != nil {
-		label = eng.Label
-		members = eng.Members
-		countMembers = eng.CountMembers
-	}
-
-	// Recognize the point-read pattern WHERE id = k.
-	var idEq *int64
-	var classEq *int
-	for _, c := range st.Where {
-		switch {
-		case strings.EqualFold(c.Col, "id") && c.Op == "=" && !c.Lit.IsString:
-			id := int64(c.Lit.Num)
-			idEq = &id
-		case strings.EqualFold(c.Col, "class") && c.Op == "=" && !c.Lit.IsString:
-			cl := int(c.Lit.Num)
-			if cl != 1 && cl != -1 {
-				return nil, fmt.Errorf("sql: class literal must be ±1")
-			}
-			classEq = &cl
-		default:
-			return nil, fmt.Errorf("sql: view predicates support id = k and class = ±1")
-		}
-	}
-	var rows []tableRow
-	switch {
-	case idEq != nil:
-		l, err := label(*idEq)
-		if err != nil {
-			return nil, err
-		}
-		if classEq == nil || *classEq == l {
-			rows = append(rows, tableRow{*idEq, strconv.Itoa(l)})
-		}
-	case classEq != nil && *classEq == 1:
-		// All Members fast path.
-		if st.Count {
-			n, err := countMembers()
-			if err != nil {
-				return nil, err
-			}
-			return &Result{Cols: []string{"count"}, Rows: [][]string{{strconv.Itoa(n)}}}, nil
-		}
-		ids, err := members()
-		if err != nil {
-			return nil, err
-		}
-		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
-		for _, id := range ids {
-			rows = append(rows, tableRow{id, "1"})
-		}
-	default:
-		// Full view scan (optionally class = -1): enumerate entities —
-		// from the snapshot when engined, from the entity table
-		// otherwise — in id order.
-		if eng != nil {
-			for _, e := range eng.Snapshot().Entries() {
-				if classEq == nil || *classEq == int(e.Label) {
-					rows = append(rows, tableRow{e.ID, strconv.Itoa(int(e.Label))})
-				}
-			}
-		} else {
-			ms := map[int64]bool{}
-			ids, err := members()
-			if err != nil {
-				return nil, err
-			}
-			for _, id := range ids {
-				ms[id] = true
-			}
-			err = v.Entities().Scan(func(id int64, _ string) error {
-				l := -1
-				if ms[id] {
-					l = 1
-				}
-				if classEq == nil || *classEq == l {
-					rows = append(rows, tableRow{id, strconv.Itoa(l)})
-				}
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
-		sort.Slice(rows, func(a, b int) bool { return rows[a].id < rows[b].id })
-	}
-	return project(st, rows, []string{"id", "class"})
-}
-
-// project renders the select list over (id, second-column) rows.
-func project(st sqlmini.Select, rows []tableRow, cols []string) (*Result, error) {
-	if st.Count {
-		return &Result{Cols: []string{"count"}, Rows: [][]string{{strconv.Itoa(len(rows))}}}, nil
-	}
-	want := st.Cols
-	if len(want) == 1 && want[0] == "*" {
-		want = cols
-	}
-	idx := make([]int, len(want))
-	for i, c := range want {
-		switch {
-		case strings.EqualFold(c, cols[0]):
-			idx[i] = 0
-		case strings.EqualFold(c, cols[1]):
-			idx[i] = 1
-		default:
-			return nil, fmt.Errorf("sql: unknown column %q (have %v)", c, cols)
-		}
-	}
-	res := &Result{Cols: want}
-	for _, r := range rows {
-		vals := [2]string{strconv.FormatInt(r.id, 10), r.val}
-		out := make([]string, len(idx))
-		for i, j := range idx {
-			out[i] = vals[j]
-		}
-		res.Rows = append(res.Rows, out)
-	}
-	return res, nil
-}
+// SELECT evaluation lives in internal/exec (the streaming planner and
+// operator pipeline) behind Session.Query in query.go; the per-kind
+// scan-and-filter loops that used to sit here — including their
+// rows[:0] in-place filtering over a slice still being read — are
+// gone with it.

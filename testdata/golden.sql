@@ -44,6 +44,30 @@ SELECT COUNT(*) FROM spam WHERE class = 1;
 SELECT title FROM papers WHERE id = 2;
 SELECT COUNT(*) FROM votes;
 
+-- Every read shape lowers to its own physical plan, and EXPLAIN pins
+-- the choice (snapshot-backed, since both views are engined here).
+EXPLAIN SELECT class FROM labeled WHERE id = 5;
+EXPLAIN SELECT id FROM labeled WHERE class = 1;
+EXPLAIN SELECT COUNT(*) FROM labeled WHERE class = 1;
+EXPLAIN SELECT id FROM labeled WHERE eps >= -0.75 AND eps <= 0.75;
+EXPLAIN SELECT id FROM labeled WHERE eps > 0 AND class = 1;
+EXPLAIN SELECT id, class FROM spam;
+EXPLAIN SELECT id FROM labeled ORDER BY ABS(eps) LIMIT 2;
+EXPLAIN SELECT id, class FROM labeled ORDER BY id DESC LIMIT 3;
+EXPLAIN SELECT title FROM papers WHERE id = 2;
+EXPLAIN SELECT COUNT(*) FROM feedback WHERE label = 1;
+
+-- The eps column, ORDER BY, and LIMIT execute too. Wide eps bands
+-- keep the transcript independent of exact model floats, and the
+-- boundary walk is exercised only through EXPLAIN above: its row
+-- order breaks eps ties whose values depend on when Skiing last
+-- reorganized, which is timing-based (the SQL-vs-MostUncertain
+-- agreement is pinned in query_test.go instead).
+SELECT COUNT(*) FROM labeled WHERE eps >= -100.0 AND eps <= 100.0;
+SELECT id, class FROM labeled ORDER BY id DESC LIMIT 3;
+SELECT title FROM papers ORDER BY title LIMIT 2;
+SELECT id FROM feedback WHERE label = -1 ORDER BY id DESC;
+
 -- Late-arriving entities are classified on insert, through the
 -- engines (type-1 dynamic data).
 INSERT INTO papers VALUES (6, 'cost based query optimization of sql database views');
@@ -54,3 +78,8 @@ SELECT class FROM spam WHERE id = 14;
 DETACH ENGINE FROM labeled;
 SELECT class FROM labeled WHERE id = 6;
 SELECT COUNT(*) FROM spam;
+
+-- Detached, the same statements plan against the live structure.
+EXPLAIN SELECT id FROM labeled WHERE class = 1;
+EXPLAIN SELECT id FROM labeled WHERE eps >= 0.0;
+SELECT COUNT(*) FROM labeled WHERE eps >= -100.0;
