@@ -13,6 +13,17 @@
 // Usage:
 //
 //	hazyd [-addr :7437] [-db DIR] [-view labeled_papers] [-workers N] [-batch N] [-queue N] [-engine=false]
+//	      [-fsync always|off] [-wal-segment BYTES]
+//
+// The server opens its database in full-durability mode by default
+// (-fsync always): every acknowledged write is covered by a write-
+// ahead-log fsync — group-committed, so an engine batch pays one
+// fsync — and a kill -9 at any point recovers to a prefix of the
+// acknowledged writes on restart. -fsync off trades power-loss
+// durability for throughput (process crashes still recover cleanly).
+// The WAL rotates segments at -wal-segment bytes, checkpointing the
+// catalog at each rotation; clients can force one with the SQL
+// statement CHECKPOINT.
 //
 // Then, e.g. with nc:
 //
@@ -63,6 +74,8 @@ func run() (err error) {
 		batch     = flag.Int("batch", 0, "max updates group-applied per maintenance step (0 = engine default)")
 		queue     = flag.Int("queue", 0, "bounded update-queue size (0 = engine default)")
 		useEngine = flag.Bool("engine", true, "attach a concurrent maintenance engine to the default view (false: mutex-serialized statements)")
+		fsync     = flag.String("fsync", "always", "WAL commit policy: always (acknowledged writes survive power loss; engines group-commit one fsync per batch) or off (survive process crash only)")
+		walSeg    = flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes; each rotation triggers a catalog checkpoint")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -78,7 +91,10 @@ func run() (err error) {
 		}
 		defer os.RemoveAll(dir)
 	}
-	db, err := root.Open(dir)
+	db, err := root.OpenWith(dir, root.OpenOptions{
+		Fsync:           *fsync,
+		WALSegmentBytes: *walSeg,
+	})
 	if err != nil {
 		return err
 	}
@@ -137,8 +153,8 @@ func run() (err error) {
 		srv.Close()
 	}()
 
-	fmt.Printf("hazyd: serving catalog [%s] on %s (db: %s, default view: %s, mode: %s, %d cores)\n",
-		strings.Join(db.Views(), " "), l.Addr(), dir, *viewName, mode, runtime.GOMAXPROCS(0))
+	fmt.Printf("hazyd: serving catalog [%s] on %s (db: %s, default view: %s, mode: %s, fsync: %s, %d cores)\n",
+		strings.Join(db.Views(), " "), l.Addr(), dir, *viewName, mode, *fsync, runtime.GOMAXPROCS(0))
 	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		return err
 	}

@@ -46,6 +46,16 @@
 // (AttachEngine, or the SQL statement ATTACH ENGINE TO <view>):
 // reads then come lock-free from published snapshots and writes are
 // batched through a bounded queue, whichever surface they arrive on.
+//
+// Durability: every table mutation is appended to a write-ahead log
+// (internal/wal) before it touches heap pages, and Open replays the
+// log tail past the last checkpoint — a crash at any byte offset
+// reopens the database as a prefix of the acknowledged writes, with
+// the views recomputed to match. OpenWith selects the fsync policy
+// ("always" for power-loss durability with group commit, "off" —
+// the embedded default — for process-crash durability only); the SQL
+// statement CHECKPOINT, DB.Checkpoint, and WAL segment rotation all
+// flush the catalog and prune the log.
 package hazy
 
 import (
@@ -62,7 +72,9 @@ import (
 	"hazy/internal/feature"
 	"hazy/internal/learn"
 	"hazy/internal/relation"
+	"hazy/internal/storage"
 	"hazy/internal/vector"
+	"hazy/internal/wal"
 )
 
 // Re-exported architecture, strategy, and mode selectors.
@@ -91,6 +103,8 @@ type DB struct {
 	dir      string
 	rel      *relation.DB
 	registry *feature.Registry
+	vfs      storage.VFS
+	fsync    wal.SyncMode
 
 	// mu guards the catalog maps, the engine registry, and manifest
 	// writes. View maintenance itself is synchronized by the caller
@@ -106,21 +120,77 @@ type DB struct {
 	creating map[string]bool           // view names reserved by an in-flight create
 }
 
-// Open creates or reopens a database directory. The catalog manifest
-// records every table's kind (entity vs examples) and every view's
-// declaration, so Open recovers the tables and re-declares each
-// classification view — the view contents are recomputed from the
-// persisted entities and examples (§3.5.1), never stored. Directories
+// OpenOptions configures a database's durability machinery.
+type OpenOptions struct {
+	// Fsync is the write-ahead-log commit policy: "always" (every
+	// acknowledged write is fsynced — group-committed, so an engine
+	// batch pays one fsync) or "off" (appends reach the OS
+	// synchronously but are never fsynced: acknowledged writes
+	// survive a process crash, not power loss). Default "off" —
+	// embedded callers favor throughput; hazyd defaults to "always".
+	Fsync string
+	// WALSegmentBytes caps a log segment before rotation; each
+	// rotation triggers a catalog checkpoint, bounding recovery work
+	// to about one segment of replay. Default 4 MiB.
+	WALSegmentBytes int64
+	// VFS is the file layer beneath every pager and log segment
+	// (default the real filesystem). The crash-safety tests
+	// interpose internal/storage/faultfs here.
+	VFS storage.VFS
+}
+
+// Open creates or reopens a database directory with default
+// durability options. The catalog manifest records every table's kind
+// (entity vs examples) and every view's declaration, so Open recovers
+// the tables — replaying the write-ahead log's tail past the last
+// checkpoint, so a crash mid-batch loses at most the unlogged suffix
+// — and re-declares each classification view. The view contents
+// (labels, eps clustering, watermarks) are recomputed from the
+// recovered entities and examples (§3.5.1), never stored, so the
+// ε-index always agrees with the recovered tables. Directories
 // written before the manifest existed fall back to a schema-shape
 // heuristic for table kinds and recover no views.
-func Open(dir string) (*DB, error) {
+func Open(dir string) (*DB, error) { return OpenWith(dir, OpenOptions{}) }
+
+// OpenWith is Open with explicit durability options.
+func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("hazy: %w", err)
 	}
+	mode := wal.SyncOff
+	if opts.Fsync != "" {
+		var err error
+		if mode, err = wal.ParseSyncMode(opts.Fsync); err != nil {
+			return nil, fmt.Errorf("hazy: %w", err)
+		}
+	}
+	vfs := opts.VFS
+	if vfs == nil {
+		vfs = storage.OS
+	}
+	rel, err := relation.OpenDBWith(dir, 512, relation.Options{
+		VFS:             vfs,
+		Fsync:           mode,
+		WALSegmentBytes: opts.WALSegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A failed open must release the log and pager handles it
+	// acquired — without checkpointing, which could overwrite a good
+	// manifest with partially recovered state.
+	opened := false
+	defer func() {
+		if !opened {
+			rel.Abort()
+		}
+	}()
 	db := &DB{
 		dir:      dir,
-		rel:      relation.OpenDB(dir, 512),
+		rel:      rel,
 		registry: feature.NewRegistry(),
+		vfs:      vfs,
+		fsync:    mode,
 		views:    map[string]*ClassView{},
 		tables:   map[string]*EntityTable{},
 		examples: map[string]*ExampleTable{},
@@ -132,7 +202,7 @@ func Open(dir string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	meta, err := loadMeta(dir)
+	meta, err := loadMeta(vfs, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +267,30 @@ func Open(dir string) (*DB, error) {
 			}
 		}
 	}
+	// Segment rotations checkpoint the whole catalog (both manifests
+	// plus flushed pages), keeping the replayable log tail about one
+	// segment long.
+	db.rel.SetCheckpointHook(db.Checkpoint)
+	opened = true
 	return db, nil
+}
+
+// Checkpoint makes the whole catalog durable right now: the hazy
+// manifest (table kinds + view declarations), the relation manifest
+// (schemas, heap page lists, and the WAL position they cover), and
+// every dirty heap page are written out, and log segments below the
+// recorded position are pruned. Recovery after a checkpoint replays
+// only the log tail written since. It runs automatically on WAL
+// segment rotation and at Close; the SQL statement CHECKPOINT invokes
+// it on demand.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	err := db.saveMeta()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return db.rel.Checkpoint()
 }
 
 // PendingViews lists manifest views whose recovery was deferred
@@ -904,9 +997,11 @@ func (b *viewBackend) ApplyTrainBatch(ops []engine.TrainOp) []error {
 			errs[i] = fmt.Errorf("hazy: example references unknown entity %d", op.ID)
 			continue
 		}
-		// The durable insert first (it can reject duplicates); the
-		// view trigger is suspended, so no double maintenance.
-		if err := cv.exs.tbl.Insert(relation.Tuple{op.ID, int64(op.Label)}); err != nil {
+		// The logged insert first (it can reject duplicates); the
+		// view trigger is suspended, so no double maintenance. The
+		// WAL commit is deferred to the engine's per-batch Commit —
+		// one fsync per applied batch, not per row.
+		if err := cv.exs.tbl.InsertDeferred(relation.Tuple{op.ID, int64(op.Label)}); err != nil {
 			errs[i] = err
 			continue
 		}
@@ -914,6 +1009,13 @@ func (b *viewBackend) ApplyTrainBatch(ops []engine.TrainOp) []error {
 	}
 	if len(exs) > 0 {
 		if err := core.ApplyBatch(cv.view, exs); err != nil {
+			// Every op in the batch is NACKed; the examples were
+			// already durably inserted, so delete them back out —
+			// each delete is itself logged, so recovery nets to the
+			// rows absent, matching what the clients were told.
+			for _, ex := range exs {
+				_ = cv.exs.tbl.Delete(ex.ID) //nolint:errcheck — best effort under a failing view
+			}
 			for i := range errs {
 				if errs[i] == nil {
 					errs[i] = err
@@ -926,11 +1028,27 @@ func (b *viewBackend) ApplyTrainBatch(ops []engine.TrainOp) []error {
 
 func (b *viewBackend) ApplyAdd(id int64, text string) error {
 	cv := b.cv
-	if err := cv.ents.tbl.Insert(relation.Tuple{id, text}); err != nil {
+	if err := cv.ents.tbl.InsertDeferred(relation.Tuple{id, text}); err != nil {
 		return err
 	}
 	cv.ff.ComputeStatsInc(text)
-	return cv.view.Insert(core.Entity{ID: id, F: cv.ff.ComputeFeature(text)})
+	if err := cv.view.Insert(core.Entity{ID: id, F: cv.ff.ComputeFeature(text)}); err != nil {
+		// The entity row is already durably logged but the view never
+		// saw it and the client is NACKed: delete it back out (the
+		// delete is itself logged), so tables, view, and recovery all
+		// agree the ADD did not happen. The corpus-stats increment is
+		// not unwound — feature stats are an approximation either way.
+		_ = cv.ents.tbl.Delete(id) //nolint:errcheck — best effort under a failing view
+		return err
+	}
+	return nil
+}
+
+// Commit is the engine's group-commit barrier: one WAL fsync (in
+// durable mode) covers every row the batch logged, and runs before
+// any waiter is acknowledged.
+func (b *viewBackend) Commit() error {
+	return b.db.rel.CommitLog()
 }
 
 func (b *viewBackend) Snapshot() (*core.Snapshot, error) {

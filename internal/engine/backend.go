@@ -35,3 +35,12 @@ type Backend interface {
 	// a snapshot's model. Must be safe for concurrent use.
 	Feature(text string) vector.Vector
 }
+
+// Committer is implemented by backends whose durable writes ride a
+// write-ahead log with deferred commits: the engine calls Commit once
+// after applying each batch — before acknowledging any waiter — so a
+// whole batch pays one fsync. A Commit error fails every op in the
+// batch that had not already failed.
+type Committer interface {
+	Commit() error
+}

@@ -392,6 +392,21 @@ func (e *Engine) apply(batch []op) {
 	}
 	flushTrains(len(batch))
 
+	// Group commit: the batch's logged rows become durable together,
+	// before any waiter is signalled — a synchronous writer's ack
+	// implies its row survived the crash the log protects against.
+	if mutated {
+		if c, ok := e.be.(Committer); ok {
+			if err := c.Commit(); err != nil {
+				for i := range errs {
+					if errs[i] == nil && batch[i].kind != opBarrier {
+						errs[i] = fmt.Errorf("engine: group commit: %w", err)
+					}
+				}
+			}
+		}
+	}
+
 	if mutated {
 		if s, err := e.be.Snapshot(); err != nil {
 			e.noteAsyncErr(SharedToken, fmt.Errorf("engine: snapshot: %w", err))

@@ -4,53 +4,142 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"hazy/internal/storage"
+	"hazy/internal/wal"
 )
 
+// Options configures a DB's durability machinery.
+type Options struct {
+	// VFS is the file layer every pager and log segment opens
+	// through (default the real filesystem); crash tests interpose
+	// internal/storage/faultfs here.
+	VFS storage.VFS
+	// Fsync is the WAL commit policy (default wal.SyncAlways).
+	Fsync wal.SyncMode
+	// WALSegmentBytes caps a log segment before rotation — and a
+	// rotation triggers a checkpoint (default 4 MiB).
+	WALSegmentBytes int64
+}
+
 // DB is a catalog of tables, each backed by its own page file and
-// buffer pool under a common directory.
+// buffer pool under a common directory, with one shared write-ahead
+// log making mutations crash-recoverable.
 type DB struct {
 	dir       string
 	poolPages int
-	tables    map[string]*Table
-	pagers    []*storage.Pager
-	pools     map[string]*storage.BufferPool
+	vfs       storage.VFS
+
+	// catMu guards the catalog maps and the pager list: DDL mutates
+	// them, while checkpoints — which can fire from an engine's
+	// maintenance goroutine on segment rotation — iterate them.
+	catMu  sync.RWMutex
+	tables map[string]*Table
+	pagers []*storage.Pager
+	pools  map[string]*storage.BufferPool
+
+	log      *wal.Log
+	syncMode wal.SyncMode
+	// ckptMu orders mutations against checkpoints: every mutation
+	// holds it shared across its log-append + heap-apply so a
+	// checkpoint (exclusive) sees no record whose heap effect is
+	// still in flight.
+	ckptMu   sync.RWMutex
+	ckpt     wal.Pos // recovery start recorded in the manifest
+	ckptHook func() error
 }
 
 // OpenDB creates a database rooted at dir; each table's buffer pool
 // holds poolPages pages (default 256 ≈ 2 MiB when ≤ 0).
-func OpenDB(dir string, poolPages int) *DB {
+func OpenDB(dir string, poolPages int) (*DB, error) {
+	return OpenDBWith(dir, poolPages, Options{})
+}
+
+// OpenDBWith is OpenDB with explicit durability options.
+func OpenDBWith(dir string, poolPages int, opts Options) (*DB, error) {
 	if poolPages <= 0 {
 		poolPages = 256
+	}
+	if opts.VFS == nil {
+		opts.VFS = storage.OS
+	}
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{
+		SegmentBytes: opts.WALSegmentBytes,
+		Mode:         opts.Fsync,
+		VFS:          opts.VFS,
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &DB{
 		dir:       dir,
 		poolPages: poolPages,
+		vfs:       opts.VFS,
 		tables:    make(map[string]*Table),
 		pools:     make(map[string]*storage.BufferPool),
-	}
+		log:       log,
+		syncMode:  opts.Fsync,
+	}, nil
 }
 
-// CreateTable creates a new table with the given schema.
+// CreateTable creates a new table with the given schema. The creation
+// is durable before it returns: DDL rides on a checkpoint (rewriting
+// the manifest) rather than on log records, so every logged mutation
+// always references a manifest table.
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
-	if _, dup := db.tables[name]; dup {
-		return nil, fmt.Errorf("relation: table %q already exists", name)
-	}
-	pool, err := db.newPool(name + ".tbl")
+	tbl, err := db.createTable(name, schema)
 	if err != nil {
 		return nil, err
 	}
+	if err := db.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// createTable adds the table to the catalog without checkpointing —
+// the shared path for CreateTable and manifest recovery.
+func (db *DB) createTable(name string, schema Schema) (*Table, error) {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("relation: table %q already exists", name)
+	}
+	pool, err := db.newPoolLocked(name + ".tbl")
+	if err != nil {
+		return nil, err
+	}
+	if db.syncMode == wal.SyncAlways {
+		// WAL rule + torn-page defense for table pages: journal the
+		// full image and fsync the log before any in-place write-back.
+		pool.SetBeforeWriteBack(db.pageImageHook(name+".tbl"), db.logSyncBarrier)
+	}
 	tbl := NewTable(name, schema, storage.NewHeapFile(pool))
+	tbl.db = db
 	db.tables[name] = tbl
 	db.pools[name] = pool
 	return tbl, nil
 }
 
-// newPool opens a page file under the DB directory and wraps it in a
-// buffer pool. Exposed to sibling Hazy internals via NewAuxPool.
-func (db *DB) newPool(file string) (*storage.BufferPool, error) {
-	pager, err := storage.OpenPager(filepath.Join(db.dir, file))
+// NewAuxPool opens an auxiliary page file (e.g. for Hazy's clustered
+// H table and its B+-tree) that is closed with the database.
+func (db *DB) NewAuxPool(file string) (*storage.BufferPool, error) {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	return db.newPoolLocked(file)
+}
+
+// newPoolLocked opens a page file under the DB directory and wraps it
+// in a buffer pool. Callers hold catMu.
+func (db *DB) newPoolLocked(file string) (*storage.BufferPool, error) {
+	path := filepath.Join(db.dir, file)
+	// A crash can tear a file-extending page allocation; round the
+	// orphaned partial page away before the pager refuses the file.
+	if err := repairPageFile(db.vfs, path); err != nil {
+		return nil, err
+	}
+	pager, err := storage.OpenPagerVFS(db.vfs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -58,14 +147,10 @@ func (db *DB) newPool(file string) (*storage.BufferPool, error) {
 	return storage.NewBufferPool(pager, db.poolPages), nil
 }
 
-// NewAuxPool opens an auxiliary page file (e.g. for Hazy's clustered
-// H table and its B+-tree) that is closed with the database.
-func (db *DB) NewAuxPool(file string) (*storage.BufferPool, error) {
-	return db.newPool(file)
-}
-
 // Table returns the named table.
 func (db *DB) Table(name string) (*Table, error) {
+	db.catMu.RLock()
+	defer db.catMu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("relation: no table %q", name)
@@ -74,10 +159,21 @@ func (db *DB) Table(name string) (*Table, error) {
 }
 
 // Pool returns the buffer pool of the named table (for I/O stats).
-func (db *DB) Pool(name string) *storage.BufferPool { return db.pools[name] }
+func (db *DB) Pool(name string) *storage.BufferPool {
+	db.catMu.RLock()
+	defer db.catMu.RUnlock()
+	return db.pools[name]
+}
 
 // Tables lists table names, sorted.
 func (db *DB) Tables() []string {
+	db.catMu.RLock()
+	defer db.catMu.RUnlock()
+	return db.tableNamesLocked()
+}
+
+// tableNamesLocked lists table names, sorted. Callers hold catMu.
+func (db *DB) tableNamesLocked() []string {
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		out = append(out, n)
@@ -86,22 +182,48 @@ func (db *DB) Tables() []string {
 	return out
 }
 
-// DropTable removes the named table from the catalog. The backing
-// file is left behind (reclaimed when the directory is removed).
+// DropTable removes the named table from the catalog and checkpoints
+// so the removal is durable (and no logged record can resurrect it).
+// The backing file is left behind (reclaimed when the directory is
+// removed).
 func (db *DB) DropTable(name string) error {
+	db.catMu.Lock()
 	if _, ok := db.tables[name]; !ok {
+		db.catMu.Unlock()
 		return fmt.Errorf("relation: no table %q", name)
 	}
 	delete(db.tables, name)
 	delete(db.pools, name)
-	return nil
+	db.catMu.Unlock()
+	return db.Checkpoint()
 }
 
-// Close checkpoints the catalog and closes all page files.
+// Close checkpoints the catalog and closes all page files and the
+// write-ahead log.
 func (db *DB) Close() error {
 	first := db.Checkpoint()
+	if err := db.closeFiles(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Abort closes all page files and the log WITHOUT checkpointing: the
+// cleanup path for a failed open, where writing a manifest from
+// partially recovered state could overwrite a good one.
+func (db *DB) Abort() error { return db.closeFiles() }
+
+func (db *DB) closeFiles() error {
+	db.catMu.RLock()
+	defer db.catMu.RUnlock()
+	var first error
 	for _, p := range db.pagers {
 		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if db.log != nil {
+		if err := db.log.Close(); err != nil && first == nil {
 			first = err
 		}
 	}

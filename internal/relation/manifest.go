@@ -7,13 +7,17 @@ import (
 	"path/filepath"
 
 	"hazy/internal/storage"
+	"hazy/internal/wal"
 )
 
-// The catalog manifest persists table schemas and heap page lists so
-// a database directory survives process restarts. Classification
-// views are deliberately NOT persisted: per the paper (§3.5.1), the
-// view is a function of the entities and training examples, so it is
-// recomputed on open rather than written back.
+// The catalog manifest persists table schemas, heap page lists, and
+// the write-ahead-log position whose effects the flushed pages
+// contain, so a database directory survives process restarts — and
+// crashes: Recover re-attaches the tables and then redoes the log
+// tail past the recorded position. Classification views are
+// deliberately NOT persisted: per the paper (§3.5.1), the view is a
+// function of the entities and training examples, so it is recomputed
+// on open rather than written back.
 
 const manifestFile = "catalog.json"
 
@@ -31,24 +35,17 @@ type tableManifest struct {
 
 type manifest struct {
 	Tables []tableManifest `json:"tables"`
+	// Wal is the checkpoint position: recovery replays the log from
+	// here. Absent in pre-WAL directories (replay from the start).
+	Wal *wal.Pos `json:"wal,omitempty"`
 }
 
-// Checkpoint flushes all buffer pools and writes the catalog
-// manifest, making the current table contents recoverable by a later
-// OpenDB + Recover.
-func (db *DB) Checkpoint() error {
-	for _, pool := range db.pools {
-		if err := pool.FlushAll(); err != nil {
-			return err
-		}
-	}
-	for _, p := range db.pagers {
-		if err := p.Sync(); err != nil {
-			return err
-		}
-	}
-	var m manifest
-	for _, name := range db.Tables() {
+// writeManifest renders and atomically replaces the catalog manifest,
+// recording pos as the recovery start. Callers hold the exclusive
+// checkpoint lock and (at least) the catalog read lock.
+func (db *DB) writeManifest(pos wal.Pos) error {
+	m := manifest{Wal: &pos}
+	for _, name := range db.tableNamesLocked() {
 		t := db.tables[name]
 		tm := tableManifest{Name: name, Key: t.schema.Cols[t.schema.Key].Name}
 		for _, c := range t.schema.Cols {
@@ -63,18 +60,22 @@ func (db *DB) Checkpoint() error {
 	if err != nil {
 		return fmt.Errorf("relation: marshal manifest: %w", err)
 	}
-	tmp := filepath.Join(db.dir, manifestFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	path := filepath.Join(db.dir, manifestFile)
+	if err := storage.WriteFileAtomic(db.vfs, path, data, db.syncMode == wal.SyncAlways); err != nil {
 		return fmt.Errorf("relation: write manifest: %w", err)
 	}
-	return os.Rename(tmp, filepath.Join(db.dir, manifestFile))
+	return nil
 }
 
-// Recover loads the catalog manifest (if present) and re-attaches
-// every table: page files are reopened and primary-key indexes are
-// rebuilt by scanning. Returns the recovered table names.
+// Recover loads the catalog manifest (if present), re-attaches every
+// table — page files are reopened and primary-key indexes rebuilt by
+// scanning — and then redoes the write-ahead log from the manifest's
+// checkpoint position, so mutations that never reached the heap pages
+// are re-applied. A torn log tail ends the redo cleanly: the catalog
+// reopens as a prefix of the logged history. Returns the recovered
+// table names.
 func (db *DB) Recover() ([]string, error) {
-	data, err := os.ReadFile(filepath.Join(db.dir, manifestFile))
+	data, err := db.vfs.ReadFile(filepath.Join(db.dir, manifestFile))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -84,6 +85,16 @@ func (db *DB) Recover() ([]string, error) {
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("relation: parse manifest: %w", err)
+	}
+	start := wal.Pos{}
+	if m.Wal != nil {
+		start = *m.Wal
+	}
+	db.ckpt = start
+	// Pass 1: restore journaled full-page images, healing any torn
+	// in-place page write before the heaps are scanned.
+	if err := db.applyImagePass(start); err != nil {
+		return nil, fmt.Errorf("relation: wal image restore: %w", err)
 	}
 	var names []string
 	for _, tm := range m.Tables {
@@ -95,7 +106,7 @@ func (db *DB) Recover() ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("relation: manifest table %q: %w", tm.Name, err)
 		}
-		tbl, err := db.CreateTable(tm.Name, schema)
+		tbl, err := db.createTable(tm.Name, schema)
 		if err != nil {
 			return nil, err
 		}
@@ -107,6 +118,15 @@ func (db *DB) Recover() ([]string, error) {
 			return nil, fmt.Errorf("relation: recover %q: %w", tm.Name, err)
 		}
 		names = append(names, tm.Name)
+	}
+	// Pass 2: redo the logical mutations past the checkpoint.
+	if db.log != nil {
+		err := db.log.Replay(start, func(_ wal.Pos, payload []byte) error {
+			return db.replayMutation(payload)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("relation: wal redo: %w", err)
+		}
 	}
 	return names, nil
 }

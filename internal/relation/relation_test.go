@@ -24,7 +24,10 @@ func paperSchema(t *testing.T) Schema {
 
 func newTestTable(t *testing.T) *Table {
 	t.Helper()
-	db := OpenDB(t.TempDir(), 32)
+	db, err := OpenDB(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() { db.Close() })
 	tbl, err := db.CreateTable("papers", paperSchema(t))
 	if err != nil {
@@ -183,7 +186,10 @@ func TestTriggerErrorPropagates(t *testing.T) {
 }
 
 func TestCatalog(t *testing.T) {
-	db := OpenDB(t.TempDir(), 16)
+	db, err := OpenDB(t.TempDir(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer db.Close()
 	s := paperSchema(t)
 	if _, err := db.CreateTable("a", s); err != nil {

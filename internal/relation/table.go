@@ -37,6 +37,10 @@ type Trigger func(ev TriggerEvent, old, new Tuple) error
 type Table struct {
 	name   string
 	schema Schema
+	// db is the owning catalog, carrying the write-ahead log every
+	// mutation appends to before touching the heap; nil for
+	// standalone tables built with NewTable (unlogged).
+	db *DB
 
 	mu      sync.RWMutex // guards heap, pk, trigger
 	heap    *storage.HeapFile
@@ -87,7 +91,17 @@ func (t *Table) fire(ev TriggerEvent, old, new Tuple) error {
 }
 
 // Insert adds tup, rejecting duplicate keys, then fires AfterInsert.
-func (t *Table) Insert(tup Tuple) error {
+// The row is logged to the WAL before it touches the heap and the log
+// is committed (one fsync in durable mode) before triggers fire.
+func (t *Table) Insert(tup Tuple) error { return t.insert(tup, true) }
+
+// InsertDeferred is Insert without the per-statement log commit: the
+// row is logged and applied, but the caller owns the commit barrier
+// (DB.CommitLog) and must invoke it before acknowledging the write.
+// The maintenance engine uses it to pay one fsync per applied batch.
+func (t *Table) InsertDeferred(tup Tuple) error { return t.insert(tup, false) }
+
+func (t *Table) insert(tup Tuple, commit bool) error {
 	if err := checkTypes(t.schema, tup); err != nil {
 		return err
 	}
@@ -96,18 +110,41 @@ func (t *Table) Insert(tup Tuple) error {
 	if err != nil {
 		return err
 	}
+	// Reject anything the heap would deterministically refuse BEFORE
+	// logging: a logged record that fails the same way on every redo
+	// would make the database unopenable.
+	if len(rec) > storage.MaxHeapRecord {
+		return fmt.Errorf("relation: record of %d bytes exceeds heap limit %d in %s", len(rec), storage.MaxHeapRecord, t.name)
+	}
+	unlock := t.lockMutation()
 	t.mu.Lock()
 	if _, dup := t.pk[key]; dup {
 		t.mu.Unlock()
+		unlock()
 		return fmt.Errorf("relation: duplicate key %d in %s", key, t.name)
+	}
+	if err := t.logMutation(walInsert, rec); err != nil {
+		t.mu.Unlock()
+		unlock()
+		return err
 	}
 	rid, err := t.heap.Insert(rec)
 	if err != nil {
+		// The insert is already logged; neutralize it so recovery
+		// never replays a statement the client saw fail.
+		t.compensate(walDelete, deleteBody(key))
 		t.mu.Unlock()
+		unlock()
 		return err
 	}
 	t.pk[key] = rid
 	t.mu.Unlock()
+	unlock()
+	if commit {
+		if err := t.commitWAL(); err != nil {
+			return err
+		}
+	}
 	return t.fire(AfterInsert, nil, tup)
 }
 
@@ -134,7 +171,9 @@ func (t *Table) Has(key int64) bool {
 	return ok
 }
 
-// Update replaces the tuple with tup's key, firing AfterUpdate.
+// Update replaces the tuple with tup's key, firing AfterUpdate. Like
+// Insert, the new image is logged before the heap changes and the log
+// commits before triggers fire.
 func (t *Table) Update(tup Tuple) error {
 	if err := checkTypes(t.schema, tup); err != nil {
 		return err
@@ -144,56 +183,93 @@ func (t *Table) Update(tup Tuple) error {
 	if err != nil {
 		return err
 	}
+	if len(rec) > storage.MaxHeapRecord {
+		return fmt.Errorf("relation: record of %d bytes exceeds heap limit %d in %s", len(rec), storage.MaxHeapRecord, t.name)
+	}
+	unlock := t.lockMutation()
 	t.mu.Lock()
 	rid, ok := t.pk[key]
 	if !ok {
 		t.mu.Unlock()
+		unlock()
 		return fmt.Errorf("relation: update of missing key %d in %s", key, t.name)
 	}
 	oldRec, err := t.heap.Get(rid)
 	if err != nil {
 		t.mu.Unlock()
+		unlock()
 		return err
 	}
 	old, err := DecodeTuple(t.schema, oldRec)
 	if err != nil {
 		t.mu.Unlock()
+		unlock()
+		return err
+	}
+	if err := t.logMutation(walUpdate, rec); err != nil {
+		t.mu.Unlock()
+		unlock()
 		return err
 	}
 	nrid, err := t.heap.Update(rid, rec)
 	if err != nil {
+		// Logged but not applied: log the old image back so recovery
+		// lands on the pre-statement row.
+		t.compensate(walUpdate, oldRec)
 		t.mu.Unlock()
+		unlock()
 		return err
 	}
 	t.pk[key] = nrid
 	t.mu.Unlock()
+	unlock()
+	if err := t.commitWAL(); err != nil {
+		return err
+	}
 	return t.fire(AfterUpdate, old, tup)
 }
 
 // Delete removes the tuple with key, firing AfterDelete.
 func (t *Table) Delete(key int64) error {
+	unlock := t.lockMutation()
 	t.mu.Lock()
 	rid, ok := t.pk[key]
 	if !ok {
 		t.mu.Unlock()
+		unlock()
 		return fmt.Errorf("relation: delete of missing key %d in %s", key, t.name)
 	}
 	rec, err := t.heap.Get(rid)
 	if err != nil {
 		t.mu.Unlock()
+		unlock()
 		return err
 	}
 	old, err := DecodeTuple(t.schema, rec)
 	if err != nil {
 		t.mu.Unlock()
+		unlock()
+		return err
+	}
+	if err := t.logMutation(walDelete, deleteBody(key)); err != nil {
+		t.mu.Unlock()
+		unlock()
 		return err
 	}
 	if err := t.heap.Delete(rid); err != nil {
+		// Logged but not applied: re-log the surviving row so replay's
+		// delete-then-insert nets out to the row still being there.
+		t.compensate(walInsert, rec)
 		t.mu.Unlock()
+		unlock()
 		return err
 	}
 	delete(t.pk, key)
 	t.mu.Unlock()
+	unlock()
+	if err := t.commitWAL(); err != nil {
+		return err
+	}
 	return t.fire(AfterDelete, old, nil)
 }
 
@@ -210,7 +286,9 @@ func (t *Table) HeapPages() []storage.PageID {
 func (t *Table) recover(pages []storage.PageID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.heap.SetPages(pages)
+	if err := t.heap.SetPages(pages); err != nil {
+		return err
+	}
 	return t.heap.Scan(func(rid storage.RID, rec []byte) error {
 		tup, err := DecodeTuple(t.schema, rec)
 		if err != nil {

@@ -64,6 +64,10 @@ type DetachEngine struct {
 	View string
 }
 
+// Checkpoint is CHECKPOINT: flush the catalog (manifests + dirty
+// pages) and prune the write-ahead log below the recorded position.
+type Checkpoint struct{}
+
 // Select is
 //
 //	SELECT list FROM table [WHERE conds]
@@ -106,3 +110,4 @@ func (Select) stmt()       {}
 func (Explain) stmt()      {}
 func (AttachEngine) stmt() {}
 func (DetachEngine) stmt() {}
+func (Checkpoint) stmt()   {}

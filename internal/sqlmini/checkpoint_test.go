@@ -1,0 +1,16 @@
+package sqlmini
+
+import "testing"
+
+func TestParseCheckpoint(t *testing.T) {
+	st, err := Parse("CHECKPOINT;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(Checkpoint); !ok {
+		t.Fatalf("parsed %T", st)
+	}
+	if _, err := Parse("CHECKPOINT now"); err == nil {
+		t.Fatal("trailing input accepted")
+	}
+}

@@ -102,6 +102,8 @@ func (p *parser) statement() (Stmt, error) {
 		return p.attachEngine()
 	case p.accept("DETACH"):
 		return p.detachEngine()
+	case p.accept("CHECKPOINT"):
+		return Checkpoint{}, nil
 	default:
 		return nil, errAt(p.peek(), "unknown statement starting at %q", p.peek().text)
 	}

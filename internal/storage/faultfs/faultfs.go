@@ -1,0 +1,224 @@
+// Package faultfs is a deterministic fault-injection file layer for
+// crash-safety testing. It wraps a storage.VFS and counts every
+// mutating file operation (WriteAt, Truncate, Sync) across all files
+// opened through it; at the Nth operation it injects a configured
+// fault and — for the crash modes — fails every mutation from then
+// on, freezing the on-disk state exactly as a kill -9 at that point
+// would have left it. Reopening the directory through a clean VFS
+// then exercises recovery against that synthesized crash state.
+//
+// Because the counter is global and the workload deterministic, every
+// value of N names one reproducible crash point; sweeping N from 1
+// to the workload's total write count synthesizes hundreds of
+// distinct crashes from one test body.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hazy/internal/storage"
+)
+
+// Mode selects what happens at the fault point.
+type Mode int
+
+const (
+	// Crash drops the Nth mutation entirely, returns an error, and
+	// fails every later mutation — the process "died" before the
+	// write.
+	Crash Mode = iota
+	// Torn applies only the first half of the Nth write's bytes, then
+	// behaves like Crash — the write was cut mid-flight.
+	Torn
+	// ErrOnce fails only the Nth mutation and then recovers — an
+	// isolated I/O error, for testing error propagation rather than
+	// crash recovery.
+	ErrOnce
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Torn:
+		return "torn"
+	case ErrOnce:
+		return "err-once"
+	default:
+		return "crash"
+	}
+}
+
+// ErrInjected is the root of every injected failure.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FS wraps an inner VFS with deterministic fault injection. The zero
+// FaultAt never faults, making FS a pure write-counting probe.
+type FS struct {
+	inner storage.VFS
+
+	mu      sync.Mutex
+	ops     int64 // mutating ops observed so far
+	faultAt int64 // inject at the op with this 1-based index; 0 = off
+	mode    Mode
+	crashed bool
+}
+
+// New wraps inner, injecting a fault of the given mode at the
+// faultAt'th mutating operation (1-based; 0 disables injection).
+func New(inner storage.VFS, faultAt int64, mode Mode) *FS {
+	return &FS{inner: inner, faultAt: faultAt, mode: mode}
+}
+
+// Writes returns the number of mutating operations observed, for
+// sizing a crash-point sweep from a fault-free probe run.
+func (fs *FS) Writes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the fault point has been reached (in a
+// crash mode).
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// step accounts one mutating op and decides its fate: act=true means
+// perform the op (fully or, for a torn write, partially).
+func (fs *FS) step() (act bool, torn bool, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return false, false, fmt.Errorf("%w (after crash point)", ErrInjected)
+	}
+	fs.ops++
+	if fs.faultAt == 0 || fs.ops != fs.faultAt {
+		return true, false, nil
+	}
+	switch fs.mode {
+	case ErrOnce:
+		return false, false, fmt.Errorf("%w (op %d, err-once)", ErrInjected, fs.ops)
+	case Torn:
+		fs.crashed = true
+		return true, true, fmt.Errorf("%w (op %d, torn)", ErrInjected, fs.ops)
+	default:
+		fs.crashed = true
+		return false, false, fmt.Errorf("%w (op %d, crash)", ErrInjected, fs.ops)
+	}
+}
+
+// OpenFile opens path through the inner VFS, wrapped with injection.
+func (fs *FS) OpenFile(path string) (storage.File, error) {
+	f, err := fs.inner.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: fs, f: f}, nil
+}
+
+// Remove counts as a mutating op (a crashed process removes nothing).
+func (fs *FS) Remove(path string) error {
+	act, _, ferr := fs.step()
+	if !act {
+		return ferr
+	}
+	if err := fs.inner.Remove(path); err != nil {
+		return err
+	}
+	return ferr
+}
+
+// Rename counts as a mutating op — a crash just before the rename
+// leaves the previous file in place.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	act, _, ferr := fs.step()
+	if !act {
+		return ferr
+	}
+	if err := fs.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	return ferr
+}
+
+// ReadDir passes through.
+func (fs *FS) ReadDir(dir string) ([]string, error) { return fs.inner.ReadDir(dir) }
+
+// ReadFile passes through (a crashed process does not read either,
+// but the harness only aims faults at mutations).
+func (fs *FS) ReadFile(path string) ([]byte, error) { return fs.inner.ReadFile(path) }
+
+// MkdirAll passes through: directory scaffolding is created at open,
+// before the workload's first logged write, and is not a crash
+// surface the harness aims at.
+func (fs *FS) MkdirAll(dir string) error { return fs.inner.MkdirAll(dir) }
+
+// SyncDir counts as a mutating op — a crash before the directory
+// fsync can lose entry creations and renames.
+func (fs *FS) SyncDir(dir string) error {
+	act, torn, ferr := fs.step()
+	if !act || torn {
+		return ferr
+	}
+	if err := fs.inner.SyncDir(dir); err != nil {
+		return err
+	}
+	return ferr
+}
+
+type file struct {
+	fs *FS
+	f  storage.File
+}
+
+func (f *file) ReadAt(p []byte, off int64) (int, error) { return f.f.ReadAt(p, off) }
+
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	act, torn, ferr := f.fs.step()
+	if !act {
+		return 0, ferr
+	}
+	if torn {
+		n := len(p) / 2
+		if _, werr := f.f.WriteAt(p[:n], off); werr != nil {
+			return 0, werr
+		}
+		return n, ferr
+	}
+	n, err := f.f.WriteAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	return n, ferr
+}
+
+func (f *file) Truncate(size int64) error {
+	act, _, ferr := f.fs.step()
+	if !act {
+		return ferr
+	}
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	return ferr
+}
+
+func (f *file) Sync() error {
+	act, torn, ferr := f.fs.step()
+	if !act || torn {
+		// A sync cut by the crash point never completed.
+		return ferr
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	return ferr
+}
+
+func (f *file) Close() error         { return f.f.Close() }
+func (f *file) Size() (int64, error) { return f.f.Size() }
+
+var _ storage.VFS = (*FS)(nil)

@@ -1,0 +1,119 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hazy/internal/storage"
+)
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCrashModeFreezesState(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(storage.OS, 3, Crash)
+	f, err := fs.OpenFile(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("aaaa"), 0); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("bbbb"), 4); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("cccc"), 8); !errors.Is(err, ErrInjected) { // op 3: crash
+		t.Fatalf("crash op error = %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("not crashed after fault point")
+	}
+	if _, err := f.WriteAt([]byte("dddd"), 12); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write error = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash sync error = %v", err)
+	}
+	if got := string(readAll(t, filepath.Join(dir, "x"))); got != "aaaabbbb" {
+		t.Fatalf("on-disk state %q, want the pre-crash prefix", got)
+	}
+	// Post-crash attempts are rejected without being counted: the
+	// counter names crash points in the live workload only.
+	if fs.Writes() != 3 {
+		t.Fatalf("ops counted = %d, want 3", fs.Writes())
+	}
+}
+
+func TestTornModeWritesHalf(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(storage.OS, 1, Torn)
+	f, err := fs.OpenFile(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("abcdefgh"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn op error = %v", err)
+	}
+	if got := string(readAll(t, filepath.Join(dir, "x"))); got != "abcd" {
+		t.Fatalf("torn write left %q, want first half", got)
+	}
+	if _, err := f.WriteAt([]byte("zz"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("torn mode must crash after the fault")
+	}
+}
+
+func TestErrOnceRecovers(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(storage.OS, 2, ErrOnce)
+	f, err := fs.OpenFile(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("aa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("bb"), 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fault op error = %v", err)
+	}
+	if _, err := f.WriteAt([]byte("cc"), 2); err != nil {
+		t.Fatalf("err-once did not recover: %v", err)
+	}
+	if got := string(readAll(t, filepath.Join(dir, "x"))); got != "aacc" {
+		t.Fatalf("state %q", got)
+	}
+}
+
+func TestProbeCountsWithoutFaulting(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(storage.OS, 0, Crash)
+	f, err := fs.OpenFile(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := f.WriteAt([]byte{byte(i)}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "y")); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Writes() != 12 {
+		t.Fatalf("probe counted %d ops, want 12", fs.Writes())
+	}
+	if fs.Crashed() {
+		t.Fatal("probe must never crash")
+	}
+}

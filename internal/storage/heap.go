@@ -63,8 +63,21 @@ func NewHeapFile(pool *BufferPool) *HeapFile {
 func (h *HeapFile) NumPages() int { return len(h.pages) }
 
 // SetPages installs a page list recovered from a catalog manifest,
-// re-attaching the heap to pages written in a previous session.
-func (h *HeapFile) SetPages(pages []PageID) { h.pages = pages }
+// re-attaching the heap to pages written in a previous session. Every
+// page id must already be allocated in the backing pager: a manifest
+// pointing past the end of a (possibly truncated) page file is
+// reported here as a recovery error instead of surfacing later as a
+// pager panic mid-scan.
+func (h *HeapFile) SetPages(pages []PageID) error {
+	n := h.pool.Pager().NumPages()
+	for _, id := range pages {
+		if id >= n {
+			return fmt.Errorf("storage: recovered page id %d out of bounds (file has %d pages)", id, n)
+		}
+	}
+	h.pages = pages
+	return nil
+}
 
 // Pages returns the heap's slotted page ids in order (read-only).
 func (h *HeapFile) Pages() []PageID { return h.pages }

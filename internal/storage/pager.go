@@ -9,7 +9,6 @@ package storage
 
 import (
 	"fmt"
-	"os"
 	"sync"
 )
 
@@ -27,7 +26,7 @@ const InvalidPage = PageID(^uint32(0))
 // for concurrent use.
 type Pager struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	numPages PageID
 
 	// Physical I/O counters (monotonically increasing).
@@ -35,22 +34,29 @@ type Pager struct {
 	writeCount int64
 }
 
-// OpenPager opens (creating if necessary) the page file at path.
+// OpenPager opens (creating if necessary) the page file at path on
+// the real filesystem.
 func OpenPager(path string) (*Pager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenPagerVFS(OS, path)
+}
+
+// OpenPagerVFS opens the page file at path through vfs, letting test
+// harnesses interpose fault injection under every page write.
+func OpenPagerVFS(vfs VFS, path string) (*Pager, error) {
+	f, err := vfs.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open pager: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("storage: stat pager: %w", err)
 	}
-	if st.Size()%PageSize != 0 {
+	if size%PageSize != 0 {
 		f.Close()
-		return nil, fmt.Errorf("storage: %s size %d not a multiple of page size", path, st.Size())
+		return nil, fmt.Errorf("storage: %s size %d not a multiple of page size", path, size)
 	}
-	return &Pager{f: f, numPages: PageID(st.Size() / PageSize)}, nil
+	return &Pager{f: f, numPages: PageID(size / PageSize)}, nil
 }
 
 // NumPages returns the number of allocated pages.

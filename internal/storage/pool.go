@@ -26,9 +26,49 @@ type BufferPool struct {
 	frames   map[PageID]*frame
 	evict    *list.List // of PageID, front = most recently used
 
+	// beforeWriteBack, when set, runs before any dirty page is
+	// written to the pager (eviction, FlushAll, Invalidate), with the
+	// page's id and full image; writeBackBarrier then runs once per
+	// write-back group, after every image of the group is journaled
+	// and before any in-place page write. The relation layer points
+	// them at the write-ahead log — append the image, then fsync — so
+	// a torn page write is repairable from the log, the WAL rule (log
+	// reaches disk before the data page it covers) holds even for LRU
+	// evictions between checkpoints, and a FlushAll of N dirty pages
+	// pays one fsync, not N.
+	beforeWriteBack  func(id PageID, data []byte) error
+	writeBackBarrier func() error
+
 	hits      int64
 	misses    int64
 	evictions int64
+}
+
+// SetBeforeWriteBack installs the per-page journal hook and the
+// per-group barrier run around dirty-page write-backs. Call before
+// the pool is shared across goroutines.
+func (bp *BufferPool) SetBeforeWriteBack(journal func(id PageID, data []byte) error, barrier func() error) {
+	bp.mu.Lock()
+	bp.beforeWriteBack = journal
+	bp.writeBackBarrier = barrier
+	bp.mu.Unlock()
+}
+
+// writeBackLocked writes one dirty frame through the pager, running
+// the journal hook and the barrier first (the single-page group: an
+// LRU eviction). Callers hold bp.mu.
+func (bp *BufferPool) writeBackLocked(id PageID, fr *frame) error {
+	if bp.beforeWriteBack != nil {
+		if err := bp.beforeWriteBack(id, fr.data[:]); err != nil {
+			return err
+		}
+	}
+	if bp.writeBackBarrier != nil {
+		if err := bp.writeBackBarrier(); err != nil {
+			return err
+		}
+	}
+	return bp.pager.WritePage(id, fr.data[:])
 }
 
 // NewBufferPool wraps pager with a pool of capacity pages
@@ -95,7 +135,7 @@ func (bp *BufferPool) installLocked(id PageID, read bool) (*frame, error) {
 		vid := victim.Value.(PageID)
 		vf := bp.frames[vid]
 		if vf.dirty {
-			if err := bp.pager.WritePage(vid, vf.data[:]); err != nil {
+			if err := bp.writeBackLocked(vid, vf); err != nil {
 				return nil, err
 			}
 		}
@@ -132,17 +172,38 @@ func (bp *BufferPool) Unpin(id PageID, dirty bool) {
 	}
 }
 
-// FlushAll writes every dirty resident page back to the pager.
+// FlushAll writes every dirty resident page back to the pager: all
+// images are journaled, one barrier runs, then the pages are written
+// in place — one log fsync for the whole flush.
 func (bp *BufferPool) FlushAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	var dirty []PageID
 	for id, fr := range bp.frames {
-		if fr.dirty {
-			if err := bp.pager.WritePage(id, fr.data[:]); err != nil {
+		if !fr.dirty {
+			continue
+		}
+		if bp.beforeWriteBack != nil {
+			if err := bp.beforeWriteBack(id, fr.data[:]); err != nil {
 				return err
 			}
-			fr.dirty = false
 		}
+		dirty = append(dirty, id)
+	}
+	if len(dirty) == 0 {
+		return nil
+	}
+	if bp.writeBackBarrier != nil {
+		if err := bp.writeBackBarrier(); err != nil {
+			return err
+		}
+	}
+	for _, id := range dirty {
+		fr := bp.frames[id]
+		if err := bp.pager.WritePage(id, fr.data[:]); err != nil {
+			return err
+		}
+		fr.dirty = false
 	}
 	return nil
 }
@@ -157,7 +218,7 @@ func (bp *BufferPool) Invalidate() error {
 			return fmt.Errorf("storage: invalidate with pinned page %d", id)
 		}
 		if fr.dirty {
-			if err := bp.pager.WritePage(id, fr.data[:]); err != nil {
+			if err := bp.writeBackLocked(id, fr); err != nil {
 				return err
 			}
 		}

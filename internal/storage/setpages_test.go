@@ -1,0 +1,39 @@
+package storage
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSetPagesBoundsChecked pins the recovery-hardening fix: a
+// manifest page list pointing past the end of the page file must be
+// rejected at attach time, not surface later as a pager panic
+// mid-scan.
+func TestSetPagesBoundsChecked(t *testing.T) {
+	p, err := OpenPager(filepath.Join(t.TempDir(), "h.pg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	bp := NewBufferPool(p, 4)
+	h := NewHeapFile(bp)
+	if _, err := h.Insert([]byte("row")); err != nil {
+		t.Fatal(err)
+	}
+	pages := h.Pages()
+
+	h2 := NewHeapFile(bp)
+	if err := h2.SetPages(pages); err != nil {
+		t.Fatalf("in-bounds pages rejected: %v", err)
+	}
+	if err := h2.SetPages([]PageID{pages[0], PageID(99)}); err == nil {
+		t.Fatal("out-of-bounds page id accepted")
+	} else if !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// A failed SetPages must not clobber the previously attached list.
+	if h2.NumPages() != len(pages) {
+		t.Fatalf("failed SetPages mutated the heap: %d pages", h2.NumPages())
+	}
+}

@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the random-access file handle the storage layer runs on.
+// Pagers and the write-ahead log do all their I/O through it, so a
+// test harness can interpose fault injection (torn writes, crashes at
+// the Nth write) beneath the whole stack — see
+// internal/storage/faultfs.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	Size() (int64, error)
+}
+
+// VFS opens and manages Files under a real or simulated filesystem.
+type VFS interface {
+	// OpenFile opens path read-write, creating it if absent.
+	OpenFile(path string) (File, error)
+	// ReadFile returns path's full contents; a missing file reports
+	// an error satisfying os.IsNotExist.
+	ReadFile(path string) ([]byte, error)
+	// Remove deletes path.
+	Remove(path string) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs a directory, making entry creations, renames,
+	// and removals inside it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough VFS over the real filesystem.
+var OS VFS = osVFS{}
+
+type osVFS struct{}
+
+type osFile struct{ f *os.File }
+
+func (o osVFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f: f}, nil
+}
+
+func (o osVFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (o osVFS) Remove(path string) error { return os.Remove(path) }
+
+func (o osVFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (o osVFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (o osVFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (o osVFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f osFile) ReadAt(p []byte, off int64) (int, error)  { return f.f.ReadAt(p, off) }
+func (f osFile) WriteAt(p []byte, off int64) (int, error) { return f.f.WriteAt(p, off) }
+func (f osFile) Truncate(size int64) error                { return f.f.Truncate(size) }
+func (f osFile) Sync() error                              { return f.f.Sync() }
+func (f osFile) Close() error                             { return f.f.Close() }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// WriteFileAtomic writes data to path via a temp file renamed into
+// place; with sync it fsyncs the file before the rename and the
+// parent directory after, making the swap power-loss durable.
+// Manifest writers use it so a crash mid-write leaves the previous
+// file intact.
+func WriteFileAtomic(vfs VFS, path string, data []byte, sync bool) error {
+	tmp := path + ".tmp"
+	f, err := vfs.OpenFile(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.WriteAt(data, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := vfs.Rename(tmp, path); err != nil {
+		return err
+	}
+	if sync {
+		return vfs.SyncDir(filepath.Dir(path))
+	}
+	return nil
+}

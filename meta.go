@@ -8,6 +8,8 @@ import (
 	"sort"
 
 	"hazy/internal/core"
+	"hazy/internal/storage"
+	"hazy/internal/wal"
 )
 
 // The hazy-level catalog manifest persists what the storage-level
@@ -89,17 +91,18 @@ func (db *DB) saveMeta() error {
 	if err != nil {
 		return fmt.Errorf("hazy: marshal manifest: %w", err)
 	}
-	tmp := filepath.Join(db.dir, metaFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	path := filepath.Join(db.dir, metaFile)
+	if err := storage.WriteFileAtomic(db.vfs, path, data, db.fsync == wal.SyncAlways); err != nil {
 		return fmt.Errorf("hazy: write manifest: %w", err)
 	}
-	return os.Rename(tmp, filepath.Join(db.dir, metaFile))
+	return nil
 }
 
-// loadMeta reads the hazy-level manifest; a missing file returns nil
-// (a pre-manifest directory, recovered by the schema heuristic).
-func loadMeta(dir string) (*metaManifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+// loadMeta reads the hazy-level manifest through the database's VFS;
+// a missing file returns nil (a pre-manifest directory, recovered by
+// the schema heuristic).
+func loadMeta(vfs storage.VFS, dir string) (*metaManifest, error) {
+	data, err := vfs.ReadFile(filepath.Join(dir, metaFile))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}

@@ -401,6 +401,11 @@ func (s *Session) execStmt(st sqlmini.Stmt) (*Result, error) {
 		return s.attachEngine(st)
 	case sqlmini.DetachEngine:
 		return s.detachEngine(st)
+	case sqlmini.Checkpoint:
+		if err := s.db.Checkpoint(); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "CHECKPOINT"}, nil
 	default:
 		return nil, fmt.Errorf("sql: unhandled statement %T", st)
 	}

@@ -83,3 +83,8 @@ SELECT COUNT(*) FROM spam;
 EXPLAIN SELECT id FROM labeled WHERE class = 1;
 EXPLAIN SELECT id FROM labeled WHERE eps >= 0.0;
 SELECT COUNT(*) FROM labeled WHERE eps >= -100.0;
+
+-- Durability: CHECKPOINT flushes both manifests and every dirty heap
+-- page, then prunes the write-ahead log below the recorded position.
+CHECKPOINT;
+SELECT COUNT(*) FROM papers;
