@@ -13,7 +13,13 @@
 // Usage:
 //
 //	hazyd [-addr :7437] [-db DIR] [-view labeled_papers] [-workers N] [-batch N] [-queue N] [-engine=false]
-//	      [-fsync always|off] [-wal-segment BYTES]
+//	      [-fsync always|off] [-wal-segment BYTES] [-partitions P]
+//
+// -partitions P stripes every main-memory Hazy view declared without
+// an explicit PARTITIONS clause (the bootstrap view included) into P
+// hash partitions: reorganization, batched maintenance, and rescans
+// then run across the stripes in parallel, so reorganization cost
+// scales with the stripe size instead of the view size.
 //
 // The server opens its database in full-durability mode by default
 // (-fsync always): every acknowledged write is covered by a write-
@@ -76,6 +82,7 @@ func run() (err error) {
 		useEngine = flag.Bool("engine", true, "attach a concurrent maintenance engine to the default view (false: mutex-serialized statements)")
 		fsync     = flag.String("fsync", "always", "WAL commit policy: always (acknowledged writes survive power loss; engines group-commit one fsync per batch) or off (survive process crash only)")
 		walSeg    = flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes; each rotation triggers a catalog checkpoint")
+		parts     = flag.Int("partitions", 0, "stripe count for views declared without PARTITIONS (hash-partitioned parallel maintenance; 0/1 = unstriped)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -92,8 +99,9 @@ func run() (err error) {
 		defer os.RemoveAll(dir)
 	}
 	db, err := root.OpenWith(dir, root.OpenOptions{
-		Fsync:           *fsync,
-		WALSegmentBytes: *walSeg,
+		Fsync:             *fsync,
+		WALSegmentBytes:   *walSeg,
+		DefaultPartitions: *parts,
 	})
 	if err != nil {
 		return err

@@ -100,11 +100,12 @@ type Stats = core.Stats
 // classification views maintained over them, and the registry of
 // concurrent maintenance engines attached to those views.
 type DB struct {
-	dir      string
-	rel      *relation.DB
-	registry *feature.Registry
-	vfs      storage.VFS
-	fsync    wal.SyncMode
+	dir          string
+	rel          *relation.DB
+	registry     *feature.Registry
+	vfs          storage.VFS
+	fsync        wal.SyncMode
+	defaultParts int
 
 	// mu guards the catalog maps, the engine registry, and manifest
 	// writes. View maintenance itself is synchronized by the caller
@@ -137,6 +138,13 @@ type OpenOptions struct {
 	// (default the real filesystem). The crash-safety tests
 	// interpose internal/storage/faultfs here.
 	VFS storage.VFS
+	// DefaultPartitions stripes every MainMemory Hazy-strategy view
+	// declared WITHOUT an explicit PARTITIONS clause into this many
+	// hash partitions (parallel reorganization and rescans across a
+	// worker pool). 0 or 1 leaves such views unstriped. The resolved
+	// count is persisted with the view's declaration, so reopening
+	// without the option keeps existing views striped as declared.
+	DefaultPartitions int
 }
 
 // Open creates or reopens a database directory with default
@@ -186,11 +194,12 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 		}
 	}()
 	db := &DB{
-		dir:      dir,
-		rel:      rel,
-		registry: feature.NewRegistry(),
-		vfs:      vfs,
-		fsync:    mode,
+		dir:          dir,
+		rel:          rel,
+		registry:     feature.NewRegistry(),
+		vfs:          vfs,
+		fsync:        mode,
+		defaultParts: opts.DefaultPartitions,
 		views:    map[string]*ClassView{},
 		tables:   map[string]*EntityTable{},
 		examples: map[string]*ExampleTable{},
@@ -578,6 +587,14 @@ type ViewSpec struct {
 	BufferFrac float64
 	// PoolPages sizes the on-disk buffer pool (default 512).
 	PoolPages int
+	// Partitions hash-partitions the view into this many independently
+	// maintained stripes — per-stripe eps clustering, watermarks, and
+	// Skiing over one shared model — so reorganization, batch
+	// maintenance, and rescans run in parallel across a worker pool
+	// (the SQL clause PARTITIONS n). 0 falls back to the database's
+	// DefaultPartitions, then to unstriped. Values above 1 require the
+	// MainMemory architecture and the Hazy strategy.
+	Partitions int
 }
 
 // autoSelectMin is the minimum number of warm examples before the
@@ -666,6 +683,15 @@ func (db *DB) buildView(spec ViewSpec, et *EntityTable, xt *ExampleTable) (*Clas
 	if spec.PoolPages == 0 {
 		spec.PoolPages = 512
 	}
+	// Striping: an unset PARTITIONS picks up the database default, but
+	// only where striping applies; the resolved count persists with
+	// the declaration so reopens are stable.
+	if spec.Partitions == 0 && spec.Arch == core.MainMemory && spec.Strategy == core.HazyStrategy {
+		spec.Partitions = db.defaultParts
+	}
+	if spec.Partitions > 1 && (spec.Arch != core.MainMemory || spec.Strategy != core.HazyStrategy) {
+		return nil, fmt.Errorf("hazy: view %q: PARTITIONS %d requires ARCHITECTURE MM and STRATEGY HAZY", spec.Name, spec.Partitions)
+	}
 
 	// Corpus pass: compute statistics, then feature vectors.
 	var corpus []string
@@ -719,6 +745,7 @@ func (db *DB) buildView(spec ViewSpec, et *EntityTable, xt *ExampleTable) (*Clas
 		Mode:       spec.Mode,
 		Alpha:      spec.Alpha,
 		BufferFrac: spec.BufferFrac,
+		Partitions: spec.Partitions,
 		Norm:       math.Inf(1), // text: ℓ1-normalized features, p=∞
 		SGD:        learn.SGDConfig{Loss: learn.LossFor(method)},
 		Warm:       warm,
@@ -814,9 +841,15 @@ func (v *ClassView) Members() ([]int64, error) { return v.view.Members() }
 func (v *ClassView) CountMembers() (int, error) { return v.view.CountMembers() }
 
 // Classify scores free text against the view's current model without
-// storing anything (ad-hoc prediction).
-func (v *ClassView) Classify(text string) int {
-	return v.view.Model().Predict(v.ff.ComputeFeature(text))
+// storing anything (ad-hoc prediction). A view whose model has never
+// been trained returns an error — a zero model would label every text
+// +1.
+func (v *ClassView) Classify(text string) (int, error) {
+	m := v.view.Model()
+	if m == nil || !m.Trained() {
+		return 0, fmt.Errorf("hazy: view %q is untrained (no training examples yet)", v.name)
+	}
+	return m.Predict(v.ff.ComputeFeature(text)), nil
 }
 
 // Eps returns the entity's stored eps — its signed distance to the
@@ -1021,6 +1054,49 @@ func (b *viewBackend) ApplyTrainBatch(ops []engine.TrainOp) []error {
 					errs[i] = err
 				}
 			}
+		}
+	}
+	return errs
+}
+
+// insertBatcher is the view-side scatter of a batched ADD run: the
+// striped layout applies each stripe's share in parallel.
+type insertBatcher interface {
+	InsertBatch(entities []core.Entity) []error
+}
+
+// ApplyAddBatch group-applies a run of entity inserts: every row is
+// durably logged and featurized in arrival order, then the view
+// absorbs the whole run in one call — parallel across stripes when
+// the layout supports it. Error slots are positional; a failed view
+// insert deletes its (already logged) row back out, exactly like
+// ApplyAdd.
+func (b *viewBackend) ApplyAddBatch(ops []engine.AddOp) []error {
+	cv := b.cv
+	errs := make([]error, len(ops))
+	ents := make([]core.Entity, 0, len(ops))
+	idx := make([]int, 0, len(ops)) // ents position → ops position
+	for i, op := range ops {
+		if err := cv.ents.tbl.InsertDeferred(relation.Tuple{op.ID, op.Text}); err != nil {
+			errs[i] = err
+			continue
+		}
+		cv.ff.ComputeStatsInc(op.Text)
+		ents = append(ents, core.Entity{ID: op.ID, F: cv.ff.ComputeFeature(op.Text)})
+		idx = append(idx, i)
+	}
+	if len(ents) == 0 {
+		return errs
+	}
+	insert := func(k int) error { return cv.view.Insert(ents[k]) }
+	if ib, ok := cv.view.(insertBatcher); ok {
+		batchErrs := ib.InsertBatch(ents)
+		insert = func(k int) error { return batchErrs[k] }
+	}
+	for k := range ents {
+		if err := insert(k); err != nil {
+			_ = cv.ents.tbl.Delete(ents[k].ID) //nolint:errcheck — best effort under a failing view
+			errs[idx[k]] = err
 		}
 	}
 	return errs

@@ -146,11 +146,11 @@ func TestNewEntityTrigger(t *testing.T) {
 	// Reach the entity table through the view's database.
 	// (buildDB returns the tables directly in other tests; here we
 	// re-open via the facade.)
-	if got := v.Classify("sql query optimizer with index join"); got != 1 {
-		t.Fatalf("ad-hoc classify: %d", got)
+	if got, err := v.Classify("sql query optimizer with index join"); err != nil || got != 1 {
+		t.Fatalf("ad-hoc classify: %d, %v", got, err)
 	}
-	if got := v.Classify("kernel interrupt scheduler paging"); got != -1 {
-		t.Fatalf("ad-hoc classify: %d", got)
+	if got, err := v.Classify("kernel interrupt scheduler paging"); err != nil || got != -1 {
+		t.Fatalf("ad-hoc classify: %d, %v", got, err)
 	}
 }
 

@@ -5,7 +5,15 @@ import "fmt"
 // New constructs a view of the requested architecture and strategy.
 // dir is used only by the on-disk and hybrid architectures (their
 // page files live under it); poolPages sizes their buffer pool.
+// opts.Partitions > 1 selects the partition-striped main-memory
+// layout (Hazy strategy only).
 func New(arch Arch, strategy Strategy, dir string, poolPages int, entities []Entity, opts Options) (View, error) {
+	if opts.Partitions > 1 {
+		if arch != MainMemory || strategy != HazyStrategy {
+			return nil, fmt.Errorf("core: striping (PARTITIONS %d) requires the MainMemory architecture and the Hazy strategy", opts.Partitions)
+		}
+		return NewStriped(entities, opts.Partitions, opts)
+	}
 	switch arch {
 	case MainMemory:
 		return NewMemView(entities, strategy, opts), nil

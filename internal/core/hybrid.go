@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"math"
+	"sync/atomic"
 
 	"hazy/internal/learn"
 	"hazy/internal/storage"
@@ -27,7 +28,10 @@ type HybridView struct {
 	epsMap    map[int64]float64
 	buffer    map[int64]vector.Vector
 
-	hitEps, hitBuffer, hitDisk int64
+	// Hit counters are atomic: Label is a read and runs under a read
+	// lock with other readers (App. C.2), so its bookkeeping must not
+	// introduce a write-write race.
+	hitEps, hitBuffer, hitDisk atomic.Int64
 }
 
 // NewHybridView builds a hybrid view. The buffer holds at most
@@ -115,6 +119,43 @@ func (h *HybridView) Update(f vector.Vector, label int) error {
 	return nil
 }
 
+// Members lists the positive ids. In lazy mode the underlying All
+// Members read accrues Skiing waste and can trigger a reorganization
+// (§3.4); like Update, the hybrid must then rebuild its ε-map and
+// buffer against the new stored model, or Label would keep testing
+// stale eps values against the reset watermarks. Lazy Members
+// therefore mutates maintenance state and needs the writer's lock
+// (SafeView provides it), same as the other layouts.
+func (h *HybridView) Members() ([]int64, error) {
+	var out []int64
+	err := h.membersRebuilding(func(id int64) { out = append(out, id) })
+	return out, err
+}
+
+// CountMembers counts the positive ids (same reorg discipline as
+// Members).
+func (h *HybridView) CountMembers() (int, error) {
+	n := 0
+	err := h.membersRebuilding(func(int64) { n++ })
+	return n, err
+}
+
+// membersRebuilding drives the disk layer's All Members read and
+// rebuilds the in-memory summaries if the read reorganized.
+func (h *HybridView) membersRebuilding(fn func(id int64)) error {
+	before := 0
+	if h.sk != nil {
+		before = h.sk.Reorgs()
+	}
+	if err := h.DiskView.members(fn); err != nil {
+		return err
+	}
+	if h.sk != nil && h.sk.Reorgs() != before {
+		return h.rebuildMemory()
+	}
+	return nil
+}
+
 // Retrain rebuilds the model from scratch, reclusters disk, and
 // refreshes the in-memory summaries.
 func (h *HybridView) Retrain(examples []learn.Example) error {
@@ -144,25 +185,25 @@ func (h *HybridView) Insert(e Entity) error {
 func (h *HybridView) Label(id int64) (int, error) {
 	eps, ok := h.epsMap[id]
 	if !ok {
-		h.hitDisk++
+		h.hitDisk.Add(1)
 		return h.DiskView.Label(id)
 	}
 	if label, certain := h.wm.Test(eps); certain {
-		h.hitEps++
+		h.hitEps.Add(1)
 		return label, nil
 	}
 	if f, ok := h.buffer[id]; ok {
-		h.hitBuffer++
+		h.hitBuffer.Add(1)
 		return h.trainer.Model().Predict(f), nil
 	}
-	h.hitDisk++
+	h.hitDisk.Add(1)
 	return h.DiskView.Label(id)
 }
 
 // Hits reports how many Single Entity reads were served by the ε-map
 // filter, the buffer, and disk, respectively.
 func (h *HybridView) Hits() (epsMap, buffer, disk int64) {
-	return h.hitEps, h.hitBuffer, h.hitDisk
+	return h.hitEps.Load(), h.hitBuffer.Load(), h.hitDisk.Load()
 }
 
 // Stats extends the disk stats with the hybrid memory footprint

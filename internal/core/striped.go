@@ -1,0 +1,671 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hazy/internal/learn"
+	"hazy/internal/vector"
+)
+
+// StripedView is the partition-striped main-memory layout: the entity
+// set is hash-partitioned into P independent stripes, each with its
+// own eps-clustered entries slice, watermark pair, and Skiing
+// accumulator, while the model stays global (trained once, shared by
+// every stripe). Reorganization, band sweeps, inserts, full rescans,
+// and snapshot export all run across the stripes on a worker pool, so
+// the reorganization cost S — the quantity the Skiing strategy
+// amortizes against — scales with the stripe size n/P instead of the
+// view size n, and a multi-core host reorganizes P stripes
+// concurrently.
+//
+// Correctness rests on the watermark guarantee holding per stripe:
+// each stripe's Watermark carries its own stored model (the model of
+// that stripe's last reorganization) and its own corpus constant M
+// over just that stripe's entities, so Lemma 3.1 applies to the
+// stripe exactly as it applies to an unstriped view. Labels are
+// therefore identical to a single-stripe view fed the same updates;
+// only eps values (taken against per-stripe stored models) may differ
+// once stripes reorganize at different times.
+//
+// Unlike an unstriped MemView, a batch observes only the batch-final
+// model into each stripe's watermarks. That is sound because
+// intermediate models inside a batch never stamp labels and never
+// serve reads — the extrema of Eq. (2) only need to cover every model
+// that did either — and it keeps the per-stripe observation cost at
+// one drift norm per batch instead of one per example.
+//
+// Like MemView, a StripedView requires external serialization between
+// writers and readers (SafeView, the serving engine, or
+// single-threaded use); its internal worker pool never outlives the
+// call that spawned it.
+type StripedView struct {
+	opts    Options
+	trainer *learn.SGD // global model, shared by all stripes
+	stripes []*stripe
+	workers int
+	stats   Stats
+}
+
+// stripe is one hash partition's maintenance state: a private
+// eps-clustered entries slice with its own watermarks and Skiing
+// accumulator. All mutation happens either on the caller's goroutine
+// or on a worker-pool goroutine that owns the stripe for the duration
+// of one parallel section; stripes never share mutable state.
+type stripe struct {
+	entries      []*memEntry
+	byID         map[int64]*memEntry
+	wm           *Watermark
+	sk           *Skiing
+	reclassified int64
+}
+
+// stripeOf maps an entity id to its stripe (Fibonacci hashing keeps
+// sequential id ranges spread evenly).
+func stripeOf(id int64, n int) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(n))
+}
+
+// NewStriped builds a partition-striped main-memory view with the
+// Hazy strategy. partitions must be ≥ 1; each stripe is clustered by
+// its own initial reorganization, in parallel.
+func NewStriped(entities []Entity, partitions int, opts Options) (*StripedView, error) {
+	if partitions < 1 {
+		return nil, fmt.Errorf("core: partitions must be >= 1, got %d", partitions)
+	}
+	opts = opts.withDefaults()
+	v := &StripedView{
+		opts:    opts,
+		trainer: learn.NewSGD(opts.SGD),
+		stripes: make([]*stripe, partitions),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for _, ex := range opts.Warm {
+		v.trainer.Train(ex.F, ex.Label)
+	}
+	for i := range v.stripes {
+		v.stripes[i] = &stripe{
+			byID: map[int64]*memEntry{},
+			wm:   NewWatermark(opts.Norm),
+			sk:   NewSkiing(opts.Alpha),
+		}
+	}
+	for _, e := range entities {
+		st := v.stripes[stripeOf(e.ID, partitions)]
+		if _, dup := st.byID[e.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate entity %d", e.ID)
+		}
+		ent := &memEntry{id: e.ID, f: e.F}
+		st.entries = append(st.entries, ent)
+		st.byID[e.ID] = ent
+	}
+	cur := v.trainer.Model()
+	v.forStripes(func(_ int, st *stripe) {
+		q := st.wm.Q()
+		var m float64
+		for _, ent := range st.entries {
+			if n := ent.f.Norm(q); n > m {
+				m = n
+			}
+		}
+		st.wm.M = m
+		st.reorganize(cur)
+	})
+	return v, nil
+}
+
+// Stripes returns the partition count.
+func (v *StripedView) Stripes() int { return len(v.stripes) }
+
+// Model returns the shared model.
+func (v *StripedView) Model() *learn.Model { return v.trainer.Model() }
+
+// forStripes runs fn once per stripe across the worker pool and waits
+// for all of them — the single gather barrier every parallel section
+// ends with. fn receives the stripe's index so call sites can write
+// into per-stripe output slots directly.
+func (v *StripedView) forStripes(fn func(i int, st *stripe)) {
+	n := len(v.stripes)
+	workers := v.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, st := range v.stripes {
+			fn(i, st)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := range v.stripes {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i, v.stripes[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// reorganize re-clusters one stripe on eps under cur, resets its
+// watermarks, and records the measured per-stripe cost S.
+func (st *stripe) reorganize(cur *learn.Model) {
+	start := time.Now()
+	st.wm.Reset(cur, st.wm.M)
+	for _, ent := range st.entries {
+		ent.eps = st.wm.Eps(ent.f)
+		ent.label = int8(learn.Sign(ent.eps))
+	}
+	sort.Slice(st.entries, func(a, b int) bool {
+		ea, eb := st.entries[a], st.entries[b]
+		if ea.eps != eb.eps {
+			return ea.eps < eb.eps
+		}
+		return ea.id < eb.id
+	})
+	st.sk.DidReorganize(time.Since(start))
+}
+
+// band returns the half-open index interval [lo, hi) of stripe
+// entries with eps ∈ [lw, hw].
+func (st *stripe) band(lw, hw float64) (lo, hi int) {
+	lo = sort.Search(len(st.entries), func(i int) bool { return st.entries[i].eps >= lw })
+	hi = sort.Search(len(st.entries), func(i int) bool { return st.entries[i].eps > hw })
+	return lo, hi
+}
+
+// maintain folds the batch-final model into one stripe's watermarks
+// and runs its reorganize-or-sweep decision (the eager per-batch
+// maintenance step).
+func (st *stripe) maintain(cur *learn.Model, reorg ReorgPolicy, lazy bool) {
+	lw, hw := st.wm.Observe(cur)
+	if reorg == ReorgAlways {
+		st.reorganize(cur)
+		return
+	}
+	if lazy {
+		return
+	}
+	if reorg == ReorgSkiing && st.sk.ShouldReorganize() {
+		st.reorganize(cur)
+		return
+	}
+	start := time.Now()
+	lo, hi := st.band(lw, hw)
+	for i := lo; i < hi; i++ {
+		ent := st.entries[i]
+		ent.label = int8(cur.Predict(ent.f))
+	}
+	st.reclassified += int64(hi - lo)
+	st.sk.AddCost(time.Since(start))
+}
+
+// Update folds in one training example — a batch of one.
+func (v *StripedView) Update(f vector.Vector, label int) error {
+	return v.UpdateBatch([]learn.Example{{F: f, Label: label}})
+}
+
+// UpdateBatch group-applies a run of training examples: the SGD steps
+// run sequentially on the shared model (SGD is inherently ordered),
+// then every stripe observes the batch-final model and makes its
+// reorganize-or-sweep decision in parallel. One publish-shaped gather
+// barrier per batch, however many stripes ran.
+func (v *StripedView) UpdateBatch(examples []learn.Example) error {
+	if len(examples) == 0 {
+		return nil
+	}
+	for _, ex := range examples {
+		v.trainer.Train(ex.F, ex.Label)
+		v.stats.Updates++
+	}
+	cur := v.trainer.Model()
+	lazy := v.opts.Mode == Lazy
+	v.forStripes(func(_ int, st *stripe) {
+		st.maintain(cur, v.opts.Reorg, lazy)
+	})
+	return nil
+}
+
+// insertOne classifies and places one entity into its stripe's
+// clustered position (the caller has already routed e to st).
+func (st *stripe) insertOne(e Entity, cur *learn.Model) error {
+	if _, dup := st.byID[e.ID]; dup {
+		return fmt.Errorf("core: duplicate entity %d", e.ID)
+	}
+	st.wm.ObserveEntity(e.F)
+	st.wm.Observe(cur)
+	ent := &memEntry{id: e.ID, f: e.F, eps: st.wm.Eps(e.F), label: int8(cur.Predict(e.F))}
+	pos := sort.Search(len(st.entries), func(i int) bool {
+		o := st.entries[i]
+		if o.eps != ent.eps {
+			return o.eps > ent.eps
+		}
+		return o.id > ent.id
+	})
+	st.entries = append(st.entries, nil)
+	copy(st.entries[pos+1:], st.entries[pos:])
+	st.entries[pos] = ent
+	st.byID[e.ID] = ent
+	return nil
+}
+
+// Insert adds a new entity, classified under the current model, to
+// its hash stripe.
+func (v *StripedView) Insert(e Entity) error {
+	return v.stripes[stripeOf(e.ID, len(v.stripes))].insertOne(e, v.trainer.Model())
+}
+
+// InsertBatch scatters a run of entity inserts to their stripes and
+// applies each stripe's share in parallel, preserving arrival order
+// within a stripe. The returned slice has one error slot per entity,
+// positionally; a failed insert (duplicate id) rejects only that
+// entity.
+func (v *StripedView) InsertBatch(entities []Entity) []error {
+	errs := make([]error, len(entities))
+	byStripe := make([][]int, len(v.stripes))
+	for i, e := range entities {
+		s := stripeOf(e.ID, len(v.stripes))
+		byStripe[s] = append(byStripe[s], i)
+	}
+	cur := v.trainer.Model()
+	v.forStripes(func(s int, st *stripe) {
+		for _, i := range byStripe[s] {
+			errs[i] = st.insertOne(entities[i], cur)
+		}
+	})
+	return errs
+}
+
+// Label answers a Single Entity read.
+func (v *StripedView) Label(id int64) (int, error) {
+	st := v.stripes[stripeOf(id, len(v.stripes))]
+	ent, ok := st.byID[id]
+	if !ok {
+		return 0, fmt.Errorf("core: no entity %d", id)
+	}
+	if v.opts.Mode == Eager {
+		return int(ent.label), nil
+	}
+	if label, certain := st.wm.Test(ent.eps); certain {
+		return label, nil
+	}
+	return v.trainer.Model().Predict(ent.f), nil
+}
+
+// members drives an All Members read: scatter to the stripes in
+// parallel (each collecting into its own slice — no shared state),
+// gather in stripe order. Lazy mode accrues each stripe's waste into
+// that stripe's Skiing accumulator and may reorganize the stripe,
+// which is why lazy Members needs the writer's lock, exactly like
+// MemView (SafeView provides it).
+func (v *StripedView) members(fn func(id int64)) error {
+	cur := v.trainer.Model()
+	lazy := v.opts.Mode == Lazy
+	out := make([][]int64, len(v.stripes))
+	v.forStripes(func(i int, st *stripe) {
+		ids := &out[i]
+		lw, hw := st.wm.Band()
+		lo, hi := st.band(lw, hw)
+		if !lazy {
+			// Eager: labels are current; all positives live at eps ≥ lw.
+			for i := lo; i < hi; i++ {
+				if st.entries[i].label > 0 {
+					*ids = append(*ids, st.entries[i].id)
+				}
+			}
+			for i := hi; i < len(st.entries); i++ {
+				*ids = append(*ids, st.entries[i].id)
+			}
+			return
+		}
+		// Lazy (§3.4): everything above high water is a member; the
+		// band is classified against the current model; waste accrues
+		// toward this stripe's reorganization.
+		start := time.Now()
+		nPos := len(st.entries) - hi
+		for i := hi; i < len(st.entries); i++ {
+			*ids = append(*ids, st.entries[i].id)
+		}
+		for i := lo; i < hi; i++ {
+			if cur.Predict(st.entries[i].f) > 0 {
+				*ids = append(*ids, st.entries[i].id)
+				nPos++
+			}
+		}
+		st.reclassified += int64(hi - lo)
+		nRead := len(st.entries) - lo
+		elapsed := time.Since(start)
+		if nRead > 0 {
+			waste := time.Duration(float64(elapsed) * float64(nRead-nPos) / float64(nRead))
+			st.sk.AddWaste(waste)
+		}
+		if v.opts.Reorg == ReorgSkiing && st.sk.ShouldReorganize() {
+			st.reorganize(cur)
+		}
+	})
+	for _, ids := range out {
+		for _, id := range ids {
+			fn(id)
+		}
+	}
+	return nil
+}
+
+// Members returns the ids labeled +1, in unspecified order.
+func (v *StripedView) Members() ([]int64, error) {
+	var out []int64
+	err := v.members(func(id int64) { out = append(out, id) })
+	return out, err
+}
+
+// CountMembers returns |{id : label(id) = +1}|.
+func (v *StripedView) CountMembers() (int, error) {
+	n := 0
+	err := v.members(func(int64) { n++ })
+	return n, err
+}
+
+// Retrain rebuilds the shared model from scratch on examples and
+// reorganizes every stripe against it, in parallel.
+func (v *StripedView) Retrain(examples []learn.Example) error {
+	v.trainer = learn.NewSGD(v.opts.SGD)
+	for _, ex := range examples {
+		v.trainer.Train(ex.F, ex.Label)
+	}
+	cur := v.trainer.Model()
+	v.forStripes(func(_ int, st *stripe) { st.reorganize(cur) })
+	return nil
+}
+
+// MostUncertain returns up to k entity ids nearest the decision
+// boundary: each stripe walks outward from its own eps = 0 (per-
+// stripe stored models make eps stripe-local), then the per-stripe
+// candidates merge by |eps|, negative side first on ties — the same
+// order the unstriped walk produces.
+func (v *StripedView) MostUncertain(k int) ([]int64, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	cand := make([][]SnapEntry, len(v.stripes))
+	v.forStripes(func(i int, st *stripe) {
+		out := &cand[i]
+		n := len(st.entries)
+		hi := sort.Search(n, func(i int) bool { return st.entries[i].eps >= 0 })
+		lo := hi - 1
+		for len(*out) < k && (lo >= 0 || hi < n) {
+			var pick *memEntry
+			switch {
+			case lo < 0:
+				pick, hi = st.entries[hi], hi+1
+			case hi >= n:
+				pick, lo = st.entries[lo], lo-1
+			case -st.entries[lo].eps <= st.entries[hi].eps:
+				pick, lo = st.entries[lo], lo-1
+			default:
+				pick, hi = st.entries[hi], hi+1
+			}
+			*out = append(*out, SnapEntry{ID: pick.id, Eps: pick.eps})
+		}
+	})
+	var all []SnapEntry
+	for _, c := range cand {
+		all = append(all, c...)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		ea, eb := all[a], all[b]
+		aa, ab := ea.Eps, eb.Eps
+		if aa < 0 {
+			aa = -aa
+		}
+		if ab < 0 {
+			ab = -ab
+		}
+		if aa != ab {
+			return aa < ab
+		}
+		if ea.Eps != eb.Eps {
+			return ea.Eps < eb.Eps // negative side first, like walkUncertain
+		}
+		return ea.ID < eb.ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]int64, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out, nil
+}
+
+// Stats aggregates maintenance counters across the stripes. LowWater
+// and HighWater report the widest band over any stripe (the
+// conservative envelope).
+func (v *StripedView) Stats() Stats {
+	s := v.stats
+	for i, st := range v.stripes {
+		s.Reorgs += st.sk.Reorgs()
+		s.IncSteps += st.sk.IncSteps()
+		s.Reclassified += st.reclassified
+		lw, hw := st.wm.Band()
+		lo, hi := st.band(lw, hw)
+		s.BandTuples += hi - lo
+		if i == 0 || lw < s.LowWater {
+			s.LowWater = lw
+		}
+		if i == 0 || hw > s.HighWater {
+			s.HighWater = hw
+		}
+	}
+	return s
+}
+
+// Snapshot exports the composed immutable snapshot: every stripe
+// resolves its slice in parallel (exact labels, eps-ascending — the
+// stripe is already clustered), then the P sorted slices k-way merge
+// into one globally (eps, id)-ordered entry list. One barrier, one
+// publishable object.
+func (v *StripedView) Snapshot() (*Snapshot, error) {
+	cur := v.trainer.Model()
+	lazy := v.opts.Mode == Lazy
+	parts := make([][]SnapEntry, len(v.stripes))
+	v.forStripes(func(p int, st *stripe) {
+		out := make([]SnapEntry, len(st.entries))
+		for i, ent := range st.entries {
+			label := ent.label
+			if lazy {
+				if l, certain := st.wm.Test(ent.eps); certain {
+					label = int8(l)
+				} else {
+					label = int8(cur.Predict(ent.f))
+				}
+			}
+			out[i] = SnapEntry{ID: ent.id, Eps: ent.eps, Label: label}
+		}
+		parts[p] = out
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	s := &Snapshot{
+		model:     cur.Clone(),
+		entries:   mergeSnapEntries(parts, total),
+		byID:      make(map[int64]int, total),
+		clustered: true,
+		stats:     v.Stats(),
+	}
+	for i := range s.entries {
+		s.byID[s.entries[i].ID] = i
+		if s.entries[i].Label > 0 {
+			s.members++
+		}
+	}
+	return s, nil
+}
+
+// mergeSnapEntries k-way merges eps-ascending slices into one
+// (eps, id)-ordered slice.
+func mergeSnapEntries(parts [][]SnapEntry, total int) []SnapEntry {
+	out := make([]SnapEntry, 0, total)
+	idx := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for p := range parts {
+			if idx[p] >= len(parts[p]) {
+				continue
+			}
+			if best < 0 || snapLess(parts[p][idx[p]], parts[best][idx[best]]) {
+				best = p
+			}
+		}
+		out = append(out, parts[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+func snapLess(a, b SnapEntry) bool {
+	if a.Eps != b.Eps {
+		return a.Eps < b.Eps
+	}
+	return a.ID < b.ID
+}
+
+// Eps index ----------------------------------------------------------
+
+// Clustered reports that every stripe keeps the eps clustering.
+func (v *StripedView) Clustered() bool { return true }
+
+// EpsOf returns the entity's eps under its stripe's stored model.
+func (v *StripedView) EpsOf(id int64) (float64, error) {
+	st := v.stripes[stripeOf(id, len(v.stripes))]
+	ent, ok := st.byID[id]
+	if !ok {
+		return 0, fmt.Errorf("core: no entity %d", id)
+	}
+	return ent.eps, nil
+}
+
+// stripeCursor walks one stripe's band, resolving labels the way
+// Label does, without mutating maintenance state.
+type stripeCursor struct {
+	st     *stripe
+	cur    *learn.Model
+	lazy   bool
+	i, end int
+}
+
+func (c *stripeCursor) Next() (SnapEntry, bool, error) {
+	if c.i >= c.end {
+		return SnapEntry{}, false, nil
+	}
+	ent := c.st.entries[c.i]
+	c.i++
+	label := int(ent.label)
+	if c.lazy {
+		if l, certain := c.st.wm.Test(ent.eps); certain {
+			label = l
+		} else {
+			label = c.cur.Predict(ent.f)
+		}
+	}
+	return SnapEntry{ID: ent.id, Eps: ent.eps, Label: int8(label)}, true, nil
+}
+
+func (c *stripeCursor) Close() {}
+
+// ScanEpsStripe streams one stripe's rows with eps ∈ [lo, hi], eps-
+// ascending — the scatter half of a scatter-gather read; the exec
+// layer's merge-scan operator (or ScanEps below) is the gather half.
+func (v *StripedView) ScanEpsStripe(i int, lo, hi float64) (RowCursor, error) {
+	if i < 0 || i >= len(v.stripes) {
+		return nil, fmt.Errorf("core: no stripe %d", i)
+	}
+	st := v.stripes[i]
+	a, b := st.band(lo, hi)
+	return &stripeCursor{st: st, cur: v.trainer.Model(), lazy: v.opts.Mode == Lazy, i: a, end: b}, nil
+}
+
+// mergeRowCursor gathers P eps-ascending cursors into one (eps, id)-
+// ordered stream.
+type mergeRowCursor struct {
+	curs  []RowCursor
+	heads []SnapEntry
+	live  []bool
+}
+
+func newMergeRowCursor(curs []RowCursor) (*mergeRowCursor, error) {
+	m := &mergeRowCursor{curs: curs, heads: make([]SnapEntry, len(curs)), live: make([]bool, len(curs))}
+	for i, c := range curs {
+		e, ok, err := c.Next()
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.heads[i], m.live[i] = e, ok
+	}
+	return m, nil
+}
+
+func (m *mergeRowCursor) Next() (SnapEntry, bool, error) {
+	best := -1
+	for i := range m.curs {
+		if !m.live[i] {
+			continue
+		}
+		if best < 0 || snapLess(m.heads[i], m.heads[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return SnapEntry{}, false, nil
+	}
+	out := m.heads[best]
+	e, ok, err := m.curs[best].Next()
+	if err != nil {
+		return SnapEntry{}, false, err
+	}
+	m.heads[best], m.live[best] = e, ok
+	return out, true, nil
+}
+
+func (m *mergeRowCursor) Close() {
+	for _, c := range m.curs {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// ScanEps streams the rows with eps ∈ [lo, hi] across all stripes,
+// merged in (eps, id) order.
+func (v *StripedView) ScanEps(lo, hi float64) (RowCursor, error) {
+	curs := make([]RowCursor, len(v.stripes))
+	for i := range v.stripes {
+		c, err := v.ScanEpsStripe(i, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		curs[i] = c
+	}
+	return newMergeRowCursor(curs)
+}
+
+var (
+	_ View         = (*StripedView)(nil)
+	_ BatchUpdater = (*StripedView)(nil)
+	_ Snapshotter  = (*StripedView)(nil)
+	_ EpsIndexed   = (*StripedView)(nil)
+)

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hazy/internal/learn"
+	"hazy/internal/vector"
+)
+
+// drainScan collects every row of an eps-range scan.
+func drainScan(t *testing.T, v EpsIndexed, lo, hi float64) []SnapEntry {
+	t.Helper()
+	c, err := v.ScanEps(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out []SnapEntry
+	for {
+		e, ok, cerr := c.Next()
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, e)
+	}
+}
+
+// TestStripedEquivalence is the striping invariant: a StripedView fed
+// a randomized workload of update batches and inserts reports exactly
+// the labels and member sets of an unstriped MemView fed the same
+// workload — the model is shared and exact, so stripe boundaries must
+// never show through the logical contents. Checked in both modes and
+// under every reorg policy (Skiing reorganizes stripes at
+// timing-dependent moments, which may change per-stripe eps values
+// but never labels).
+func TestStripedEquivalence(t *testing.T) {
+	for _, mode := range []Mode{Eager, Lazy} {
+		for _, reorg := range []ReorgPolicy{ReorgSkiing, ReorgNever, ReorgAlways} {
+			t.Run(fmt.Sprintf("%s/%s", mode, reorg), func(t *testing.T) {
+				r := rand.New(rand.NewSource(7))
+				entities := testEntities(r, 400)
+				opts := Options{Mode: mode, Reorg: reorg, Norm: math.Inf(1),
+					SGD: learn.SGDConfig{Eta0: 0.3}, Warm: trainingStream(r, 20)}
+				single := NewMemView(entities, HazyStrategy, opts)
+				striped, err := NewStriped(entities, 4, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nextID := int64(len(entities))
+				check := func(step int) {
+					t.Helper()
+					sm, _ := single.Members()
+					tm, _ := striped.Members()
+					if got, want := sortedIDs(tm), sortedIDs(sm); !equalIDs(got, want) {
+						t.Fatalf("step %d: members diverge: striped %d ids, single %d ids", step, len(got), len(want))
+					}
+					sc, _ := single.CountMembers()
+					tc, _ := striped.CountMembers()
+					if sc != tc {
+						t.Fatalf("step %d: counts diverge: striped %d, single %d", step, tc, sc)
+					}
+					for id := int64(0); id < nextID; id += 7 {
+						sl, serr := single.Label(id)
+						tl, terr := striped.Label(id)
+						if (serr == nil) != (terr == nil) || sl != tl {
+							t.Fatalf("step %d: Label(%d) diverges: striped (%d,%v) single (%d,%v)", step, id, tl, terr, sl, serr)
+						}
+					}
+				}
+				for step := 0; step < 30; step++ {
+					switch r.Intn(3) {
+					case 0: // one update
+						ex := trainingStream(r, 1)
+						if err := ApplyBatch(single, ex); err != nil {
+							t.Fatal(err)
+						}
+						if err := ApplyBatch(striped, ex); err != nil {
+							t.Fatal(err)
+						}
+					case 1: // a batch
+						exs := trainingStream(r, 1+r.Intn(16))
+						if err := ApplyBatch(single, exs); err != nil {
+							t.Fatal(err)
+						}
+						if err := ApplyBatch(striped, exs); err != nil {
+							t.Fatal(err)
+						}
+					default: // inserts
+						for n := 1 + r.Intn(4); n > 0; n-- {
+							e := Entity{ID: nextID, F: vector.NewDense([]float64{r.Float64() * 2, r.Float64() * 2})}
+							nextID++
+							if err := single.Insert(e); err != nil {
+								t.Fatal(err)
+							}
+							if err := striped.Insert(e); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+					check(step)
+				}
+
+				// Snapshots agree on the logical contents too.
+				ss, err := single.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ts, err := striped.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ss.CountMembers() != ts.CountMembers() || ss.Len() != ts.Len() {
+					t.Fatalf("snapshots diverge: striped (%d, %d) single (%d, %d)",
+						ts.Len(), ts.CountMembers(), ss.Len(), ss.CountMembers())
+				}
+				for id := int64(0); id < nextID; id++ {
+					sl, _ := ss.Label(id)
+					tl, _ := ts.Label(id)
+					if sl != tl {
+						t.Fatalf("snapshot Label(%d) diverges: striped %d single %d", id, tl, sl)
+					}
+				}
+			})
+		}
+	}
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStripedEpsOrderMatchesUnstriped pins the physical agreement:
+// under ReorgAlways every stripe's stored model equals the unstriped
+// view's, so eps values, the merged eps ordering (the ScanEps and
+// snapshot streams), EpsOf, and the UNCERTAIN walk must all be
+// identical to the single-stripe layout.
+func TestStripedEpsOrderMatchesUnstriped(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	entities := testEntities(r, 300)
+	opts := Options{Mode: Eager, Reorg: ReorgAlways, Norm: math.Inf(1),
+		SGD: learn.SGDConfig{Eta0: 0.3}, Warm: trainingStream(r, 15)}
+	single := NewMemView(entities, HazyStrategy, opts)
+	striped, err := NewStriped(entities, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range trainingStream(r, 40) {
+		if err := single.Update(ex.F, ex.Label); err != nil {
+			t.Fatal(err)
+		}
+		if err := striped.Update(ex.F, ex.Label); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := drainScan(t, single, math.Inf(-1), math.Inf(1))
+	got := drainScan(t, striped, math.Inf(-1), math.Inf(1))
+	if len(got) != len(want) {
+		t.Fatalf("ScanEps lengths: striped %d single %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanEps[%d]: striped %+v single %+v", i, got[i], want[i])
+		}
+	}
+
+	// A narrower band through the per-stripe scatter agrees too.
+	lo, hi := want[len(want)/4].Eps, want[3*len(want)/4].Eps
+	wb := drainScan(t, single, lo, hi)
+	gb := drainScan(t, striped, lo, hi)
+	if len(gb) != len(wb) {
+		t.Fatalf("band lengths: striped %d single %d", len(gb), len(wb))
+	}
+	for i := range wb {
+		if gb[i] != wb[i] {
+			t.Fatalf("band[%d]: striped %+v single %+v", i, gb[i], wb[i])
+		}
+	}
+
+	for id := int64(0); id < int64(len(entities)); id += 13 {
+		se, _ := single.EpsOf(id)
+		te, terr := striped.EpsOf(id)
+		if terr != nil || se != te {
+			t.Fatalf("EpsOf(%d): striped (%g,%v) single %g", id, te, terr, se)
+		}
+	}
+
+	su, err := single.MostUncertain(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := striped.MostUncertain(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(su, tu) {
+		t.Fatalf("MostUncertain diverges:\nstriped %v\nsingle  %v", tu, su)
+	}
+
+	// Snapshot entry order is the merged clustered order.
+	ss, _ := single.Snapshot()
+	ts, _ := striped.Snapshot()
+	for i, e := range ss.Entries() {
+		if ts.Entries()[i] != e {
+			t.Fatalf("snapshot entries[%d]: striped %+v single %+v", i, ts.Entries()[i], e)
+		}
+	}
+}
+
+// TestStripedInsertBatch exercises the scatter-gather insert path:
+// positional errors for duplicates, everything else applied and
+// readable.
+func TestStripedInsertBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	entities := testEntities(r, 64)
+	v, err := NewStriped(entities, 4, Options{Norm: math.Inf(1), SGD: learn.SGDConfig{Eta0: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Entity{
+		{ID: 100, F: vector.NewDense([]float64{1, 0})},
+		{ID: 5, F: vector.NewDense([]float64{0, 1})}, // duplicate of a seed entity
+		{ID: 101, F: vector.NewDense([]float64{0.5, 0.5})},
+		{ID: 100, F: vector.NewDense([]float64{0, 0})}, // duplicate within the batch
+	}
+	errs := v.InsertBatch(batch)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("fresh inserts failed: %v %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || errs[3] == nil {
+		t.Fatalf("duplicates not rejected: %v %v", errs[1], errs[3])
+	}
+	for _, id := range []int64{100, 101} {
+		if _, err := v.Label(id); err != nil {
+			t.Fatalf("Label(%d) after InsertBatch: %v", id, err)
+		}
+	}
+	if n, _ := v.CountMembers(); n < 0 || n > 64+2 {
+		t.Fatalf("CountMembers = %d out of range", n)
+	}
+}
+
+// TestStripedStats sanity-checks the aggregated counters.
+func TestStripedStats(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	v, err := NewStriped(testEntities(r, 128), 4, Options{
+		Norm: math.Inf(1), Reorg: ReorgAlways, SGD: learn.SGDConfig{Eta0: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range trainingStream(r, 10) {
+		if err := v.Update(ex.F, ex.Label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := v.Stats()
+	if s.Updates != 10 {
+		t.Fatalf("Updates = %d, want 10", s.Updates)
+	}
+	// Initial clustering + 10 ReorgAlways rounds, per stripe.
+	if want := 4 * 11; s.Reorgs != want {
+		t.Fatalf("Reorgs = %d, want %d", s.Reorgs, want)
+	}
+}
+
+// TestStripedLazyRespectsReorgNever pins the policy guard on the lazy
+// read path: waste accrues on Members reads, but only the Skiing
+// policy may spend it — ReorgNever stripes cluster once at build time
+// and never again, exactly like the unstriped layouts.
+func TestStripedLazyRespectsReorgNever(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	v, err := NewStriped(testEntities(r, 100), 4, Options{
+		Mode: Lazy, Reorg: ReorgNever, Alpha: 1e-9,
+		Norm: math.Inf(1), SGD: learn.SGDConfig{Eta0: 0.5}, Warm: trainingStream(r, 10),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := v.Stats().Reorgs // one clustering per stripe at build
+	for i := 0; i < 50; i++ {
+		ex := trainingStream(r, 1)[0]
+		if err := v.Update(ex.F, ex.Label); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.CountMembers(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.Stats().Reorgs; got != initial {
+		t.Fatalf("ReorgNever striped view reorganized: %d -> %d", initial, got)
+	}
+}

@@ -183,6 +183,13 @@ type Options struct {
 	// BufferFrac is the hybrid's buffer size as a fraction of the
 	// entity count (paper default: 1%).
 	BufferFrac float64
+	// Partitions hash-partitions the view into this many independently
+	// maintained stripes (per-stripe clustering, watermarks, and
+	// Skiing, one shared model) so reorganization and rescans run in
+	// parallel across a worker pool. 0 or 1 means unstriped; values
+	// above 1 require the MainMemory architecture and the Hazy
+	// strategy.
+	Partitions int
 }
 
 func (o Options) withDefaults() Options {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"hazy/internal/learn"
 	"hazy/internal/vector"
 )
@@ -68,12 +70,41 @@ func (w *Watermark) Observe(cur *learn.Model) (lw, hw float64) {
 
 // ObserveEntity widens M if a newly inserted entity's feature norm
 // exceeds the corpus constant (Lemma 3.1 requires M to cover every
-// entity). Widening M keeps past guarantees valid — they were
-// derived with a smaller bound.
+// entity). The accumulated extrema were computed under the smaller
+// bound, so they must widen too: for every past round l we know
+//
+//	hw ≥ M·d_l + b_l   and   lw ≤ −M·d_l + b_l
+//
+// (d_l the drift norm, b_l the bias delta), which bounds the new
+// round's requirement M'·d_l + b_l = r·(M·d_l + b_l) + (1−r)·b_l with
+// r = M'/M, and −b_l ≤ −lw, b_l ≤ hw from the same inequalities. So
+//
+//	hw' = r·hw − (r−1)·lw    lw' = r·lw − (r−1)·hw
+//
+// conservatively cover every model observed so far under the widened
+// bound. Without this rescale a high-norm insert could pass Test as
+// "certain" against a band that never accounted for its drift. A band
+// accumulated with M = 0 carries no drift information to rescale
+// (b-only extrema); it widens to full uncertainty until the next
+// reorganization collapses it.
 func (w *Watermark) ObserveEntity(f vector.Vector) {
-	if n := f.Norm(w.Q()); n > w.M {
-		w.M = n
+	n := f.Norm(w.Q())
+	if n <= w.M {
+		return
 	}
+	old := w.M
+	w.M = n
+	if w.lw == 0 && w.hw == 0 {
+		return // degenerate band: nothing accumulated to rescale
+	}
+	if old == 0 {
+		w.lw, w.hw = math.Inf(-1), math.Inf(1)
+		return
+	}
+	r := n / old
+	lw, hw := w.lw, w.hw
+	w.hw = r*hw - (r-1)*lw
+	w.lw = r*lw - (r-1)*hw
 }
 
 // Band returns the current [lw, hw].

@@ -36,6 +36,22 @@ type Backend interface {
 	Feature(text string) vector.Vector
 }
 
+// AddOp is one queued entity insert — the engine-side form of an
+// INSERT into the entities table.
+type AddOp struct {
+	ID   int64
+	Text string
+}
+
+// AddBatcher is implemented by backends that can group-apply a run of
+// entity inserts — a partition-striped view scatters the batch to its
+// stripes and applies each stripe's share in parallel. Like
+// ApplyTrainBatch it returns one error slot per op, positionally.
+// Backends without it get one ApplyAdd call per op.
+type AddBatcher interface {
+	ApplyAddBatch(ops []AddOp) []error
+}
+
 // Committer is implemented by backends whose durable writes ride a
 // write-ahead log with deferred commits: the engine calls Commit once
 // after applying each batch — before acknowledging any waiter — so a

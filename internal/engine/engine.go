@@ -347,50 +347,71 @@ func (e *Engine) fill(first op) []op {
 	return batch
 }
 
-// apply group-applies one drained batch. Consecutive TRAIN ops are
-// folded into single ApplyTrainBatch calls (one maintenance sweep per
-// run); ADDs apply in arrival order between them, preserving the
-// client-observed op order. The snapshot is published before any
-// waiter is signalled, so a synchronous writer's next read sees its
-// write.
+// apply group-applies one drained batch. Consecutive same-kind ops
+// fold into single group calls — TRAIN runs into ApplyTrainBatch (one
+// maintenance sweep per run), ADD runs into ApplyAddBatch when the
+// backend supports it (a striped view scatters the run across its
+// stripes in parallel) — while runs apply in arrival order, preserving
+// the client-observed op order. The snapshot is published once per
+// batch, before any waiter is signalled, so a synchronous writer's
+// next read sees its write: however many stripes worked in parallel,
+// readers observe exactly one publish barrier per batch.
 func (e *Engine) apply(batch []op) {
 	errs := make([]error, len(batch))
 	mutated := false
 
 	var runStart int
-	flushTrains := func(end int) {
-		if runStart == end {
+	runKind := opBarrier
+	flushRun := func(end int) {
+		if runStart == end || runKind == opBarrier {
+			runStart = end
 			return
 		}
-		ops := make([]TrainOp, 0, end-runStart)
-		for _, o := range batch[runStart:end] {
-			ops = append(ops, TrainOp{ID: o.id, Label: o.label})
-		}
-		for i, err := range e.be.ApplyTrainBatch(ops) {
-			errs[runStart+i] = err
-			if err == nil {
-				mutated = true
+		run := batch[runStart:end]
+		switch runKind {
+		case opTrain:
+			ops := make([]TrainOp, 0, len(run))
+			for _, o := range run {
+				ops = append(ops, TrainOp{ID: o.id, Label: o.label})
 			}
+			for i, err := range e.be.ApplyTrainBatch(ops) {
+				errs[runStart+i] = err
+				if err == nil {
+					mutated = true
+				}
+			}
+			e.stats.trains.Add(uint64(len(ops)))
+		case opAdd:
+			if ab, ok := e.be.(AddBatcher); ok {
+				ops := make([]AddOp, 0, len(run))
+				for _, o := range run {
+					ops = append(ops, AddOp{ID: o.id, Text: o.text})
+				}
+				for i, err := range ab.ApplyAddBatch(ops) {
+					errs[runStart+i] = err
+					if err == nil {
+						mutated = true
+					}
+				}
+			} else {
+				for i, o := range run {
+					errs[runStart+i] = e.be.ApplyAdd(o.id, o.text)
+					if errs[runStart+i] == nil {
+						mutated = true
+					}
+				}
+			}
+			e.stats.adds.Add(uint64(len(run)))
 		}
-		e.stats.trains.Add(uint64(len(ops)))
+		runStart = end
 	}
 	for i, o := range batch {
-		switch o.kind {
-		case opTrain:
-			continue
-		case opAdd:
-			flushTrains(i)
-			errs[i] = e.be.ApplyAdd(o.id, o.text)
-			e.stats.adds.Add(1)
-			if errs[i] == nil {
-				mutated = true
-			}
-		case opBarrier:
-			flushTrains(i)
+		if o.kind != runKind {
+			flushRun(i)
+			runKind = o.kind
 		}
-		runStart = i + 1
 	}
-	flushTrains(len(batch))
+	flushRun(len(batch))
 
 	// Group commit: the batch's logged rows become durable together,
 	// before any waiter is signalled — a synchronous writer's ack

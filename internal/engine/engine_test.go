@@ -120,8 +120,8 @@ func TestReadYourWritesSync(t *testing.T) {
 	if n, _ := e.CountMembers(); n != 2 {
 		t.Fatalf("CountMembers = %d, want 2", n)
 	}
-	if got := e.Classify("pos"); got != 1 {
-		t.Fatalf("Classify(pos) = %d", got)
+	if got, err := e.Classify("pos"); err != nil || got != 1 {
+		t.Fatalf("Classify(pos) = %d, %v", got, err)
 	}
 	// A synchronous Add is immediately readable too.
 	if err := e.Add(9, "pos"); err != nil {
@@ -410,5 +410,98 @@ func TestConcurrentMix(t *testing.T) {
 	}
 	if st.Batches == 0 || st.SnapshotVersion == 0 {
 		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestClassifyUntrainedView: a freshly attached, never-trained view
+// must answer Classify with an explicit untrained error — not a
+// zero-model "+1", and never a panic inside a serving goroutine —
+// while Label keeps answering from the snapshot.
+func TestClassifyUntrainedView(t *testing.T) {
+	e := start(t, newMemBackend(t), Options{})
+	if _, err := e.Classify("pos"); err != ErrUntrained {
+		t.Fatalf("Classify on untrained view: err = %v, want ErrUntrained", err)
+	}
+	if _, err := e.Label(1); err != nil {
+		t.Fatalf("Label on untrained view: %v", err)
+	}
+	// One training example and the same call serves.
+	if err := e.Train(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.Classify("pos"); err != nil || got != 1 {
+		t.Fatalf("Classify after train = %d, %v", got, err)
+	}
+}
+
+// batchAddBackend implements AddBatcher over memBackend, recording
+// the ADD runs the engine hands it.
+type batchAddBackend struct {
+	*memBackend
+	addGate        chan struct{}
+	addGateEntered chan struct{}
+	addBatches     [][]AddOp
+}
+
+func (b *batchAddBackend) ApplyAddBatch(ops []AddOp) []error {
+	if b.addGate != nil {
+		b.addGateEntered <- struct{}{}
+		<-b.addGate
+	}
+	b.addBatches = append(b.addBatches, append([]AddOp(nil), ops...))
+	errs := make([]error, len(ops))
+	for i, op := range ops {
+		errs[i] = b.memBackend.ApplyAdd(op.ID, op.Text)
+	}
+	return errs
+}
+
+// TestAddBatchFolding: consecutive queued ADDs reach an AddBatcher
+// backend as one group call (the striped scatter path), with
+// positional errors still attributed per op.
+func TestAddBatchFolding(t *testing.T) {
+	be := &batchAddBackend{
+		memBackend:     newMemBackend(t),
+		addGate:        make(chan struct{}),
+		addGateEntered: make(chan struct{}),
+	}
+	e := start(t, be, Options{})
+	// Occupy the worker with a first add, queue five more (one bad)
+	// behind it, then release: the five must arrive as one batch.
+	if err := e.AddAsync(10, "pos"); err != nil {
+		t.Fatal(err)
+	}
+	<-be.addGateEntered
+	for id := int64(11); id <= 14; id++ {
+		if err := e.AddAsync(id, "pos"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddAsync(15, "bogus text"); err != nil {
+		t.Fatal(err)
+	}
+	be.addGate <- struct{}{}
+	<-be.addGateEntered
+	be.addGate <- struct{}{}
+	be.addGate = nil
+
+	if err := e.Flush(); err == nil || !strings.Contains(err.Error(), "unknown text") {
+		t.Fatalf("Flush should surface the bad add, got %v", err)
+	}
+	if len(be.addBatches) != 2 || len(be.addBatches[0]) != 1 || len(be.addBatches[1]) != 5 {
+		sizes := make([]int, len(be.addBatches))
+		for i, b := range be.addBatches {
+			sizes[i] = len(b)
+		}
+		t.Fatalf("add batches = %v, want [1 5]", sizes)
+	}
+	// The good adds all landed and are readable.
+	for id := int64(10); id <= 14; id++ {
+		if _, err := e.Label(id); err != nil {
+			t.Fatalf("Label(%d): %v", id, err)
+		}
+	}
+	if _, err := e.Label(15); err == nil {
+		t.Fatal("the failed add must not be visible")
 	}
 }

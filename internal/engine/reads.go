@@ -1,10 +1,17 @@
 package engine
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"hazy/internal/core"
 )
+
+// ErrUntrained is returned by Classify when the published snapshot's
+// model has never been trained: a zero model labels everything +1,
+// which would be served as if it meant something. The serving
+// goroutine must never panic on a missing model either way.
+var ErrUntrained = errors.New("engine: view is untrained (no training examples yet)")
 
 // snapHolder is the atomically swapped published snapshot plus its
 // version counter. Readers only ever load; the maintenance goroutine
@@ -42,10 +49,15 @@ func (e *Engine) MostUncertain(k int) ([]int64, error) {
 }
 
 // Classify scores free text against the published snapshot's model
-// without storing anything.
-func (e *Engine) Classify(text string) int {
-	s := e.Snapshot()
-	return s.Model().Predict(e.be.Feature(text))
+// without storing anything. A snapshot whose model is absent or has
+// never seen a training example returns ErrUntrained instead of a
+// meaningless +1 (or a nil-model panic inside a serving goroutine).
+func (e *Engine) Classify(text string) (int, error) {
+	m := e.Snapshot().Model()
+	if m == nil || !m.Trained() {
+		return 0, ErrUntrained
+	}
+	return m.Predict(e.be.Feature(text)), nil
 }
 
 // ViewStats returns the view's maintenance counters as captured in

@@ -145,11 +145,15 @@ func (f *fakeTable) Scan() (Cursor, error) {
 }
 
 type fakeCatalog struct {
-	views  map[string]*fakeView
-	tables map[string]*fakeTable
+	views   map[string]*fakeView
+	tables  map[string]*fakeTable
+	striped *fakeStripedView // optional striped source (merge_test.go)
 }
 
 func (c *fakeCatalog) View(name string) (ViewSource, bool, error) {
+	if c.striped != nil && c.striped.name == name {
+		return c.striped, true, nil
+	}
 	v, ok := c.views[name]
 	if !ok {
 		return nil, false, nil

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hazy/internal/sqlmini"
+)
+
+// fakeStripedView is a fakeView that also exposes per-stripe scans:
+// entries are dealt round-robin to stripes, each stripe eps-ascending
+// on its own, so the merged stream must re-interleave them.
+type fakeStripedView struct {
+	fakeView
+	stripes [][]fakeEntry
+}
+
+func (f *fakeStripedView) Stripes() int { return len(f.stripes) }
+
+func (f *fakeStripedView) ScanEpsStripe(i int, lo, hi float64) (Cursor, error) {
+	var rows []Row
+	for _, e := range f.stripes[i] {
+		if e.eps >= lo && e.eps <= hi {
+			rows = append(rows, Row{IntVal(e.id), IntVal(int64(e.class)), FloatVal(e.eps)})
+		}
+	}
+	return &fakeCursor{rows: rows}, nil
+}
+
+func stripedCatalog() *fakeCatalog {
+	entries := []fakeEntry{
+		{id: 4, eps: -0.9, class: -1},
+		{id: 1, eps: -0.3, class: -1},
+		{id: 5, eps: -0.05, class: -1},
+		{id: 2, eps: 0.1, class: 1},
+		{id: 7, eps: 0.1, class: 1}, // eps tie across stripes: id breaks it
+		{id: 3, eps: 0.8, class: 1},
+		{id: 6, eps: 1.2, class: 1},
+	}
+	sv := &fakeStripedView{
+		fakeView: fakeView{name: "sv", origin: "live", clustered: true, entries: entries},
+		stripes:  make([][]fakeEntry, 3),
+	}
+	for i, e := range entries {
+		sv.stripes[i%3] = append(sv.stripes[i%3], e)
+	}
+	cat := &fakeCatalog{views: map[string]*fakeView{}, tables: map[string]*fakeTable{}}
+	cat.striped = sv
+	return cat
+}
+
+// runOn is run against an explicit catalog.
+func runOn(t *testing.T, cat Catalog, src string) (*Plan, [][]string) {
+	t.Helper()
+	st, err := sqlmini.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	sel, ok := st.(sqlmini.Select)
+	if !ok {
+		sel = st.(sqlmini.Explain).Sel
+	}
+	plan, err := Build(sel, cat)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	if err := plan.Root.Open(); err != nil {
+		t.Fatalf("%s: open: %v", src, err)
+	}
+	defer plan.Root.Close()
+	var out [][]string
+	for {
+		row, ok, err := plan.Root.Next()
+		if err != nil {
+			t.Fatalf("%s: next: %v", src, err)
+		}
+		if !ok {
+			return plan, out
+		}
+		rendered := make([]string, len(row))
+		for i, v := range row {
+			rendered[i] = v.Render()
+		}
+		out = append(out, rendered)
+	}
+}
+
+// TestEpsMergeScanPlansAndOrder: eps-band and clustered full scans
+// over a striped source lower onto EpsMergeScan, and the gathered
+// stream is in global (eps, id) order — ties broken by id across
+// stripes.
+func TestEpsMergeScanPlansAndOrder(t *testing.T) {
+	cat := stripedCatalog()
+	cases := []struct {
+		sql  string
+		plan string
+		rows [][]string
+	}{
+		{
+			"SELECT id, eps FROM sv WHERE eps >= -0.5 AND eps <= 0.5",
+			"Project(id, eps)\n  EpsMergeScan(sv, live, -0.5 <= eps <= 0.5, stripes=3)",
+			[][]string{{"1", "-0.3"}, {"5", "-0.05"}, {"2", "0.1"}, {"7", "0.1"}},
+		},
+		{
+			"SELECT id, eps FROM sv ORDER BY eps",
+			"Project(id, eps)\n  EpsMergeScan(sv, live, eps, stripes=3)",
+			[][]string{{"4", "-0.9"}, {"1", "-0.3"}, {"5", "-0.05"}, {"2", "0.1"}, {"7", "0.1"}, {"3", "0.8"}, {"6", "1.2"}},
+		},
+		{
+			"SELECT COUNT(*) FROM sv WHERE eps > 0",
+			// `> 0` lowers to the next float above zero, as EpsRange does.
+			"Count\n  EpsMergeScan(sv, live, eps >= 5e-324, stripes=3)",
+			[][]string{{"4"}},
+		},
+	}
+	for _, c := range cases {
+		plan, rows := runOn(t, cat, c.sql)
+		if got := strings.Join(plan.Explain(), "\n"); got != c.plan {
+			t.Errorf("%s:\nplan:\n%s\nwant:\n%s", c.sql, got, c.plan)
+		}
+		if !reflect.DeepEqual(rows, c.rows) {
+			t.Errorf("%s:\nrows: %v\nwant: %v", c.sql, rows, c.rows)
+		}
+	}
+}
+
+// TestEpsMergeScanSingleStripeKeepsPlainPlan: Stripes() == 1 keeps
+// the single-cursor plans — no merge overhead for unstriped views.
+func TestEpsMergeScanSingleStripeKeepsPlainPlan(t *testing.T) {
+	cat := stripedCatalog()
+	cat.striped.stripes = [][]fakeEntry{cat.striped.fakeView.entries}
+	plan, _ := runOn(t, cat, "SELECT id FROM sv WHERE eps >= 0 AND eps <= 1")
+	if got := strings.Join(plan.Explain(), "\n"); !strings.Contains(got, "EpsRange(") {
+		t.Fatalf("single-stripe source should keep EpsRange, got:\n%s", got)
+	}
+}
+
+// TestEpsMergeScanOperatorDirect exercises the operator without the
+// planner: full-range merge equals the view's own ordering.
+func TestEpsMergeScanOperatorDirect(t *testing.T) {
+	cat := stripedCatalog()
+	m := NewEpsMergeScan(cat.striped, cat.striped, math.Inf(-1), math.Inf(1))
+	if err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var ids []int64
+	prev := math.Inf(-1)
+	for {
+		row, ok, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if row[viewColEps].f < prev {
+			t.Fatalf("merge emitted eps out of order: %g after %g", row[viewColEps].f, prev)
+		}
+		prev = row[viewColEps].f
+		ids = append(ids, row[viewColID].i)
+	}
+	if want := []int64{4, 1, 5, 2, 7, 3, 6}; !reflect.DeepEqual(ids, want) {
+		t.Fatalf("merged ids = %v, want %v", ids, want)
+	}
+}

@@ -50,6 +50,22 @@ func Sign(x float64) int {
 	return -1
 }
 
+// Trained reports whether any training has moved the model off the
+// zero hyperplane. A zero model "classifies" everything +1 (sign(0)),
+// which is noise, not a prediction — serving layers use this to
+// reject ad-hoc classification against never-trained views.
+func (m *Model) Trained() bool {
+	if m.B != 0 {
+		return true
+	}
+	for _, w := range m.W {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // DiffNorm returns ‖m.w − o.w‖_p, the model-drift term of Lemma 3.1.
 func (m *Model) DiffNorm(o *Model, p float64) float64 {
 	return vector.DiffNorm(m.W, o.W, p)

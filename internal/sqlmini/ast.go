@@ -35,6 +35,10 @@ type CreateView struct {
 	Arch        string // MM | OD | HYBRID (optional)
 	Strategy    string // HAZY | NAIVE (optional)
 	Mode        string // EAGER | LAZY (optional)
+	// Partitions is the PARTITIONS n clause: hash-partition the view
+	// into n independently maintained stripes (0 = unstriped /
+	// database default).
+	Partitions int
 }
 
 // Insert is INSERT INTO name VALUES (...), (...).

@@ -294,6 +294,10 @@ func (p *parser) createView() (Stmt, error) {
 				return nil, err
 			}
 			st.Mode = strings.ToUpper(m)
+		case p.accept("PARTITIONS"):
+			if st.Partitions, err = p.posInt("PARTITIONS"); err != nil {
+				return nil, err
+			}
 		default:
 			if st.Entities == "" || st.Examples == "" {
 				return nil, errAt(p.peek(), "classification view needs ENTITIES FROM and EXAMPLES FROM clauses")

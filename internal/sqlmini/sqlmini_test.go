@@ -198,3 +198,36 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePartitionsClause(t *testing.T) {
+	st, err := Parse(`
+		CREATE CLASSIFICATION VIEW striped KEY id
+		ENTITIES FROM papers KEY id
+		EXAMPLES FROM feedback KEY id LABEL label
+		USING SVM PARTITIONS 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, ok := st.(CreateView)
+	if !ok || cv.Partitions != 4 {
+		t.Fatalf("parsed %#v", st)
+	}
+	// Absent clause leaves the default (0).
+	st, err = Parse(`CREATE CLASSIFICATION VIEW v KEY id ENTITIES FROM a EXAMPLES FROM b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv := st.(CreateView); cv.Partitions != 0 {
+		t.Fatalf("parsed %#v", cv)
+	}
+	// The count must be a positive integer.
+	for _, bad := range []string{
+		`CREATE CLASSIFICATION VIEW v KEY id ENTITIES FROM a EXAMPLES FROM b PARTITIONS 0`,
+		`CREATE CLASSIFICATION VIEW v KEY id ENTITIES FROM a EXAMPLES FROM b PARTITIONS -2`,
+		`CREATE CLASSIFICATION VIEW v KEY id ENTITIES FROM a EXAMPLES FROM b PARTITIONS 'x'`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -45,6 +45,8 @@ type metaView struct {
 	Alpha      float64 `json:"alpha,omitempty"`
 	BufferFrac float64 `json:"buffer_frac,omitempty"`
 	PoolPages  int     `json:"pool_pages,omitempty"`
+	// Partitions is the resolved stripe count (0/1 = unstriped).
+	Partitions int `json:"partitions,omitempty"`
 }
 
 type metaManifest struct {
@@ -85,6 +87,7 @@ func (db *DB) saveMeta() error {
 			Alpha:      spec.Alpha,
 			BufferFrac: spec.BufferFrac,
 			PoolPages:  spec.PoolPages,
+			Partitions: spec.Partitions,
 		})
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
@@ -127,6 +130,7 @@ func (mv metaView) spec() (ViewSpec, error) {
 		Alpha:           mv.Alpha,
 		BufferFrac:      mv.BufferFrac,
 		PoolPages:       mv.PoolPages,
+		Partitions:      mv.Partitions,
 	}
 	var err error
 	if spec.Arch, err = core.ParseArch(mv.Arch); err != nil {

@@ -162,12 +162,13 @@ func (bv *BoundView) CountMembers() (int, error) {
 }
 
 // Classify scores free text against the view's current model without
-// storing anything.
+// storing anything. A never-trained view returns an "untrained" error
+// instead of a meaningless zero-model prediction.
 func (bv *BoundView) Classify(text string) (int, error) {
 	if bv.eng != nil {
-		return bv.eng.Classify(text), nil
+		return bv.eng.Classify(text)
 	}
-	return bv.cv.Classify(text), nil
+	return bv.cv.Classify(text)
 }
 
 // Uncertain is implemented by views that can surface active-learning
@@ -438,6 +439,7 @@ func (s *Session) createView(st sqlmini.CreateView) (*Result, error) {
 		Examples:        st.Examples,
 		FeatureFunction: st.Feature,
 		Method:          strings.ToLower(st.Using),
+		Partitions:      st.Partitions,
 	}
 	var err error
 	if spec.Arch, err = core.ParseArch(st.Arch); err != nil {

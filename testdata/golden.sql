@@ -88,3 +88,39 @@ SELECT COUNT(*) FROM labeled WHERE eps >= -100.0;
 -- page, then prunes the write-ahead log below the recorded position.
 CHECKPOINT;
 SELECT COUNT(*) FROM papers;
+
+-- Partition-striped maintenance: PARTITIONS hash-partitions the view
+-- into stripes with per-stripe clustering, watermarks, and Skiing
+-- over one shared model. Contents match an unstriped view, and
+-- EXPLAIN shows the scatter-gather merge over the live layout, and a
+-- pre-merged snapshot plan once an engine is attached.
+CREATE TABLE items (id BIGINT, body TEXT) KEY id;
+CREATE TABLE marks (id BIGINT, label BIGINT) KEY id;
+INSERT INTO items VALUES
+  (20, 'btree index scan and join ordering'),
+  (21, 'interrupt latency in kernel drivers'),
+  (22, 'sql transaction isolation levels'),
+  (23, 'scheduler preemption and context switching'),
+  (24, 'query planner statistics and selectivity'),
+  (25, 'filesystem journaling under write load');
+CREATE CLASSIFICATION VIEW striped KEY id
+  ENTITIES FROM items KEY id
+  EXAMPLES FROM marks KEY id LABEL label
+  FEATURE FUNCTION tf_bag_of_words USING SVM PARTITIONS 4;
+INSERT INTO marks VALUES (20, 1), (21, -1), (22, 1), (23, -1);
+
+SELECT id, class FROM striped;
+SELECT COUNT(*) FROM striped WHERE class = 1;
+SELECT COUNT(*) FROM striped WHERE eps >= -100.0 AND eps <= 100.0;
+EXPLAIN SELECT id FROM striped WHERE eps >= -0.75 AND eps <= 0.75;
+EXPLAIN SELECT id, class FROM striped;
+
+-- Engined, the published snapshot is already merged: same answers,
+-- single-cursor plans.
+ATTACH ENGINE TO striped;
+INSERT INTO items VALUES (26, 'cost model for join ordering in the query planner');
+SELECT class FROM striped WHERE id = 26;
+SELECT COUNT(*) FROM striped WHERE class = 1;
+EXPLAIN SELECT id FROM striped WHERE eps >= -0.75 AND eps <= 0.75;
+DETACH ENGINE FROM striped;
+SELECT id, class FROM striped ORDER BY id DESC LIMIT 3;
