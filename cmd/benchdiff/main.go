@@ -1,0 +1,120 @@
+// Command benchdiff compares two benchmark JSON files (the
+// BENCH_pr*.json artifacts emitted by TestStripedReorgEmitJSON via
+// BENCH_JSON_OUT) and fails when the new numbers regress past a
+// tolerance band. It is the CI tripwire for the committed perf
+// trajectory: every PR lands a fresh BENCH file next to the previous
+// one, and CI re-measures and diffs against the committed baseline.
+//
+// Comparison rules, keyed by metric name:
+//
+//   - keys ending in "_ns_op" are latencies: FAIL when
+//     new > old × (1 + tolerance)
+//   - keys starting with "speedup_" are ratios: FAIL when
+//     new < old × (1 - tolerance)
+//   - every other numeric key is informational (cores, dim, entities)
+//     and only reported
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.25] old.json new.json
+//
+// Exit status 1 on any regression, 2 on usage or I/O errors. The
+// default ±25% band absorbs scheduler noise on shared CI runners
+// while still catching step-function regressions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	tol := flag.Float64("tolerance", 0.25, "allowed fractional regression before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] old.json new.json")
+		os.Exit(2)
+	}
+	oldM, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newM, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if diff(os.Stdout, oldM, newM, *tol) {
+		fmt.Println("benchdiff: REGRESSION")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within tolerance")
+}
+
+// diff reports every baseline key against the new measurements and
+// returns whether any guarded key regressed past the tolerance band.
+func diff(w io.Writer, oldM, newM map[string]any, tol float64) (failed bool) {
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		ov := oldM[k]
+		nv, ok := newM[k]
+		if !ok {
+			fmt.Fprintf(w, "MISS %-20s old=%v (absent in new)\n", k, ov)
+			failed = true
+			continue
+		}
+		onum, oIsNum := ov.(float64)
+		nnum, nIsNum := nv.(float64)
+		if !oIsNum || !nIsNum {
+			if ov != nv {
+				fmt.Fprintf(w, "INFO %-20s old=%v new=%v\n", k, ov, nv)
+			}
+			continue
+		}
+		switch {
+		case strings.HasSuffix(k, "_ns_op"):
+			if nnum > onum*(1+tol) {
+				fmt.Fprintf(w, "FAIL %-20s old=%.0f new=%.0f (+%.1f%%, limit +%.0f%%)\n",
+					k, onum, nnum, 100*(nnum/onum-1), 100*tol)
+				failed = true
+			} else {
+				fmt.Fprintf(w, "ok   %-20s old=%.0f new=%.0f (%+.1f%%)\n", k, onum, nnum, 100*(nnum/onum-1))
+			}
+		case strings.HasPrefix(k, "speedup_"):
+			if nnum < onum*(1-tol) {
+				fmt.Fprintf(w, "FAIL %-20s old=%.3f new=%.3f (%.1f%%, limit -%.0f%%)\n",
+					k, onum, nnum, 100*(nnum/onum-1), 100*tol)
+				failed = true
+			} else {
+				fmt.Fprintf(w, "ok   %-20s old=%.3f new=%.3f (%+.1f%%)\n", k, onum, nnum, 100*(nnum/onum-1))
+			}
+		default:
+			fmt.Fprintf(w, "info %-20s old=%v new=%v\n", k, ov, nv)
+		}
+	}
+	return failed
+}
+
+// load reads one flat JSON object of metric name → value.
+func load(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffRules(t *testing.T) {
+	old := map[string]any{
+		"bench":            "StripedReorg",
+		"cores":            1.0,
+		"stripes1_ns_op":   1000.0,
+		"stripes4_ns_op":   400.0,
+		"speedup_4stripes": 2.5,
+	}
+	cases := []struct {
+		name string
+		new  map[string]any
+		fail bool
+	}{
+		{"identical", map[string]any{"bench": "StripedReorg", "cores": 1.0,
+			"stripes1_ns_op": 1000.0, "stripes4_ns_op": 400.0, "speedup_4stripes": 2.5}, false},
+		{"latency within band", map[string]any{"bench": "StripedReorg", "cores": 1.0,
+			"stripes1_ns_op": 1240.0, "stripes4_ns_op": 400.0, "speedup_4stripes": 2.5}, false},
+		{"latency regressed", map[string]any{"bench": "StripedReorg", "cores": 1.0,
+			"stripes1_ns_op": 1300.0, "stripes4_ns_op": 400.0, "speedup_4stripes": 2.5}, true},
+		{"speedup within band", map[string]any{"bench": "StripedReorg", "cores": 1.0,
+			"stripes1_ns_op": 1000.0, "stripes4_ns_op": 400.0, "speedup_4stripes": 1.9}, false},
+		{"speedup collapsed", map[string]any{"bench": "StripedReorg", "cores": 1.0,
+			"stripes1_ns_op": 1000.0, "stripes4_ns_op": 400.0, "speedup_4stripes": 1.5}, true},
+		{"missing key", map[string]any{"bench": "StripedReorg", "cores": 1.0,
+			"stripes1_ns_op": 1000.0, "speedup_4stripes": 2.5}, true},
+		{"informational drift only", map[string]any{"bench": "StripedReorg", "cores": 8.0,
+			"stripes1_ns_op": 1000.0, "stripes4_ns_op": 400.0, "speedup_4stripes": 2.5}, false},
+		{"improvement", map[string]any{"bench": "StripedReorg", "cores": 1.0,
+			"stripes1_ns_op": 500.0, "stripes4_ns_op": 100.0, "speedup_4stripes": 5.0}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			if got := diff(&b, old, tc.new, 0.25); got != tc.fail {
+				t.Errorf("diff = %v, want %v\n%s", got, tc.fail, b.String())
+			}
+		})
+	}
+}

@@ -13,7 +13,15 @@
 // Usage:
 //
 //	hazyd [-addr :7437] [-db DIR] [-view labeled_papers] [-workers N] [-batch N] [-queue N] [-engine=false]
-//	      [-fsync always|off] [-wal-segment BYTES] [-partitions P]
+//	      [-fsync always|off] [-wal-segment BYTES] [-partitions P] [-metrics ADDR]
+//
+// -metrics ADDR starts an HTTP observability server alongside the
+// TCP protocol listener: GET /metrics serves the process metrics
+// registry in Prometheus text exposition format, GET /statsz serves
+// the same snapshot as JSON, and /debug/pprof/* exposes the standard
+// net/http/pprof profiling handlers. Use -metrics 127.0.0.1:0 to
+// bind an ephemeral local port; the chosen address is printed as
+// "hazyd: metrics on ADDR".
 //
 // -partitions P stripes every main-memory Hazy view declared without
 // an explicit PARTITIONS clause (the bootstrap view included) into P
@@ -54,6 +62,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -83,6 +93,7 @@ func run() (err error) {
 		fsync     = flag.String("fsync", "always", "WAL commit policy: always (acknowledged writes survive power loss; engines group-commit one fsync per batch) or off (survive process crash only)")
 		walSeg    = flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes; each rotation triggers a catalog checkpoint")
 		parts     = flag.Int("partitions", 0, "stripe count for views declared without PARTITIONS (hash-partitioned parallel maintenance; 0/1 = unstriped)")
+		metrics   = flag.String("metrics", "", "HTTP observability listen address serving /metrics (Prometheus text), /statsz (JSON), /debug/pprof/* (empty = disabled)")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -152,6 +163,30 @@ func run() (err error) {
 		return err
 	}
 
+	// Optional HTTP observability plane: the metrics registry in
+	// Prometheus text and JSON, plus the stock pprof handlers. It
+	// listens on its own socket so scrapes never contend with the
+	// protocol listener, and closes with the process.
+	var msrv *http.Server
+	if *metrics != "" {
+		ml, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", db.Metrics().MetricsHandler())
+		mux.Handle("/statsz", db.Metrics().JSONHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		msrv = &http.Server{Handler: mux}
+		go msrv.Serve(ml)
+		fmt.Printf("hazyd: metrics on %s (/metrics /statsz /debug/pprof)\n", ml.Addr())
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -160,6 +195,9 @@ func run() (err error) {
 		l.Close()
 		srv.Close()
 	}()
+	if msrv != nil {
+		defer msrv.Close()
+	}
 
 	fmt.Printf("hazyd: serving catalog [%s] on %s (db: %s, default view: %s, mode: %s, fsync: %s, %d cores)\n",
 		strings.Join(db.Views(), " "), l.Addr(), dir, *viewName, mode, *fsync, runtime.GOMAXPROCS(0))

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"net"
 	"os"
+	"regexp"
 	"testing"
 
 	root "hazy"
@@ -78,9 +79,14 @@ func runOverTCP(t *testing.T) string {
 	return out.String()
 }
 
+// analyzeTime matches the wall-time annotation EXPLAIN ANALYZE puts
+// on every plan node. Row counts are deterministic and compared
+// verbatim; times are wall-clock and normalized before comparison.
+var analyzeTime = regexp.MustCompile(`time=\d+us`)
+
 func TestGoldenScriptIdenticalAcrossSurfaces(t *testing.T) {
-	embedded := runEmbedded(t)
-	wire := runOverTCP(t)
+	embedded := analyzeTime.ReplaceAllString(runEmbedded(t), "time=?us")
+	wire := analyzeTime.ReplaceAllString(runOverTCP(t), "time=?us")
 	if embedded != wire {
 		t.Fatalf("transcripts diverge:\n-- embedded --\n%s\n-- tcp --\n%s", embedded, wire)
 	}
@@ -90,7 +96,7 @@ func TestGoldenScriptIdenticalAcrossSurfaces(t *testing.T) {
 	}
 	// Sanity-pin a few lines the script's classification must get
 	// right: paper 5 (databases) is +1 and doc 14 (spam) is +1.
-	for _, want := range []string{"ATTACH ENGINE\n", "DETACH ENGINE\n"} {
+	for _, want := range []string{"ATTACH ENGINE\n", "DETACH ENGINE\n", "(rows=", "time=?us"} {
 		if !bytes.Contains([]byte(embedded), []byte(want)) {
 			t.Fatalf("transcript missing %q:\n%s", want, embedded)
 		}

@@ -71,6 +71,7 @@ import (
 	"hazy/internal/engine"
 	"hazy/internal/feature"
 	"hazy/internal/learn"
+	"hazy/internal/obs"
 	"hazy/internal/relation"
 	"hazy/internal/storage"
 	"hazy/internal/vector"
@@ -103,6 +104,7 @@ type DB struct {
 	dir          string
 	rel          *relation.DB
 	registry     *feature.Registry
+	metrics      *obs.Registry
 	vfs          storage.VFS
 	fsync        wal.SyncMode
 	defaultParts int
@@ -176,10 +178,12 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 	if vfs == nil {
 		vfs = storage.OS
 	}
+	metrics := obs.NewRegistry()
 	rel, err := relation.OpenDBWith(dir, 512, relation.Options{
 		VFS:             vfs,
 		Fsync:           mode,
 		WALSegmentBytes: opts.WALSegmentBytes,
+		Metrics:         metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -197,6 +201,7 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 		dir:          dir,
 		rel:          rel,
 		registry:     feature.NewRegistry(),
+		metrics:      metrics,
 		vfs:          vfs,
 		fsync:        mode,
 		defaultParts: opts.DefaultPartitions,
@@ -374,6 +379,12 @@ func (db *DB) Close() error {
 	}
 	return first
 }
+
+// Metrics exposes the database's observability registry: every layer
+// (engines, view maintenance, WAL, buffer pools, analyzed query
+// operators) registers its collectors here. hazyd serves it as
+// /metrics and /statsz; SHOW STATS renders it as rows.
+func (db *DB) Metrics() *obs.Registry { return db.metrics }
 
 // Registry exposes the feature-function registry so applications can
 // register custom functions (paper App. A.2).
@@ -742,13 +753,15 @@ func (db *DB) buildView(spec ViewSpec, et *EntityTable, xt *ExampleTable) (*Clas
 	}
 
 	opts := core.Options{
-		Mode:       spec.Mode,
-		Alpha:      spec.Alpha,
-		BufferFrac: spec.BufferFrac,
-		Partitions: spec.Partitions,
-		Norm:       math.Inf(1), // text: ℓ1-normalized features, p=∞
-		SGD:        learn.SGDConfig{Loss: learn.LossFor(method)},
-		Warm:       warm,
+		Mode:        spec.Mode,
+		Alpha:       spec.Alpha,
+		BufferFrac:  spec.BufferFrac,
+		Partitions:  spec.Partitions,
+		Norm:        math.Inf(1), // text: ℓ1-normalized features, p=∞
+		SGD:         learn.SGDConfig{Loss: learn.LossFor(method)},
+		Warm:        warm,
+		Metrics:     db.metrics,
+		MetricsName: spec.Name,
 	}
 	view, err := core.New(spec.Arch, spec.Strategy, filepath.Join(db.dir, "view-"+spec.Name), spec.PoolPages, entities, opts)
 	if err != nil {
@@ -926,6 +939,8 @@ func (db *DB) AttachEngine(view string, opts EngineOptions) (*engine.Engine, err
 	if cv.managed.Swap(true) {
 		return nil, fmt.Errorf("hazy: view %q already has an engine attached", cv.name)
 	}
+	opts.Metrics = db.metrics
+	opts.Name = view
 	eng, err := engine.New(&viewBackend{db: db, cv: cv}, opts)
 	if err != nil {
 		cv.managed.Store(false)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hazy/internal/learn"
+	"hazy/internal/obs"
 	"hazy/internal/storage"
 	"hazy/internal/vector"
 )
@@ -22,6 +23,7 @@ type DiskView struct {
 	dt       *diskTable
 	wm       *Watermark
 	sk       *Skiing
+	met      *viewMetrics
 	stats    Stats
 }
 
@@ -46,6 +48,7 @@ func NewDiskView(dir string, poolPages int, entities []Entity, strategy Strategy
 	if strategy == HazyStrategy {
 		v.wm = NewWatermark(opts.Norm)
 		v.sk = NewSkiing(opts.Alpha)
+		v.met = newViewMetrics(opts.Metrics, obs.L("view", opts.MetricsName)...)
 		q := v.wm.Q()
 		var m float64
 		for _, e := range entities {
@@ -86,10 +89,13 @@ func (v *DiskView) IOStats() storage.IOStats { return v.dt.Stats() }
 func (v *DiskView) reorganize() error {
 	start := time.Now()
 	v.wm.Reset(v.trainer.Model(), v.wm.M)
+	v.met.observeWMReset()
 	if err := v.dt.Rebuild(v.wm.Eps); err != nil {
 		return err
 	}
-	v.sk.DidReorganize(time.Since(start))
+	elapsed := time.Since(start)
+	v.sk.DidReorganize(elapsed)
+	v.met.observeReorg(elapsed)
 	return nil
 }
 
@@ -136,6 +142,7 @@ func (v *DiskView) Update(f vector.Vector, label int) error {
 	}
 	v.stats.Reclassified += reclassified
 	v.sk.AddCost(time.Since(start))
+	v.met.observeSweep(int(reclassified))
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hazy/internal/learn"
+	"hazy/internal/obs"
 	"hazy/internal/vector"
 )
 
@@ -33,6 +34,7 @@ type MemView struct {
 	byID     map[int64]*memEntry
 	wm       *Watermark
 	sk       *Skiing
+	met      *viewMetrics
 	stats    Stats
 }
 
@@ -59,6 +61,7 @@ func NewMemView(entities []Entity, strategy Strategy, opts Options) *MemView {
 	if strategy == HazyStrategy {
 		v.wm = NewWatermark(opts.Norm)
 		v.sk = NewSkiing(opts.Alpha)
+		v.met = newViewMetrics(opts.Metrics, obs.L("view", opts.MetricsName)...)
 		var m float64
 		q := v.wm.Q()
 		for _, ent := range v.entries {
@@ -93,6 +96,7 @@ func (v *MemView) reorganize() {
 	start := time.Now()
 	cur := v.trainer.Model()
 	v.wm.Reset(cur, v.wm.M)
+	v.met.observeWMReset()
 	for _, ent := range v.entries {
 		ent.eps = v.wm.Eps(ent.f)
 		ent.label = int8(learn.Sign(ent.eps))
@@ -104,7 +108,9 @@ func (v *MemView) reorganize() {
 		}
 		return ea.id < eb.id
 	})
-	v.sk.DidReorganize(time.Since(start))
+	elapsed := time.Since(start)
+	v.sk.DidReorganize(elapsed)
+	v.met.observeReorg(elapsed)
 }
 
 // band returns the half-open index interval [lo, hi) of entries with
@@ -171,6 +177,7 @@ func (v *MemView) UpdateBatch(examples []learn.Example) error {
 	}
 	v.stats.Reclassified += int64(hi - lo)
 	v.sk.AddCost(time.Since(start))
+	v.met.observeSweep(hi - lo)
 	return nil
 }
 
@@ -274,6 +281,7 @@ func (v *MemView) members(fn func(id int64)) error {
 			}
 		}
 		v.stats.Reclassified += int64(hi - lo)
+		v.met.observeSweep(hi - lo)
 		nRead := len(v.entries) - lo
 		elapsed := time.Since(start)
 		if nRead > 0 {

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"hazy/internal/learn"
+	"hazy/internal/obs"
 	"hazy/internal/vector"
 )
 
@@ -60,6 +62,7 @@ type stripe struct {
 	byID         map[int64]*memEntry
 	wm           *Watermark
 	sk           *Skiing
+	met          *viewMetrics
 	reclassified int64
 }
 
@@ -92,6 +95,8 @@ func NewStriped(entities []Entity, partitions int, opts Options) (*StripedView, 
 			byID: map[int64]*memEntry{},
 			wm:   NewWatermark(opts.Norm),
 			sk:   NewSkiing(opts.Alpha),
+			met: newViewMetrics(opts.Metrics,
+				obs.L("view", opts.MetricsName, "stripe", strconv.Itoa(i))...),
 		}
 	}
 	for _, e := range entities {
@@ -163,6 +168,7 @@ func (v *StripedView) forStripes(fn func(i int, st *stripe)) {
 func (st *stripe) reorganize(cur *learn.Model) {
 	start := time.Now()
 	st.wm.Reset(cur, st.wm.M)
+	st.met.observeWMReset()
 	for _, ent := range st.entries {
 		ent.eps = st.wm.Eps(ent.f)
 		ent.label = int8(learn.Sign(ent.eps))
@@ -174,7 +180,9 @@ func (st *stripe) reorganize(cur *learn.Model) {
 		}
 		return ea.id < eb.id
 	})
-	st.sk.DidReorganize(time.Since(start))
+	elapsed := time.Since(start)
+	st.sk.DidReorganize(elapsed)
+	st.met.observeReorg(elapsed)
 }
 
 // band returns the half-open index interval [lo, hi) of stripe
@@ -209,6 +217,7 @@ func (st *stripe) maintain(cur *learn.Model, reorg ReorgPolicy, lazy bool) {
 	}
 	st.reclassified += int64(hi - lo)
 	st.sk.AddCost(time.Since(start))
+	st.met.observeSweep(hi - lo)
 }
 
 // Update folds in one training example — a batch of one.
@@ -344,6 +353,7 @@ func (v *StripedView) members(fn func(id int64)) error {
 			}
 		}
 		st.reclassified += int64(hi - lo)
+		st.met.observeSweep(hi - lo)
 		nRead := len(st.entries) - lo
 		elapsed := time.Since(start)
 		if nRead > 0 {

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"hazy/internal/learn"
+	"hazy/internal/obs"
 	"hazy/internal/vector"
 )
 
@@ -190,6 +191,14 @@ type Options struct {
 	// above 1 require the MainMemory architecture and the Hazy
 	// strategy.
 	Partitions int
+	// Metrics, when non-nil, registers per-view maintenance collectors
+	// (reorg count + duration, band-sweep sizes, watermark resets) on
+	// the shared registry, labeled view=MetricsName; striped views add
+	// a stripe=i label per stripe. Nil leaves the view's collectors
+	// unregistered (they still accumulate, at atomic-add cost).
+	Metrics *obs.Registry
+	// MetricsName is the view label for registered collectors.
+	MetricsName string
 }
 
 func (o Options) withDefaults() Options {

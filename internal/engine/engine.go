@@ -39,6 +39,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"hazy/internal/obs"
 )
 
 // ErrClosed is returned by writes enqueued after Close.
@@ -52,6 +54,13 @@ type Options struct {
 	// MaxBatch caps how many queued ops one maintenance step drains
 	// and group-applies. Default 256.
 	MaxBatch int
+	// Metrics, when non-nil, registers the engine's serving counters
+	// (and queue-depth / snapshot-version gauges) on the shared
+	// registry under the label view=Name. A nil registry leaves the
+	// counters private to this engine — Stats() works either way.
+	Metrics *obs.Registry
+	// Name labels this engine's collectors (view=Name).
+	Name string
 }
 
 func (o Options) withDefaults() Options {
@@ -139,6 +148,12 @@ func New(be Backend, opts Options) (*Engine, error) {
 		asyncErrs:  make(map[Token]error),
 	}
 	e.ops = make(chan op, e.opts.QueueSize)
+	e.stats.initCounters(e.opts.Metrics, e.opts.Name)
+	lbl := obs.L("view", e.opts.Name)
+	e.opts.Metrics.GaugeFunc("hazy_engine_queue_depth",
+		"instantaneous bounded-queue occupancy", func() int64 { return int64(len(e.ops)) }, lbl...)
+	e.opts.Metrics.GaugeFunc("hazy_engine_snapshot_version",
+		"published snapshot version", func() int64 { return int64(e.snap.version.Load()) }, lbl...)
 	s, err := be.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("engine: initial snapshot: %w", err)

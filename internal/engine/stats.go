@@ -2,40 +2,51 @@ package engine
 
 import (
 	"fmt"
-	"math/bits"
 	"strings"
-	"sync/atomic"
+
+	"hazy/internal/obs"
 )
 
 // histBuckets is the number of power-of-two batch-size buckets:
 // 1, 2–3, 4–7, …, ≥128.
 const histBuckets = 8
 
-// engineCounters are the engine's internal atomics.
+// engineCounters are the engine's serving counters, held as obs
+// collectors so the same atomics back both the STATS wire line and
+// the shared metrics registry. The hot-path cost is unchanged from
+// the original hand-rolled atomics: one atomic add per touch.
 type engineCounters struct {
-	enqueued atomic.Uint64
-	applied  atomic.Uint64
-	trains   atomic.Uint64
-	adds     atomic.Uint64
-	batches  atomic.Uint64
-	maxBatch atomic.Uint64
-	errors   atomic.Uint64
-	hist     [histBuckets]atomic.Uint64
+	enqueued *obs.Counter
+	applied  *obs.Counter
+	trains   *obs.Counter
+	adds     *obs.Counter
+	batches  *obs.Counter
+	maxBatch *obs.Gauge
+	errors   *obs.Counter
+	hist     *obs.Histogram
+}
+
+// initCounters registers the engine's collectors on reg (nil: they
+// stay private and unregistered) labeled view=name. Registration
+// replaces any collectors from a previously attached engine, so the
+// registry — and the STATS line — always reads the live engine's
+// counters, fresh from attach.
+func (c *engineCounters) initCounters(reg *obs.Registry, name string) {
+	lbl := obs.L("view", name)
+	c.enqueued = reg.Counter("hazy_engine_ops_enqueued_total", "update ops accepted onto the engine queue", lbl...)
+	c.applied = reg.Counter("hazy_engine_ops_applied_total", "update ops completed (including barriers)", lbl...)
+	c.trains = reg.Counter("hazy_engine_trains_total", "applied example (train) ops", lbl...)
+	c.adds = reg.Counter("hazy_engine_adds_total", "applied entity (add) ops", lbl...)
+	c.batches = reg.Counter("hazy_engine_batches_total", "group-applied batches drained", lbl...)
+	c.maxBatch = reg.Gauge("hazy_engine_batch_max", "largest batch drained so far", lbl...)
+	c.errors = reg.Counter("hazy_engine_errors_total", "failed asynchronous ops", lbl...)
+	c.hist = reg.Histogram("hazy_engine_batch_size", "power-of-two histogram of drained batch sizes", histBuckets, lbl...)
 }
 
 func (c *engineCounters) observeBatch(n int) {
-	c.batches.Add(1)
-	for {
-		cur := c.maxBatch.Load()
-		if uint64(n) <= cur || c.maxBatch.CompareAndSwap(cur, uint64(n)) {
-			break
-		}
-	}
-	b := bits.Len(uint(n)) - 1
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	c.hist[b].Add(1)
+	c.batches.Inc()
+	c.maxBatch.Max(int64(n))
+	c.hist.Observe(uint64(n))
 }
 
 // Stats is a point-in-time copy of the engine's serving counters,
@@ -71,7 +82,7 @@ func (e *Engine) Stats() Stats {
 		Trains:          e.stats.trains.Load(),
 		Adds:            e.stats.adds.Load(),
 		Batches:         e.stats.batches.Load(),
-		MaxBatch:        e.stats.maxBatch.Load(),
+		MaxBatch:        uint64(e.stats.maxBatch.Load()),
 		Errors:          e.stats.errors.Load(),
 		SnapshotVersion: e.snap.version.Load(),
 	}
@@ -79,12 +90,21 @@ func (e *Engine) Stats() Stats {
 		s.Pending = s.Enqueued - s.Applied
 	}
 	for i := range s.BatchHist {
-		s.BatchHist[i] = e.stats.hist[i].Load()
+		s.BatchHist[i] = e.stats.hist.Bucket(i)
 	}
 	return s
 }
 
 // String renders the counters as the key=value tail of a STATS line.
+//
+// The key order is a stable, documented contract (clients parse it):
+//
+//	queued pending applied trains adds batches maxbatch errors snapver hist
+//
+// with hist a '/'-joined list of the histBuckets power-of-two batch
+// size buckets. Keys are only ever appended, never reordered or
+// removed; the exact bytes are pinned by TestStatsLineStableOrder in
+// internal/server.
 func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "queued=%d pending=%d applied=%d trains=%d adds=%d batches=%d maxbatch=%d errors=%d snapver=%d hist=",

@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hazy/internal/obs"
+)
+
+// Analyzed decorates one plan node with row counting and inclusive
+// wall timing — the instrumentation behind EXPLAIN ANALYZE. Every
+// Operator call is forwarded to the wrapped node and timed; because
+// the wrapped node's own child links point at further Analyzed
+// wrappers, a node's time includes its whole subtree (inclusive
+// semantics, like PostgreSQL's actual time).
+type Analyzed struct {
+	// Child is the wrapped node. Interior nodes' own Child fields are
+	// rewired to the next Analyzed wrapper by Instrument.
+	Child Operator
+
+	rows int64
+	dur  time.Duration
+	reg  *obs.Registry
+}
+
+// Instrument rebuilds a built plan chain with every node wrapped in
+// an Analyzed decorator and returns the new root. The executor's
+// plans are linear chains linked through exported Child fields, so
+// interior nodes are rewired in place; every other node is a leaf.
+// When reg is non-nil, each node's counts also accumulate into the
+// shared per-operator collectors on Close.
+func Instrument(root Operator, reg *obs.Registry) *Analyzed {
+	switch o := root.(type) {
+	case *Filter:
+		o.Child = Instrument(o.Child, reg)
+	case *Project:
+		o.Child = Instrument(o.Child, reg)
+	case *Sort:
+		o.Child = Instrument(o.Child, reg)
+	case *Limit:
+		o.Child = Instrument(o.Child, reg)
+	case *Count:
+		o.Child = Instrument(o.Child, reg)
+	}
+	return &Analyzed{Child: root, reg: reg}
+}
+
+// Open forwards and times the wrapped node's Open.
+func (a *Analyzed) Open() error {
+	start := time.Now()
+	err := a.Child.Open()
+	a.dur += time.Since(start)
+	return err
+}
+
+// Next forwards, times, and counts produced rows.
+func (a *Analyzed) Next() (Row, bool, error) {
+	start := time.Now()
+	row, ok, err := a.Child.Next()
+	a.dur += time.Since(start)
+	if ok {
+		a.rows++
+	}
+	return row, ok, err
+}
+
+// Close forwards and times the wrapped node's Close, then flushes
+// this node's totals into the shared registry.
+func (a *Analyzed) Close() error {
+	start := time.Now()
+	err := a.Child.Close()
+	a.dur += time.Since(start)
+	a.flush()
+	return err
+}
+
+// flush accumulates the node's totals into per-operator-kind
+// collectors — one registry touch per node per query, nothing per
+// row.
+func (a *Analyzed) flush() {
+	if a.reg == nil {
+		return
+	}
+	lbl := obs.L("op", a.kind())
+	a.reg.SharedCounter("hazy_exec_rows_total",
+		"rows produced per operator across analyzed queries", lbl...).Add(uint64(a.rows))
+	a.reg.SharedHistogram("hazy_exec_op_micros",
+		"inclusive operator wall time in microseconds across analyzed queries", 32, lbl...).ObserveDuration(a.dur)
+}
+
+// kind names the wrapped operator (its Describe prefix up to the
+// opening parenthesis).
+func (a *Analyzed) kind() string {
+	desc, _ := a.Child.Describe()
+	if i := strings.IndexByte(desc, '('); i > 0 {
+		return desc[:i]
+	}
+	return desc
+}
+
+// Describe renders the wrapped node's description annotated with the
+// observed row count and inclusive time, and hands the walk on to the
+// next wrapper in the chain. Times render as integer microseconds
+// ("time=123us") so golden harnesses can normalize them with one
+// pattern.
+func (a *Analyzed) Describe() (string, Operator) {
+	desc, child := a.Child.Describe()
+	return fmt.Sprintf("%s (rows=%d time=%dus)", desc, a.rows, a.dur.Microseconds()), child
+}

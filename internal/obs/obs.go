@@ -1,0 +1,351 @@
+// Package obs is the process-wide observability substrate: a
+// dependency-free metrics registry of atomic counters, gauges, and
+// power-of-two histograms, with a consistent snapshot API and
+// Prometheus-text / JSON rendering (prom.go).
+//
+// The design generalizes the engine's original hand-rolled
+// engineCounters: every collector is a fixed set of atomics, so the
+// hot path is one atomic add with zero allocation and no locking.
+// The registry itself is only locked at registration and snapshot
+// time, never on the update path.
+//
+// Collectors are identified by name plus an ordered label list.
+// Registering a (name, labels) pair that already exists REPLACES the
+// previous collector: the owner of a subsystem (an engine attach, a
+// view build) registers fresh collectors when it is constructed, so
+// the registry always reflects the live instance. Func collectors
+// (gauges computed at scrape time) follow the same rule, which keeps
+// them from capturing dead objects across re-attach cycles.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates collector types in snapshots.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String renders the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name=value pair. Label order is significant and
+// preserved: it is part of a collector's identity.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for building a label list at a call site.
+func L(pairs ...string) []Label {
+	ls := make([]Label, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		ls = append(ls, Label{Name: pairs[i], Value: pairs[i+1]})
+	}
+	return ls
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Max raises the gauge to v if v is larger (CAS loop, lock-free).
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-size power-of-two histogram: bucket i counts
+// observations v with bits.Len64(v)-1 == i, i.e. v in [2^i, 2^(i+1)),
+// with 0 and 1 both landing in bucket 0 and everything at or beyond
+// 2^(n-1) clamped into the last bucket. Observe is a pair of atomic
+// adds — no locks, no allocation.
+type Histogram struct {
+	buckets []atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	b := bits.Len64(v) - 1
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.Observe(uint64(us))
+}
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Bucket returns the current count of bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i].Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Count returns the total number of observations (sum of buckets).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sample is one collector's state in a Snapshot. For histograms,
+// Buckets holds per-bucket (non-cumulative) counts and Value the
+// total count; Sum holds the running value sum.
+type Sample struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Kind   Kind    `json:"-"`
+	Type   string  `json:"type"`
+	Labels []Label `json:"labels,omitempty"`
+
+	Value   int64    `json:"value"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+	Sum     uint64   `json:"sum,omitempty"`
+}
+
+// collector is one registered metric instance.
+type collector struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() int64 // computed gauge/counter; nil otherwise
+}
+
+// Registry holds the collectors. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	cols map[string]*collector // keyed by name + rendered labels
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cols: make(map[string]*collector)}
+}
+
+// key builds the identity string for (name, labels).
+func key(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('{')
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// register installs c, replacing any previous collector with the same
+// (name, labels) identity.
+func (r *Registry) register(c *collector) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cols[key(c.name, c.labels)] = c
+	r.mu.Unlock()
+}
+
+// Counter registers (or replaces) and returns a counter. A nil
+// registry still returns a usable, unregistered collector, so
+// instrumented code never branches on whether metrics are wired.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&collector{name: name, help: help, kind: KindCounter, labels: labels, counter: c})
+	return c
+}
+
+// Gauge registers (or replaces) and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(&collector{name: name, help: help, kind: KindGauge, labels: labels, gauge: g})
+	return g
+}
+
+// Histogram registers (or replaces) and returns a power-of-two
+// histogram with the given bucket count (clamped to [1, 64]).
+func (r *Registry) Histogram(name, help string, buckets int, labels ...Label) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > 64 {
+		buckets = 64
+	}
+	h := &Histogram{buckets: make([]atomic.Uint64, buckets)}
+	r.register(&collector{name: name, help: help, kind: KindHistogram, labels: labels, hist: h})
+	return h
+}
+
+// SharedCounter is the get-or-create variant of Counter: when the
+// (name, labels) identity already exists as a counter, the existing
+// instance is returned instead of being replaced. Use it when many
+// short-lived owners (e.g. analyzed query plans) accumulate into one
+// collector.
+func (r *Registry) SharedCounter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(name, labels)
+	if c, ok := r.cols[k]; ok && c.counter != nil {
+		return c.counter
+	}
+	c := &Counter{}
+	r.cols[k] = &collector{name: name, help: help, kind: KindCounter, labels: labels, counter: c}
+	return c
+}
+
+// SharedHistogram is the get-or-create variant of Histogram. An
+// existing histogram is returned regardless of its bucket count.
+func (r *Registry) SharedHistogram(name, help string, buckets int, labels ...Label) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > 64 {
+		buckets = 64
+	}
+	if r == nil {
+		return &Histogram{buckets: make([]atomic.Uint64, buckets)}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := key(name, labels)
+	if c, ok := r.cols[k]; ok && c.hist != nil {
+		return c.hist
+	}
+	h := &Histogram{buckets: make([]atomic.Uint64, buckets)}
+	r.cols[k] = &collector{name: name, help: help, kind: KindHistogram, labels: labels, hist: h}
+	return h
+}
+
+// GaugeFunc registers (or replaces) a gauge computed by fn at
+// snapshot time. fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&collector{name: name, help: help, kind: KindGauge, labels: labels, fn: fn})
+}
+
+// CounterFunc registers (or replaces) a counter computed by fn at
+// snapshot time — for subsystems that already keep their own
+// monotonic tallies (e.g. buffer-pool hit counts under the pool
+// mutex).
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(&collector{name: name, help: help, kind: KindCounter, labels: labels, fn: fn})
+}
+
+// Snapshot returns every collector's current state, sorted by name
+// then label list. Each sample is read atomically per field; the
+// snapshot is internally consistent in the sense that histogram
+// counts equal the sum of their bucket counts as captured.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	cols := make([]*collector, 0, len(r.cols))
+	for _, c := range r.cols {
+		cols = append(cols, c)
+	}
+	r.mu.Unlock()
+
+	out := make([]Sample, 0, len(cols))
+	for _, c := range cols {
+		s := Sample{Name: c.name, Help: c.help, Kind: c.kind, Type: c.kind.String(), Labels: c.labels}
+		switch {
+		case c.fn != nil:
+			s.Value = c.fn()
+		case c.counter != nil:
+			s.Value = int64(c.counter.Load())
+		case c.gauge != nil:
+			s.Value = c.gauge.Load()
+		case c.hist != nil:
+			s.Buckets = make([]uint64, c.hist.NumBuckets())
+			var total uint64
+			for i := range s.Buckets {
+				s.Buckets[i] = c.hist.Bucket(i)
+				total += s.Buckets[i]
+			}
+			s.Sum = c.hist.Sum()
+			s.Value = int64(total)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return key("", out[i].Labels) < key("", out[j].Labels)
+	})
+	return out
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the power-of-two bucket edges:
+// 0 and 1 land in bucket 0, each power of two opens the next bucket,
+// and overflow clamps into the last bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", 4)
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 0}, // [0, 2)
+		{2, 1}, {3, 1}, // [2, 4)
+		{4, 2}, {7, 2}, // [4, 8)
+		{8, 3}, {15, 3}, // [8, 16)
+		{16, 3}, {1 << 40, 3}, // clamped overflow
+	}
+	for _, c := range cases {
+		before := h.Bucket(c.bucket)
+		h.Observe(c.v)
+		if got := h.Bucket(c.bucket); got != before+1 {
+			t.Fatalf("Observe(%d): bucket %d went %d -> %d, want +1", c.v, c.bucket, before, got)
+		}
+	}
+	if h.Count() != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(cases))
+	}
+	var wantSum uint64
+	for _, c := range cases {
+		wantSum += c.v
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+}
+
+// TestGaugeMax pins the lock-free max-tracking used for the engine's
+// maxbatch counter.
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Max(3)
+	g.Max(1)
+	g.Max(7)
+	g.Max(7)
+	if g.Load() != 7 {
+		t.Fatalf("max = %d, want 7", g.Load())
+	}
+}
+
+// TestConcurrentHammer drives every collector type from many
+// goroutines under -race and checks the totals are exact.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_gauge", "")
+	m := r.Gauge("hammer_max", "")
+	h := r.Histogram("hammer_hist", "", 8)
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				m.Max(int64(seed))
+				h.Observe(seed + uint64(i)%4)
+			}
+		}(uint64(w))
+	}
+	// Snapshot concurrently with the storm: must not race and must
+	// stay internally consistent (checked in detail below).
+	for i := 0; i < 50; i++ {
+		r.Snapshot()
+	}
+	wg.Wait()
+
+	if c.Load() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*perWorker)
+	}
+	if g.Load() != workers*perWorker {
+		t.Fatalf("gauge = %d, want %d", g.Load(), workers*perWorker)
+	}
+	if m.Load() != workers-1 {
+		t.Fatalf("max gauge = %d, want %d", m.Load(), workers-1)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+// TestSnapshotIsolation takes snapshots mid-storm and checks each one
+// is internally consistent: a histogram sample's total equals the sum
+// of its captured buckets (the invariant renderers rely on), and
+// counters never move backwards across successive snapshots.
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("storm_total", "")
+	h := r.Histogram("storm_hist", "", 8)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(i % 100)
+			}
+		}()
+	}
+
+	var lastCount int64
+	for i := 0; i < 200; i++ {
+		for _, s := range r.Snapshot() {
+			switch s.Name {
+			case "storm_hist":
+				var sum uint64
+				for _, b := range s.Buckets {
+					sum += b
+				}
+				if int64(sum) != s.Value {
+					t.Errorf("snapshot %d: hist value %d != bucket sum %d", i, s.Value, sum)
+				}
+			case "storm_total":
+				if s.Value < lastCount {
+					t.Errorf("snapshot %d: counter went backwards %d -> %d", i, lastCount, s.Value)
+				}
+				lastCount = s.Value
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestRegisterReplaces pins the replace-on-reregister contract that
+// engine re-attach depends on.
+func TestRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x", "", L("view", "v")...)
+	c1.Add(5)
+	c2 := r.Counter("x", "", L("view", "v")...)
+	if c1 == c2 {
+		t.Fatal("re-registration returned the same collector")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 0 {
+		t.Fatalf("snapshot after replace = %+v, want single fresh counter", snap)
+	}
+	// Distinct labels are distinct collectors.
+	r.Counter("x", "", L("view", "w")...)
+	if got := len(r.Snapshot()); got != 2 {
+		t.Fatalf("collectors = %d, want 2", got)
+	}
+}
+
+// TestNilRegistry checks instrumented code can run unregistered.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("n", "")
+	c.Inc()
+	g := r.Gauge("n2", "")
+	g.Set(3)
+	h := r.Histogram("n3", "", 4)
+	h.ObserveDuration(5 * time.Microsecond)
+	r.GaugeFunc("n4", "", func() int64 { return 1 })
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+}
+
+// TestWritePrometheus pins the exposition rendering: HELP/TYPE
+// headers, label blocks, cumulative buckets with power-of-two le
+// edges, +Inf terminal, and _sum/_count lines.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "things done", L("view", "v")...).Add(3)
+	r.Gauge("b_depth", "queue depth").Set(-2)
+	h := r.Histogram("c_hist", "sizes", 3)
+	h.Observe(1) // bucket 0
+	h.Observe(2) // bucket 1
+	h.Observe(9) // clamped to bucket 2
+	r.GaugeFunc("d_fn", "computed", func() int64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_total things done
+# TYPE a_total counter
+a_total{view="v"} 3
+# HELP b_depth queue depth
+# TYPE b_depth gauge
+b_depth -2
+# HELP c_hist sizes
+# TYPE c_hist histogram
+c_hist_bucket{le="1"} 1
+c_hist_bucket{le="3"} 2
+c_hist_bucket{le="+Inf"} 3
+c_hist_sum 12
+c_hist_count 3
+# HELP d_fn computed
+# TYPE d_fn gauge
+d_fn 42
+`
+	if b.String() != want {
+		t.Fatalf("prometheus rendering mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}

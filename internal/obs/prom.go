@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers per family, one
+// line per sample, histograms as cumulative _bucket{le="..."} series
+// plus _sum and _count. Output is deterministic: families sort by
+// name, series by label list.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	lastName := ""
+	for _, s := range samples {
+		if s.Name != lastName {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Type); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSample renders one sample's series lines.
+func writeSample(w io.Writer, s Sample) error {
+	if s.Kind != KindHistogram {
+		_, err := fmt.Fprintf(w, "%s%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Value)
+		return err
+	}
+	// Power-of-two buckets: bucket i holds values in [2^i, 2^(i+1)),
+	// so the cumulative upper bound of bucket i is 2^(i+1)-1. The
+	// last bucket is unbounded (le="+Inf").
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		le := fmt.Sprintf("%d", uint64(1)<<(i+1)-1)
+		if i == len(s.Buckets)-1 {
+			le = "+Inf"
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), cum)
+	return err
+}
+
+// promLabels renders a {a="b",...} label block, appending an extra
+// pair when extraName is non-empty; returns "" for no labels.
+func promLabels(labels []Label, extraName, extraVal string) string {
+	if len(labels) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	if extraName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraName, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// FormatLabels renders a {a="b",...} label block, or "" when empty —
+// the series identity used by Prometheus rendering and SHOW STATS.
+func FormatLabels(labels []Label) string { return promLabels(labels, "", "") }
+
+// escapeHelp escapes backslashes and newlines per the exposition
+// format rules for HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WriteJSON renders the snapshot as a JSON array — the /statsz
+// payload. Histogram samples carry their raw (non-cumulative)
+// power-of-two buckets.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// MetricsHandler serves the Prometheus text rendering (the /metrics
+// endpoint body).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the JSON rendering (the /statsz endpoint body).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+}

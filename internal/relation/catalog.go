@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"hazy/internal/obs"
 	"hazy/internal/storage"
 	"hazy/internal/wal"
 )
@@ -21,6 +22,10 @@ type Options struct {
 	// WALSegmentBytes caps a log segment before rotation — and a
 	// rotation triggers a checkpoint (default 4 MiB).
 	WALSegmentBytes int64
+	// Metrics, when non-nil, registers the WAL's collectors and one
+	// hits/misses/evictions/resident set per buffer pool (labeled
+	// file=<page file>) on the shared registry.
+	Metrics *obs.Registry
 }
 
 // DB is a catalog of tables, each backed by its own page file and
@@ -48,6 +53,8 @@ type DB struct {
 	ckptMu   sync.RWMutex
 	ckpt     wal.Pos // recovery start recorded in the manifest
 	ckptHook func() error
+
+	metrics *obs.Registry // nil: pools and the WAL stay unregistered
 }
 
 // OpenDB creates a database rooted at dir; each table's buffer pool
@@ -68,6 +75,7 @@ func OpenDBWith(dir string, poolPages int, opts Options) (*DB, error) {
 		SegmentBytes: opts.WALSegmentBytes,
 		Mode:         opts.Fsync,
 		VFS:          opts.VFS,
+		Metrics:      opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -80,6 +88,7 @@ func OpenDBWith(dir string, poolPages int, opts Options) (*DB, error) {
 		pools:     make(map[string]*storage.BufferPool),
 		log:       log,
 		syncMode:  opts.Fsync,
+		metrics:   opts.Metrics,
 	}, nil
 }
 
@@ -144,7 +153,9 @@ func (db *DB) newPoolLocked(file string) (*storage.BufferPool, error) {
 		return nil, err
 	}
 	db.pagers = append(db.pagers, pager)
-	return storage.NewBufferPool(pager, db.poolPages), nil
+	pool := storage.NewBufferPool(pager, db.poolPages)
+	pool.RegisterMetrics(db.metrics, obs.L("file", file)...)
+	return pool, nil
 }
 
 // Table returns the named table.

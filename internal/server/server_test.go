@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync"
@@ -534,5 +535,34 @@ func TestConcurrentTrainAndLabel(t *testing.T) {
 		if err != nil || n != perTopic {
 			t.Fatalf("COUNT = %d (%v), want %d", n, err, perTopic)
 		}
+	}
+}
+
+// TestStatsLineStableOrder pins the engine-counter section of the
+// STATS response byte for byte: external scrapers parse this line
+// with fixed key positions, so the key set, ordering, and formatting
+// documented on engine.Stats.String must not drift. The view-stats
+// prefix (updates/reorgs/band) carries timing-dependent values, so
+// only its key order is asserted; the engine section after a fixed,
+// fully synchronous write sequence is deterministic and pinned whole.
+func TestStatsLineStableOrder(t *testing.T) {
+	c := startStack(t, true)
+	// Six synchronous writes: each returns only after its batch is
+	// applied and published, so each is its own size-1 batch and the
+	// counters below are exact, not racy.
+	must(t, c, "ADD 1 relational query optimization")
+	must(t, c, "ADD 2 kernel interrupt handling")
+	must(t, c, "ADD 3 transaction concurrency control")
+	must(t, c, "TRAIN 1 +1")
+	must(t, c, "TRAIN 2 -1")
+	must(t, c, "TRAIN 3 +1")
+	resp := must(t, c, "STATS")
+	if !regexp.MustCompile(`^updates=\d+ reorgs=\d+ band=\d+ queued=`).MatchString(resp) {
+		t.Fatalf("STATS view-section key order drifted: %q", resp)
+	}
+	got := resp[strings.Index(resp, "queued="):]
+	want := "queued=0 pending=0 applied=6 trains=3 adds=3 batches=6 maxbatch=1 errors=0 snapver=7 hist=6/0/0/0/0/0/0/0"
+	if got != want {
+		t.Errorf("STATS engine section drifted:\n got %q\nwant %q", got, want)
 	}
 }

@@ -94,10 +94,20 @@ type OrderBy struct {
 	Desc bool
 }
 
-// Explain is EXPLAIN SELECT ...: plan the query and return the chosen
-// plan as text instead of executing it.
+// Explain is EXPLAIN [ANALYZE] SELECT ...: plan the query and return
+// the chosen plan as text. With Analyze the plan is also executed to
+// completion and each node is annotated with the rows it produced and
+// its inclusive wall time.
 type Explain struct {
-	Sel Select
+	Sel     Select
+	Analyze bool
+}
+
+// ShowStats is SHOW STATS [FOR view]: render the process metrics
+// registry as rows, optionally filtered to the collectors labeled
+// with one view's name.
+type ShowStats struct {
+	View string
 }
 
 // Cond is one conjunct: col op literal.
@@ -112,6 +122,7 @@ func (CreateView) stmt()   {}
 func (Insert) stmt()       {}
 func (Select) stmt()       {}
 func (Explain) stmt()      {}
+func (ShowStats) stmt()    {}
 func (AttachEngine) stmt() {}
 func (DetachEngine) stmt() {}
 func (Checkpoint) stmt()   {}

@@ -90,6 +90,7 @@ func (p *parser) statement() (Stmt, error) {
 	case p.accept("SELECT"):
 		return p.selectStmt()
 	case p.accept("EXPLAIN"):
+		analyze := p.accept("ANALYZE")
 		if err := p.expect("SELECT"); err != nil {
 			return nil, err
 		}
@@ -97,7 +98,9 @@ func (p *parser) statement() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return Explain{Sel: st.(Select)}, nil
+		return Explain{Sel: st.(Select), Analyze: analyze}, nil
+	case p.accept("SHOW"):
+		return p.showStats()
 	case p.accept("ATTACH"):
 		return p.attachEngine()
 	case p.accept("DETACH"):
@@ -107,6 +110,21 @@ func (p *parser) statement() (Stmt, error) {
 	default:
 		return nil, errAt(p.peek(), "unknown statement starting at %q", p.peek().text)
 	}
+}
+
+// showStats parses SHOW STATS [FOR view]: the metrics-registry read.
+func (p *parser) showStats() (Stmt, error) {
+	if err := p.expect("STATS"); err != nil {
+		return nil, err
+	}
+	var st ShowStats
+	if p.accept("FOR") {
+		var err error
+		if st.View, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
 }
 
 func (p *parser) attachEngine() (Stmt, error) {

@@ -231,3 +231,47 @@ func TestParsePartitionsClause(t *testing.T) {
 		}
 	}
 }
+
+// TestParseAnalyzeAndShowStats covers the observability statements:
+// EXPLAIN ANALYZE sets the Analyze flag on the wrapped select, and
+// SHOW STATS parses with and without a FOR view filter.
+func TestParseAnalyzeAndShowStats(t *testing.T) {
+	st, err := Parse("EXPLAIN ANALYZE SELECT id FROM v WHERE class = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := st.(Explain)
+	if !ok || !ex.Analyze || ex.Sel.From != "v" {
+		t.Fatalf("explain analyze: %#v", st)
+	}
+	if st, err = Parse("EXPLAIN SELECT id FROM v"); err != nil {
+		t.Fatal(err)
+	}
+	if ex = st.(Explain); ex.Analyze {
+		t.Fatalf("plain EXPLAIN parsed as ANALYZE: %#v", ex)
+	}
+
+	if st, err = Parse("SHOW STATS;"); err != nil {
+		t.Fatal(err)
+	}
+	if ss := st.(ShowStats); ss.View != "" {
+		t.Fatalf("show stats: %#v", ss)
+	}
+	if st, err = Parse("SHOW STATS FOR labeled"); err != nil {
+		t.Fatal(err)
+	}
+	if ss := st.(ShowStats); ss.View != "labeled" {
+		t.Fatalf("show stats for: %#v", ss)
+	}
+
+	for _, bad := range []string{
+		"SHOW",
+		"SHOW TABLES",
+		"SHOW STATS FOR",
+		"EXPLAIN ANALYZE CHECKPOINT",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("accepted: %s", bad)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+
+	"hazy/internal/obs"
 )
 
 // Frame is a buffer-pool slot holding one page image.
@@ -250,4 +252,19 @@ func (bp *BufferPool) Stats() PoolStats {
 		Resident:  len(bp.frames),
 		Capacity:  bp.capacity,
 	}
+}
+
+// RegisterMetrics exposes the pool's counters on reg (no-op when reg
+// is nil) under the given labels. The collectors are computed at
+// scrape time from the tallies the pool already keeps under its
+// mutex, so the pin path carries no extra instrumentation cost.
+func (bp *BufferPool) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.CounterFunc("hazy_pool_hits_total", "page pins served from a resident frame",
+		func() int64 { return bp.Stats().Hits }, labels...)
+	reg.CounterFunc("hazy_pool_misses_total", "page pins that read through the pager",
+		func() int64 { return bp.Stats().Misses }, labels...)
+	reg.CounterFunc("hazy_pool_evictions_total", "frames evicted to make room",
+		func() int64 { return bp.Stats().Evictions }, labels...)
+	reg.GaugeFunc("hazy_pool_resident_pages", "pages currently cached",
+		func() int64 { return int64(bp.Stats().Resident) }, labels...)
 }

@@ -1,0 +1,25 @@
+package wal
+
+import "hazy/internal/obs"
+
+// walMetrics holds the log's collectors. All observations happen on
+// the commit path (fsync, rotation) or append path (one atomic add
+// per record), never on replay or reads.
+type walMetrics struct {
+	fsyncDur  *obs.Histogram
+	cohort    *obs.Histogram
+	rotations *obs.Counter
+	appended  *obs.Counter
+}
+
+// init registers the collectors on reg (nil: they stay private).
+func (m *walMetrics) init(reg *obs.Registry) {
+	m.fsyncDur = reg.Histogram("hazy_wal_fsync_micros",
+		"fsync latency in microseconds (commit path and pre-rotation syncs)", 32)
+	m.cohort = reg.Histogram("hazy_wal_commit_cohort",
+		"committers coalesced onto one group-commit fsync", 8)
+	m.rotations = reg.Counter("hazy_wal_rotations_total",
+		"segment rotations (each triggers a checkpoint)")
+	m.appended = reg.Counter("hazy_wal_appended_bytes_total",
+		"framed bytes appended to the log")
+}

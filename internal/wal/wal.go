@@ -24,7 +24,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hazy/internal/obs"
 	"hazy/internal/storage"
 )
 
@@ -119,6 +121,10 @@ type Options struct {
 	Mode SyncMode
 	// VFS is the file layer (default the real filesystem).
 	VFS storage.VFS
+	// Metrics, when non-nil, registers the log's collectors (fsync
+	// latency, group-commit cohort size, rotations, appended bytes) on
+	// the shared registry. Nil leaves them unregistered.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +153,8 @@ type Log struct {
 	appended int64 // monotonic bytes appended across all segments
 	synced   int64 // appended watermark covered by an fsync
 	syncing  bool  // one committer is inside fsync
+	waiters  int   // committers waiting on the sync watermark
+	met      walMetrics
 
 	rotated atomic.Bool // set on rotation, taken by TakeRotated
 	closed  bool
@@ -181,6 +189,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	l := &Log{dir: dir, opts: opts}
 	l.cond = sync.NewCond(&l.mu)
+	l.met.init(opts.Metrics)
 	if len(segs) == 0 {
 		if err := l.createSegment(1); err != nil {
 			return nil, err
@@ -349,6 +358,7 @@ func (l *Log) Append(payload []byte) (Pos, error) {
 	}
 	l.off += frame
 	l.appended += frame
+	l.met.appended.Add(uint64(frame))
 	return pos, nil
 }
 
@@ -364,10 +374,12 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: log failed: %w", l.failed)
 	}
 	if l.opts.Mode == SyncAlways {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.failed = err
 			return fmt.Errorf("wal: sync before rotate: %w", err)
 		}
+		l.met.fsyncDur.ObserveDuration(time.Since(start))
 	}
 	// Everything appended so far lives in the outgoing segment and is
 	// now as durable as the mode promises.
@@ -381,6 +393,7 @@ func (l *Log) rotateLocked() error {
 	}
 	l.segs = append(l.segs, next)
 	l.rotated.Store(true)
+	l.met.rotations.Inc()
 	l.cond.Broadcast()
 	return nil
 }
@@ -421,17 +434,21 @@ func (l *Log) Commit() error {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	target := l.appended
+	l.waiters++
 	for {
 		if l.synced >= target {
+			l.waiters--
 			l.mu.Unlock()
 			return nil
 		}
 		if l.failed != nil {
+			l.waiters--
 			err := l.failed
 			l.mu.Unlock()
 			return fmt.Errorf("wal: log failed: %w", err)
 		}
 		if l.closed {
+			l.waiters--
 			l.mu.Unlock()
 			return fmt.Errorf("wal: closed")
 		}
@@ -440,16 +457,24 @@ func (l *Log) Sync() error {
 		}
 		l.cond.Wait()
 	}
+	l.waiters--
 	l.syncing = true
 	f := l.f
 	covered := l.appended // everything in the current file right now
+	// Every current waiter's target is ≤ covered, so this fsync's
+	// group-commit cohort is the syncer plus all of them.
+	cohort := 1 + l.waiters
 	l.mu.Unlock()
 
+	start := time.Now()
 	err := f.Sync()
+	elapsed := time.Since(start)
 
 	l.mu.Lock()
 	l.syncing = false
 	if err == nil {
+		l.met.fsyncDur.ObserveDuration(elapsed)
+		l.met.cohort.Observe(uint64(cohort))
 		if covered > l.synced {
 			l.synced = covered
 		}

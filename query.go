@@ -3,9 +3,11 @@ package hazy
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"hazy/internal/core"
 	"hazy/internal/exec"
+	"hazy/internal/obs"
 	"hazy/internal/relation"
 	"hazy/internal/sqlmini"
 )
@@ -415,12 +417,26 @@ func (s *Session) Query(src string) (*Rows, error) {
 		if err != nil {
 			return nil, err
 		}
+		if st.Analyze {
+			// EXPLAIN ANALYZE: wrap every node in the counting/timing
+			// decorator, run the plan to completion (rows are counted,
+			// not returned), and render the annotated tree. The result
+			// is static, so the server can ship it under its statement
+			// lock like any other non-live result.
+			an := exec.Instrument(plan.Root, s.db.metrics)
+			if err := drainPlan(an); err != nil {
+				return nil, err
+			}
+			plan.Root = an
+		}
 		lines := plan.Explain()
 		rows := make([][]string, len(lines))
 		for i, l := range lines {
 			rows[i] = []string{l}
 		}
 		return &Rows{cols: []string{"plan"}, static: rows}, nil
+	case sqlmini.ShowStats:
+		return s.showStats(st.View), nil
 	default:
 		res, err := s.execStmt(st)
 		if err != nil {
@@ -428,4 +444,55 @@ func (s *Session) Query(src string) (*Rows, error) {
 		}
 		return &Rows{msg: res.Msg}, nil
 	}
+}
+
+// drainPlan runs an instrumented plan to completion: Open, exhaust,
+// Close — the execution half of EXPLAIN ANALYZE.
+func drainPlan(op exec.Operator) error {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return err
+	}
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			op.Close()
+			return err
+		}
+		if !ok {
+			return op.Close()
+		}
+	}
+}
+
+// showStats renders the metrics registry as (metric, value) rows —
+// the SHOW STATS [FOR view] statement. Counters and gauges are one
+// row each; histograms surface as _count and _sum rows. FOR view
+// keeps only collectors labeled view=<view>.
+func (s *Session) showStats(view string) *Rows {
+	var rows [][]string
+	for _, sm := range s.db.metrics.Snapshot() {
+		if view != "" && !hasLabel(sm.Labels, "view", view) {
+			continue
+		}
+		lbl := obs.FormatLabels(sm.Labels)
+		if sm.Kind == obs.KindHistogram {
+			rows = append(rows,
+				[]string{sm.Name + "_count" + lbl, strconv.FormatInt(sm.Value, 10)},
+				[]string{sm.Name + "_sum" + lbl, strconv.FormatUint(sm.Sum, 10)})
+			continue
+		}
+		rows = append(rows, []string{sm.Name + lbl, strconv.FormatInt(sm.Value, 10)})
+	}
+	return &Rows{cols: []string{"metric", "value"}, static: rows}
+}
+
+// hasLabel reports whether labels contains name=value.
+func hasLabel(labels []obs.Label, name, value string) bool {
+	for _, l := range labels {
+		if l.Name == name && l.Value == value {
+			return true
+		}
+	}
+	return false
 }

@@ -261,3 +261,56 @@ func TestConcurrentSQLScanVsEngineIngest(t *testing.T) {
 		t.Fatalf("final entity count %v, want %d", r.Rows, 60+writers*per)
 	}
 }
+
+// TestShowStatsAndExplainAnalyze covers the two SQL surfaces of the
+// metrics registry: SHOW STATS renders the full registry (and FOR
+// narrows to one view's collectors), and EXPLAIN ANALYZE both
+// annotates the plan and accumulates per-operator totals into the
+// registry's shared exec counters.
+func TestShowStatsAndExplainAnalyze(t *testing.T) {
+	s := newSession(t)
+	buildQueryFixture(t, s, "qv", "HAZY", 12)
+
+	// EXPLAIN ANALYZE annotates every node with deterministic rows=
+	// and a wall time.
+	r := mustExec(t, s, "EXPLAIN ANALYZE SELECT COUNT(*) FROM qv WHERE eps >= -100.0 AND eps <= 100.0")
+	if len(r.Rows) != 2 {
+		t.Fatalf("EXPLAIN ANALYZE plan = %+v, want 2 nodes", r.Rows)
+	}
+	if want := "Count (rows=1 "; !strings.HasPrefix(r.Rows[0][0], want) {
+		t.Errorf("root node %q, want prefix %q", r.Rows[0][0], want)
+	}
+	if !strings.Contains(r.Rows[1][0], "(rows=60 ") || !strings.Contains(r.Rows[1][0], "time=") {
+		t.Errorf("leaf node %q, want rows=60 and a time annotation", r.Rows[1][0])
+	}
+
+	// The analyzed run fed the shared per-operator registry counters.
+	stats := mustExec(t, s, "SHOW STATS")
+	var sawExecRows, sawViewMetric bool
+	for _, row := range stats.Rows {
+		if strings.HasPrefix(row[0], `hazy_exec_rows_total{op="Count"}`) && row[1] != "0" {
+			sawExecRows = true
+		}
+		if strings.HasPrefix(row[0], "hazy_view_") {
+			sawViewMetric = true
+		}
+	}
+	if !sawExecRows {
+		t.Errorf("SHOW STATS missing nonzero hazy_exec_rows_total{op=\"Count\"}:\n%+v", stats.Rows)
+	}
+	if !sawViewMetric {
+		t.Errorf("SHOW STATS missing hazy_view_* collectors")
+	}
+
+	// FOR narrows to collectors labeled with the view's name, and
+	// every returned series carries that label.
+	forView := mustExec(t, s, "SHOW STATS FOR qv")
+	if len(forView.Rows) == 0 || len(forView.Rows) >= len(stats.Rows) {
+		t.Fatalf("SHOW STATS FOR qv returned %d rows (full registry has %d)", len(forView.Rows), len(stats.Rows))
+	}
+	for _, row := range forView.Rows {
+		if !strings.Contains(row[0], `view="qv"`) {
+			t.Errorf("SHOW STATS FOR qv row %q lacks the view label", row[0])
+		}
+	}
+}

@@ -57,6 +57,16 @@ EXPLAIN SELECT id, class FROM labeled ORDER BY id DESC LIMIT 3;
 EXPLAIN SELECT title FROM papers WHERE id = 2;
 EXPLAIN SELECT COUNT(*) FROM feedback WHERE label = 1;
 
+-- EXPLAIN ANALYZE runs the plan to completion and annotates every
+-- node with the rows it produced and its inclusive wall time. Row
+-- counts are deterministic for these shapes -- the wide eps band
+-- covers every row regardless of where the maintenance watermark
+-- sits -- while times are normalized by the harness before comparing.
+EXPLAIN ANALYZE SELECT class FROM labeled WHERE id = 5;
+EXPLAIN ANALYZE SELECT id FROM labeled WHERE class = 1;
+EXPLAIN ANALYZE SELECT COUNT(*) FROM labeled WHERE eps >= -100.0 AND eps <= 100.0;
+EXPLAIN ANALYZE SELECT id FROM labeled ORDER BY ABS(eps) LIMIT 2;
+
 -- The eps column, ORDER BY, and LIMIT execute too. Wide eps bands
 -- keep the transcript independent of exact model floats, and the
 -- boundary walk is exercised only through EXPLAIN above: its row
@@ -114,6 +124,9 @@ SELECT COUNT(*) FROM striped WHERE class = 1;
 SELECT COUNT(*) FROM striped WHERE eps >= -100.0 AND eps <= 100.0;
 EXPLAIN SELECT id FROM striped WHERE eps >= -0.75 AND eps <= 0.75;
 EXPLAIN SELECT id, class FROM striped;
+-- The fifth EXPLAIN ANALYZE shape: a scatter-gather merge over the
+-- live striped layout (engined snapshots below are pre-merged).
+EXPLAIN ANALYZE SELECT COUNT(*) FROM striped WHERE eps >= -100.0 AND eps <= 100.0;
 
 -- Engined, the published snapshot is already merged: same answers,
 -- single-cursor plans.
