@@ -14,6 +14,20 @@
 //
 //	hazyd [-addr :7437] [-db DIR] [-view labeled_papers] [-workers N] [-batch N] [-queue N] [-engine=false]
 //	      [-fsync always|off] [-wal-segment BYTES] [-partitions P] [-metrics ADDR]
+//	      [-ship ADDR] [-replica-of HOST:PORT]
+//
+// -ship ADDR serves the replication stream (WAL log shipping)
+// alongside the protocol listener; any number of replicas can
+// bootstrap from and tail it. -replica-of HOST:PORT boots this
+// process as a read-only replica of the primary shipping there: a
+// fresh -db directory seeds itself from the primary's checkpoint
+// image (retrying for ~30s so both sides can start together), the
+// stream is tailed continuously with reconnect-and-resume, reads are
+// served locally from republished view snapshots, and every mutation
+// is rejected until PROMOTE (SQL or verb) turns the replica into a
+// writable primary at the exact position it applied to. Replica mode
+// skips the default bootstrap stack and -engine (the applier owns
+// maintenance).
 //
 // -metrics ADDR starts an HTTP observability server alongside the
 // TCP protocol listener: GET /metrics serves the process metrics
@@ -69,6 +83,7 @@ import (
 	"runtime"
 	"strings"
 	"syscall"
+	"time"
 
 	root "hazy"
 	"hazy/internal/server"
@@ -94,6 +109,8 @@ func run() (err error) {
 		walSeg    = flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes; each rotation triggers a catalog checkpoint")
 		parts     = flag.Int("partitions", 0, "stripe count for views declared without PARTITIONS (hash-partitioned parallel maintenance; 0/1 = unstriped)")
 		metrics   = flag.String("metrics", "", "HTTP observability listen address serving /metrics (Prometheus text), /statsz (JSON), /debug/pprof/* (empty = disabled)")
+		ship      = flag.String("ship", "", "serve the replication stream (WAL log shipping) on this address, e.g. :7438 (empty = disabled)")
+		replicaOf = flag.String("replica-of", "", "serve as a read-only replica of the primary shipping at this address; writes are rejected until PROMOTE")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -109,11 +126,20 @@ func run() (err error) {
 		}
 		defer os.RemoveAll(dir)
 	}
-	db, err := root.OpenWith(dir, root.OpenOptions{
+	opts := root.OpenOptions{
 		Fsync:             *fsync,
 		WALSegmentBytes:   *walSeg,
 		DefaultPartitions: *parts,
-	})
+	}
+	if *replicaOf != "" {
+		// Seed a fresh directory from the primary's checkpoint image
+		// (a directory that already holds a database resumes instead).
+		// The primary may still be booting — retry the initial fetch.
+		if err := bootstrapReplica(dir, *replicaOf, opts); err != nil {
+			return err
+		}
+	}
+	db, err := root.OpenWith(dir, opts)
 	if err != nil {
 		return err
 	}
@@ -126,35 +152,42 @@ func run() (err error) {
 		}
 	}()
 
-	// Bootstrap: recovered catalogs re-declare their views from the
-	// manifest; a fresh directory gets the default stack.
-	if _, verr := db.View(*viewName); verr != nil {
-		if _, err := db.EntityTableByName("papers"); err != nil {
-			if _, err := db.CreateEntityTable("papers", "title"); err != nil {
-				return err
-			}
-		}
-		if _, err := db.ExampleTableByName("feedback"); err != nil {
-			if _, err := db.CreateExampleTable("feedback"); err != nil {
-				return err
-			}
-		}
-		if _, err := db.CreateClassificationView(root.ViewSpec{
-			Name:     *viewName,
-			Entities: "papers",
-			Examples: "feedback",
+	if *replicaOf != "" {
+		// Replica mode: no local bootstrap stack (the catalog comes
+		// from the stream), no engine (the applier owns maintenance),
+		// and mutations are rejected until PROMOTE. A stream error is
+		// logged, not fatal — the replica keeps serving what it has.
+		if err := db.StartReplica(*replicaOf, func(format string, args ...any) {
+			fmt.Printf("hazyd: "+format+"\n", args...)
 		}); err != nil {
 			return err
 		}
 	}
+
+	// Bootstrap: recovered catalogs re-declare their views from the
+	// manifest; a fresh directory gets the default stack.
+	if *replicaOf == "" {
+		if err := bootstrapDefaultStack(db, *viewName); err != nil {
+			return err
+		}
+	}
 	mode := "mutex"
-	if *useEngine {
+	if *replicaOf != "" {
+		mode = "replica"
+	} else if *useEngine {
 		mode = "engine"
 		if _, err := db.AttachEngine(*viewName, root.EngineOptions{
 			MaxBatch: *batch, QueueSize: *queue,
 		}); err != nil {
 			return err
 		}
+	}
+	if *ship != "" {
+		shipper, err := db.StartShipping(*ship)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("hazyd: shipping WAL on %s\n", shipper.Addr())
 	}
 	srv := server.New(db, server.Options{DefaultView: *viewName})
 
@@ -206,4 +239,46 @@ func run() (err error) {
 	}
 	fmt.Println("hazyd: draining and closing")
 	return nil
+}
+
+// bootstrapDefaultStack creates the default papers/feedback/view stack
+// when the default view is missing. Recovered catalogs re-declare
+// their views from the manifest and skip this.
+func bootstrapDefaultStack(db *root.DB, viewName string) error {
+	if _, err := db.View(viewName); err == nil {
+		return nil
+	}
+	if _, err := db.EntityTableByName("papers"); err != nil {
+		if _, err := db.CreateEntityTable("papers", "title"); err != nil {
+			return err
+		}
+	}
+	if _, err := db.ExampleTableByName("feedback"); err != nil {
+		if _, err := db.CreateExampleTable("feedback"); err != nil {
+			return err
+		}
+	}
+	_, err := db.CreateClassificationView(root.ViewSpec{
+		Name:     viewName,
+		Entities: "papers",
+		Examples: "feedback",
+	})
+	return err
+}
+
+// bootstrapReplica fetches the primary's checkpoint image into dir,
+// retrying the initial connection for up to ~30s so a replica can be
+// started alongside (or slightly before) its primary.
+func bootstrapReplica(dir, primary string, opts root.OpenOptions) error {
+	var err error
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if err = root.BootstrapReplica(dir, primary, opts); err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bootstrap from %s: %w", primary, err)
+		}
+		fmt.Printf("hazyd: bootstrap from %s: %v — retrying\n", primary, err)
+		time.Sleep(500 * time.Millisecond)
+	}
 }

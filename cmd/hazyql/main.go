@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	root "hazy"
 	"hazy/internal/repl"
@@ -47,7 +48,7 @@ func main() {
 
 	var exec repl.Executor
 	if *connect != "" {
-		c, err := server.Dial(*connect)
+		c, err := dialRetry(*connect)
 		if err != nil {
 			fatal(err)
 		}
@@ -89,6 +90,21 @@ func main() {
 	if err := repl.Run(exec, in, os.Stdout, interactive); err != nil {
 		fatal(err)
 	}
+}
+
+// dialRetry connects to a hazyd server, retrying with a short backoff
+// for ~5s so scripts can launch hazyql right after hazyd without
+// racing its listener.
+func dialRetry(addr string) (*server.Client, error) {
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		var c *server.Client
+		if c, err = server.Dial(addr); err == nil {
+			return c, nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return nil, err
 }
 
 func fatal(err error) {

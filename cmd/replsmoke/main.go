@@ -1,0 +1,321 @@
+// Command replsmoke is the replication smoke harness CI runs against
+// real processes: it boots a primary hazyd shipping its WAL plus two
+// replica hazyds, drives mixed DDL/ADD/TRAIN traffic over the text
+// protocol, kill -9s one replica mid-stream and restarts it, then
+// requires every replica to converge to byte-identical SELECT results
+// within a bounded drain window. Apply throughput and the killed
+// replica's recovery time are emitted as a flat benchmark JSON
+// (informational keys) for cmd/benchdiff.
+//
+// Usage:
+//
+//	replsmoke -hazyd ./hazyd [-entities 300] [-out BENCH_pr7.json]
+//
+// Exit status 1 on divergence, unbounded lag, or a dead process.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"hazy/internal/server"
+)
+
+var goldenQueries = []string{
+	"SELECT COUNT(*) FROM papers",
+	"SELECT COUNT(*) FROM feedback",
+	"SELECT id, title FROM papers ORDER BY id",
+	"SELECT id, label FROM feedback ORDER BY id",
+	"SELECT COUNT(*) FROM labeled_papers WHERE class = 1",
+	"SELECT id, class FROM labeled_papers ORDER BY id",
+	"SELECT id, body FROM notes ORDER BY id",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "replsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		hazyd    = flag.String("hazyd", "", "path to a prebuilt hazyd binary (required)")
+		entities = flag.Int("entities", 300, "entities (and training examples) to stream")
+		out      = flag.String("out", "", "write benchmark JSON here (flat map for cmd/benchdiff)")
+	)
+	flag.Parse()
+	if *hazyd == "" {
+		return fmt.Errorf("-hazyd is required (go build -o hazyd ./cmd/hazyd)")
+	}
+
+	work, err := os.MkdirTemp("", "replsmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	primAddr, shipAddr := freeAddr(), freeAddr()
+	rep1Addr, rep2Addr := freeAddr(), freeAddr()
+	procs := map[string]*exec.Cmd{}
+	defer func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill() //nolint:errcheck
+				p.Wait()         //nolint:errcheck
+			}
+		}
+	}()
+	launch := func(name string, args ...string) error {
+		cmd := exec.Command(*hazyd, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("start %s: %w", name, err)
+		}
+		procs[name] = cmd
+		return nil
+	}
+	rep1Args := []string{
+		"-addr", rep1Addr, "-replica-of", shipAddr,
+		"-db", filepath.Join(work, "rep1"), "-fsync", "off",
+	}
+	if err := launch("primary",
+		"-addr", primAddr, "-ship", shipAddr,
+		"-db", filepath.Join(work, "prim"), "-fsync", "off", "-engine=false",
+	); err != nil {
+		return err
+	}
+	if err := launch("rep1", rep1Args...); err != nil {
+		return err
+	}
+	if err := launch("rep2",
+		"-addr", rep2Addr, "-replica-of", shipAddr,
+		"-db", filepath.Join(work, "rep2"), "-fsync", "off",
+	); err != nil {
+		return err
+	}
+
+	prim, err := dialRetry(primAddr)
+	if err != nil {
+		return fmt.Errorf("dial primary: %w", err)
+	}
+	defer prim.Close()
+
+	// Both replicas must be attached to the stream before traffic
+	// starts, so the run exercises continuous replay — not just the
+	// bootstrap image.
+	if err := waitConnections(prim, 2, 30*time.Second); err != nil {
+		return err
+	}
+
+	// Mixed traffic, phase 1: entities + examples through the verbs,
+	// DDL + plain-table inserts through SQL, a checkpoint mid-stream
+	// (the primary prunes its WAL under the live followers).
+	title := func(id int) string {
+		if id%2 == 0 {
+			return fmt.Sprintf("relational database query optimization paper %d", id)
+		}
+		return fmt.Sprintf("operating system kernel scheduling notes %d", id)
+	}
+	if _, err := prim.Exec("CREATE TABLE notes (id BIGINT, body TEXT) KEY id"); err != nil {
+		return err
+	}
+	half := *entities / 2
+	start := time.Now()
+	feed := func(lo, hi int) error {
+		for id := lo; id < hi; id++ {
+			if _, err := prim.Do(fmt.Sprintf("ADD %d %s", id, title(id))); err != nil {
+				return err
+			}
+			if _, err := prim.Do(fmt.Sprintf("TRAIN %d %+d", id, 1-2*(id%2))); err != nil {
+				return err
+			}
+			if id%50 == 0 {
+				if _, err := prim.Exec(fmt.Sprintf("INSERT INTO notes VALUES (%d, 'note %d')", id, id)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := feed(1, half); err != nil {
+		return err
+	}
+	if _, err := prim.Exec("CHECKPOINT"); err != nil {
+		return err
+	}
+
+	// Kill -9 one replica mid-stream, keep the traffic flowing, then
+	// restart it over the same directory: recovery replays its local
+	// journal of shipped records and the stream resumes at the cursor.
+	fmt.Println("replsmoke: kill -9 rep1 mid-stream")
+	if err := procs["rep1"].Process.Kill(); err != nil {
+		return err
+	}
+	procs["rep1"].Wait() //nolint:errcheck
+	delete(procs, "rep1")
+	if err := feed(half, *entities+1); err != nil {
+		return err
+	}
+	restart := time.Now()
+	if err := launch("rep1", rep1Args...); err != nil {
+		return err
+	}
+
+	// Convergence: every replica must serve byte-identical results for
+	// the golden query set within the drain window — the bounded-lag
+	// assertion.
+	want, err := golden(prim)
+	if err != nil {
+		return err
+	}
+	recovery := time.Duration(0)
+	for _, r := range []struct{ name, addr string }{{"rep1", rep1Addr}, {"rep2", rep2Addr}} {
+		d, err := converge(r.addr, want, 60*time.Second)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		fmt.Printf("replsmoke: %s converged in %v\n", r.name, d)
+		if r.name == "rep1" {
+			recovery = time.Since(restart)
+		}
+	}
+
+	// Apply throughput from the replica's own counters.
+	rc, err := dialRetry(rep2Addr)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	statsLine, err := rc.Do("STATS replica")
+	if err != nil {
+		return err
+	}
+	fmt.Println("replsmoke: rep2", statsLine)
+	applied := statValue(statsLine, "apply_records_total")
+	elapsed := time.Since(start).Seconds()
+
+	fmt.Printf("replsmoke: PASS — %d entities, %d records applied, rep1 recovered in %v\n",
+		*entities, applied, recovery.Round(time.Millisecond))
+	if *out != "" {
+		bench := map[string]any{
+			"replsmoke_entities":  *entities,
+			"replsmoke_replicas":  2,
+			"apply_rate_rec_s":    float64(applied) / elapsed,
+			"lag_recovery_ms":     float64(recovery.Milliseconds()),
+			"apply_records_total": applied,
+		}
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("replsmoke: wrote", *out)
+	}
+	return nil
+}
+
+// golden renders the golden query set over one connection.
+func golden(c *server.Client) (string, error) {
+	var b strings.Builder
+	for _, q := range goldenQueries {
+		res, err := c.Exec(q)
+		if err != nil {
+			return "", fmt.Errorf("%q: %w", q, err)
+		}
+		fmt.Fprintf(&b, "-- %s\n", q)
+		for _, row := range res.Rows {
+			fmt.Fprintln(&b, strings.Join(row, "|"))
+		}
+	}
+	return b.String(), nil
+}
+
+// converge polls addr until its golden results byte-match want.
+func converge(addr, want string, window time.Duration) (time.Duration, error) {
+	start := time.Now()
+	deadline := start.Add(window)
+	var got string
+	var lastErr error
+	for time.Now().Before(deadline) {
+		c, err := dialRetry(addr)
+		if err != nil {
+			return 0, err
+		}
+		got, lastErr = golden(c)
+		c.Close()
+		if lastErr == nil && got == want {
+			return time.Since(start), nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if lastErr != nil {
+		return 0, fmt.Errorf("lag did not drain in %v: %v", window, lastErr)
+	}
+	return 0, fmt.Errorf("diverged after %v\nwant:\n%s\ngot:\n%s", window, want, got)
+}
+
+func dialRetry(addr string) (*server.Client, error) {
+	var err error
+	for i := 0; i < 100; i++ {
+		var c *server.Client
+		if c, err = server.Dial(addr); err == nil {
+			return c, nil
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// waitConnections polls the primary's STATS replica line until n
+// followers are streaming.
+func waitConnections(prim *server.Client, n int, window time.Duration) error {
+	deadline := time.Now().Add(window)
+	for {
+		line, err := prim.Do("STATS replica")
+		if err != nil {
+			return err
+		}
+		if statValue(line, "ship_connections") >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d of %d replicas attached in %v",
+				statValue(line, "ship_connections"), n, window)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// statValue pulls one key=value pair off a STATS replica line.
+func statValue(line, key string) int {
+	for _, part := range strings.Fields(line) {
+		if v, ok := strings.CutPrefix(part, key+"="); ok {
+			n, _ := strconv.Atoi(v)
+			return n
+		}
+	}
+	return 0
+}
+
+// freeAddr reserves an ephemeral localhost port and releases it for a
+// child process to bind — the standard smoke-test idiom.
+func freeAddr() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}

@@ -73,6 +73,7 @@ import (
 	"hazy/internal/learn"
 	"hazy/internal/obs"
 	"hazy/internal/relation"
+	"hazy/internal/replica"
 	"hazy/internal/storage"
 	"hazy/internal/vector"
 	"hazy/internal/wal"
@@ -121,6 +122,18 @@ type DB struct {
 	engines  map[string]*engine.Engine // view name → attached engine
 	pending  []ViewSpec                // manifest views awaiting a custom feature function
 	creating map[string]bool           // view names reserved by an in-flight create
+
+	// Replication (replication.go). stmtMu serializes whole statements
+	// across every writer surface — the server shares it, and on a
+	// replica the log applier holds it per applied record — so shipped
+	// records interleave with local statements, never with half of one.
+	// readOnly flips on while this process serves as a replica; repl is
+	// registered at open so the replica metric names surface everywhere.
+	stmtMu   sync.Mutex
+	readOnly atomic.Bool
+	repl     *replica.Metrics
+	shipper  *replica.Shipper
+	applier  *replica.Applier
 }
 
 // OpenOptions configures a database's durability machinery.
@@ -205,13 +218,14 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 		vfs:          vfs,
 		fsync:        mode,
 		defaultParts: opts.DefaultPartitions,
-		views:    map[string]*ClassView{},
-		tables:   map[string]*EntityTable{},
-		examples: map[string]*ExampleTable{},
-		specs:    map[string]ViewSpec{},
-		engines:  map[string]*engine.Engine{},
-		creating: map[string]bool{},
+		views:        map[string]*ClassView{},
+		tables:       map[string]*EntityTable{},
+		examples:     map[string]*ExampleTable{},
+		specs:        map[string]ViewSpec{},
+		engines:      map[string]*engine.Engine{},
+		creating:     map[string]bool{},
 	}
+	db.repl = replica.NewMetrics(metrics)
 	names, err := db.rel.Recover()
 	if err != nil {
 		return nil, err
@@ -357,6 +371,19 @@ func (db *DB) RecoverPendingViews() error {
 // returns the first error — including any unreported asynchronous
 // write failure surfaced by an engine's final drain.
 func (db *DB) Close() error {
+	// Replication machinery first: the applier must stop mutating
+	// before the engines drain and the catalog closes, and the shipper
+	// must release its Followers before the log closes.
+	db.mu.Lock()
+	shipper, applier := db.shipper, db.applier
+	db.shipper, db.applier = nil, nil
+	db.mu.Unlock()
+	if applier != nil {
+		applier.Stop() //nolint:errcheck — a terminal stream error doesn't block close
+	}
+	if shipper != nil {
+		shipper.Close() //nolint:errcheck — listener teardown
+	}
 	db.mu.RLock()
 	engines := make([]*engine.Engine, 0, len(db.engines))
 	for _, eng := range db.engines {
@@ -399,8 +426,24 @@ type EntityTable struct {
 }
 
 // CreateEntityTable creates a table with key column "id" and one text
-// column, and records it in the catalog manifest.
+// column, and records it in the catalog manifest. The DDL also rides
+// the write-ahead log as a metadata record, so replicas tailing this
+// database reconcile it in stream order — before any row that
+// references it.
 func (db *DB) CreateEntityTable(name, textColumn string) (*EntityTable, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
+	et, err := db.createEntityTable(name, textColumn)
+	if err != nil {
+		return nil, err
+	}
+	return et, db.rel.CommitLog()
+}
+
+// createEntityTable is CreateEntityTable without the read-only guard
+// and the commit barrier — the replica applier's reconcile path.
+func (db *DB) createEntityTable(name, textColumn string) (*EntityTable, error) {
 	schema, err := relation.NewSchema([]relation.Column{
 		{Name: "id", Type: relation.TInt64},
 		{Name: textColumn, Type: relation.TString},
@@ -419,7 +462,7 @@ func (db *DB) CreateEntityTable(name, textColumn string) (*EntityTable, error) {
 	if err := db.saveMeta(); err != nil {
 		return nil, err
 	}
-	return et, nil
+	return et, db.shipMetaLocked()
 }
 
 // Name returns the table name.
@@ -436,6 +479,9 @@ func (t *EntityTable) TextColumn() string {
 // (synchronously — it returns once applied and visible), so both
 // surfaces stay consistent.
 func (t *EntityTable) InsertText(id int64, text string) error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	if eng := t.db.engineForEntities(t); eng != nil {
 		return eng.Add(id, text)
 	}
@@ -492,8 +538,22 @@ type ExampleTable struct {
 }
 
 // CreateExampleTable creates an examples table with columns
-// (id, label) and records it in the catalog manifest.
+// (id, label) and records it in the catalog manifest; like every DDL
+// it also rides the write-ahead log for replicas.
 func (db *DB) CreateExampleTable(name string) (*ExampleTable, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
+	et, err := db.createExampleTable(name)
+	if err != nil {
+		return nil, err
+	}
+	return et, db.rel.CommitLog()
+}
+
+// createExampleTable is CreateExampleTable without the read-only
+// guard and the commit barrier — the replica applier's reconcile path.
+func (db *DB) createExampleTable(name string) (*ExampleTable, error) {
 	schema, err := relation.NewSchema([]relation.Column{
 		{Name: "id", Type: relation.TInt64},
 		{Name: "label", Type: relation.TInt64},
@@ -512,7 +572,7 @@ func (db *DB) CreateExampleTable(name string) (*ExampleTable, error) {
 	if err := db.saveMeta(); err != nil {
 		return nil, err
 	}
-	return et, nil
+	return et, db.shipMetaLocked()
 }
 
 // Name returns the table name.
@@ -523,6 +583,9 @@ func (t *ExampleTable) Name() string { return t.tbl.Name() }
 // this table has a maintenance engine attached, the insert routes
 // through the engine's write queue (synchronously).
 func (t *ExampleTable) InsertExample(id int64, label int) error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	if label != 1 && label != -1 {
 		return fmt.Errorf("hazy: label must be ±1, got %d", label)
 	}
@@ -541,6 +604,9 @@ func (t *ExampleTable) Len() int { return t.tbl.Len() }
 // engine's write queue has no retrain op, so a silent delete would
 // leave the served view stale. Detach the engine first.
 func (t *ExampleTable) DeleteExample(id int64) error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	if t.db.engineForExamples(t) != nil {
 		return fmt.Errorf("hazy: %s is engine-managed; detach the engine before deleting examples", t.Name())
 	}
@@ -551,6 +617,9 @@ func (t *ExampleTable) DeleteExample(id int64) error {
 // table retrains its model from scratch. Like DeleteExample it is
 // rejected while the table is engine-managed.
 func (t *ExampleTable) RelabelExample(id int64, label int) error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	if label != 1 && label != -1 {
 		return fmt.Errorf("hazy: label must be ±1, got %d", label)
 	}
@@ -626,6 +695,12 @@ type ClassView struct {
 	// the table triggers then skip this view (the engine applies the
 	// maintenance itself, batched, on its own goroutine).
 	managed atomic.Bool
+	// pub is the replica serving snapshot: while this process applies a
+	// shipped stream, reads come lock-free from here — republished
+	// after every applied batch — instead of the live structure the
+	// applier is mutating. Nil on a primary (and after PROMOTE), where
+	// reads go live or through an attached engine's snapshots.
+	pub atomic.Pointer[core.Snapshot]
 }
 
 // CreateClassificationView declares and materializes a view: the
@@ -635,7 +710,14 @@ type ClassView struct {
 // declaration is recorded in the catalog manifest so Open re-declares
 // it after a restart.
 func (db *DB) CreateClassificationView(spec ViewSpec) (*ClassView, error) {
-	return db.createClassificationView(spec, true)
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
+	cv, err := db.createClassificationView(spec, true)
+	if err != nil {
+		return nil, err
+	}
+	return cv, db.rel.CommitLog()
 }
 
 func (db *DB) createClassificationView(spec ViewSpec, persist bool) (*ClassView, error) {
@@ -675,6 +757,9 @@ func (db *DB) createClassificationView(spec ViewSpec, persist bool) (*ClassView,
 	db.specs[spec.Name] = cv.spec
 	if persist {
 		if err := db.saveMeta(); err != nil {
+			return nil, err
+		}
+		if err := db.shipMetaLocked(); err != nil {
 			return nil, err
 		}
 	}
@@ -845,13 +930,28 @@ func (v *ClassView) Name() string { return v.name }
 func (v *ClassView) Method() string { return v.method }
 
 // Label answers a Single Entity read: the current class of entity id.
-func (v *ClassView) Label(id int64) (int, error) { return v.view.Label(id) }
+func (v *ClassView) Label(id int64) (int, error) {
+	if s := v.pub.Load(); s != nil {
+		return s.Label(id)
+	}
+	return v.view.Label(id)
+}
 
 // Members answers an All Members read: ids currently labeled +1.
-func (v *ClassView) Members() ([]int64, error) { return v.view.Members() }
+func (v *ClassView) Members() ([]int64, error) {
+	if s := v.pub.Load(); s != nil {
+		return s.Members(), nil
+	}
+	return v.view.Members()
+}
 
 // CountMembers counts the entities currently labeled +1.
-func (v *ClassView) CountMembers() (int, error) { return v.view.CountMembers() }
+func (v *ClassView) CountMembers() (int, error) {
+	if s := v.pub.Load(); s != nil {
+		return s.CountMembers(), nil
+	}
+	return v.view.CountMembers()
+}
 
 // Classify scores free text against the view's current model without
 // storing anything (ad-hoc prediction). A view whose model has never
@@ -871,6 +971,9 @@ func (v *ClassView) Classify(text string) (int, error) {
 // `eps` column; views built with the naive strategy keep no eps and
 // return an error.
 func (v *ClassView) Eps(id int64) (float64, error) {
+	if s := v.pub.Load(); s != nil && s.Clustered() {
+		return s.EpsOf(id)
+	}
 	if ei, ok := v.view.(core.EpsIndexed); ok && ei.Clustered() {
 		return ei.EpsOf(id)
 	}
@@ -921,6 +1024,9 @@ type EngineOptions = engine.Options
 // DetachEngine — or DB.Close — drains the queue and re-enables the
 // triggers. Requires a snapshot-capable (main-memory) view.
 func (db *DB) AttachEngine(view string, opts EngineOptions) (*engine.Engine, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	cv, ok := db.views[view]

@@ -53,6 +53,14 @@ type DB struct {
 	ckptMu   sync.RWMutex
 	ckpt     wal.Pos // recovery start recorded in the manifest
 	ckptHook func() error
+	// shipped is the replication resume cursor: the primary position
+	// one past the last shipped record this database applied (zero
+	// when it never applied one). Written by the single applier under
+	// ckptMu shared and by recovery; read under ckptMu exclusive.
+	shipped wal.Pos
+	// lastMeta is the newest walMeta blob recovery replayed (nil when
+	// none): the DDL reconcile seed for a reopening replica.
+	lastMeta []byte
 
 	metrics *obs.Registry // nil: pools and the WAL stay unregistered
 }

@@ -167,6 +167,25 @@ func (db *DB) replayMutation(payload []byte) error {
 	if op == walImage {
 		return nil // applied by the image pre-pass
 	}
+	if op == walMeta {
+		// Catalog metadata for replication: no heap effect, but the
+		// newest blob is kept so a replica reopening mid-stream can
+		// reconcile DDL whose side effects a crash interrupted.
+		db.lastMeta = body
+		return nil
+	}
+	if op == walShipped {
+		// A replica's journal of an applied primary record: track the
+		// resume cursor, then redo the wrapped record idempotently.
+		pos, inner, err := decodeShipped(body)
+		if err != nil {
+			return err
+		}
+		if db.shipped.Before(pos) {
+			db.shipped = pos
+		}
+		return db.replayMutation(inner)
+	}
 	db.catMu.RLock()
 	t, ok := db.tables[name]
 	db.catMu.RUnlock()

@@ -38,6 +38,11 @@ type manifest struct {
 	// Wal is the checkpoint position: recovery replays the log from
 	// here. Absent in pre-WAL directories (replay from the start).
 	Wal *wal.Pos `json:"wal,omitempty"`
+	// Shipped is the replication resume cursor (replicas only): the
+	// primary position one past the last shipped record whose effect
+	// the checkpoint contains. Records applied after the checkpoint
+	// advance it further during log replay (walShipped wrappers).
+	Shipped *wal.Pos `json:"shipped,omitempty"`
 }
 
 // writeManifest renders and atomically replaces the catalog manifest,
@@ -45,6 +50,10 @@ type manifest struct {
 // checkpoint lock and (at least) the catalog read lock.
 func (db *DB) writeManifest(pos wal.Pos) error {
 	m := manifest{Wal: &pos}
+	if db.shipped != (wal.Pos{}) {
+		shipped := db.shipped
+		m.Shipped = &shipped
+	}
 	for _, name := range db.tableNamesLocked() {
 		t := db.tables[name]
 		tm := tableManifest{Name: name, Key: t.schema.Cols[t.schema.Key].Name}
@@ -91,6 +100,9 @@ func (db *DB) Recover() ([]string, error) {
 		start = *m.Wal
 	}
 	db.ckpt = start
+	if m.Shipped != nil {
+		db.shipped = *m.Shipped
+	}
 	// Pass 1: restore journaled full-page images, healing any torn
 	// in-place page write before the heaps are scanned.
 	if err := db.applyImagePass(start); err != nil {

@@ -1,0 +1,49 @@
+package replica
+
+import "hazy/internal/obs"
+
+// Metrics holds both sides' replication collectors on one struct: the
+// ship_* collectors move on a primary, the apply/lag collectors on a
+// replica, and a promoted replica that starts shipping moves both.
+// They are registered unconditionally at database open so the metric
+// names surface (as zeros) on every deployment — SHOW STATS FOR
+// replica pins the set.
+type Metrics struct {
+	ApplyBatches *obs.Counter // committed apply batches
+	ApplyRecords *obs.Counter // shipped records applied
+	Connected    *obs.Gauge   // 1 while the applier holds a live connection
+	LagBytes     *obs.Gauge   // approximate bytes behind the primary tip
+	LagRecords   *obs.Gauge   // records applied but not yet locally committed
+	LagSeconds   *obs.Gauge   // seconds behind the newest advertised tip
+	Publishes    *obs.Counter // view snapshot republications after batches
+	Reconnects   *obs.Counter // connection attempts after the first session
+	ShipConns    *obs.Gauge   // live replica connections on the primary
+	ShipRecords  *obs.Counter // records streamed out to replicas
+}
+
+// NewMetrics registers the replication collectors on reg (nil-safe:
+// the collectors then stay private).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		ApplyBatches: reg.Counter("hazy_replica_apply_batches_total",
+			"shipped-record batches committed and published by the applier"),
+		ApplyRecords: reg.Counter("hazy_replica_apply_records_total",
+			"shipped WAL records applied on this replica"),
+		Connected: reg.Gauge("hazy_replica_connected",
+			"1 while the applier holds a live connection to its primary"),
+		LagBytes: reg.Gauge("hazy_replica_lag_bytes",
+			"approximate WAL bytes between the applied position and the primary tip"),
+		LagRecords: reg.Gauge("hazy_replica_lag_records",
+			"records applied but not yet covered by a local commit"),
+		LagSeconds: reg.Gauge("hazy_replica_lag_seconds",
+			"seconds between the primary's newest advertised tip and catching up to it"),
+		Publishes: reg.Counter("hazy_replica_publishes_total",
+			"view snapshot republications after applied batches"),
+		Reconnects: reg.Counter("hazy_replica_reconnects_total",
+			"applier connection attempts after the first established session"),
+		ShipConns: reg.Gauge("hazy_replica_ship_connections",
+			"replica connections this primary is currently streaming to"),
+		ShipRecords: reg.Counter("hazy_replica_ship_records_total",
+			"WAL records streamed out to replicas"),
+	}
+}

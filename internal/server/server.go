@@ -73,8 +73,10 @@ type Server struct {
 	opts Options
 
 	// stmtMu serializes SQL statements and verbs on non-engined
-	// views; engined-view traffic never takes it.
-	stmtMu sync.Mutex
+	// views; engined-view traffic never takes it. It is the DB's own
+	// statement lock — shared so a replica's log applier interleaves
+	// whole records with whole statements.
+	stmtMu *sync.Mutex
 
 	// shared backs the exported Exec used by tests and benchmarks;
 	// real connections each get their own session.
@@ -88,7 +90,7 @@ type Server struct {
 // New serves db. Engine mode is decided per view by the DB's engine
 // registry, not by the server.
 func New(db *root.DB, opts Options) *Server {
-	s := &Server{db: db, opts: opts, conns: map[net.Conn]struct{}{}}
+	s := &Server{db: db, opts: opts, stmtMu: db.StatementMu(), conns: map[net.Conn]struct{}{}}
 	s.shared = s.newSession()
 	return s
 }
@@ -223,6 +225,13 @@ func (s *Server) serveLine(sess *root.Session, line string, w *bufio.Writer) (qu
 			return false, writeLine(w, "ERR "+err.Error())
 		}
 		return false, writeLine(w, "OK")
+	case "PROMOTE":
+		// Deliberately outside the statement mutex: stopping the
+		// applier waits for its in-flight record, which needs it.
+		if err := s.db.Promote(); err != nil {
+			return false, writeLine(w, "ERR "+err.Error())
+		}
+		return false, writeLine(w, "OK")
 	}
 	return false, writeLine(w, s.execVerb(sess, cmd, args))
 }
@@ -243,7 +252,13 @@ func (s *Server) serveLine(sess *root.Session, line string, w *bufio.Writer) (qu
 // are drained under the mutex — the old materializing behavior —
 // and streamed from memory after it is released.
 func (s *Server) streamSQL(sess *root.Session, stmt string, w *bufio.Writer) error {
-	s.stmtMu.Lock()
+	// PROMOTE must not run under the statement mutex: stopping the
+	// replica's applier waits for its in-flight record, and that record
+	// holds this very mutex.
+	lock := !isPromote(stmt)
+	if lock {
+		s.stmtMu.Lock()
+	}
 	rows, err := sess.Query(stmt)
 	if err == nil && rows.Live() {
 		if merr := rows.Materialize(); merr != nil {
@@ -251,7 +266,9 @@ func (s *Server) streamSQL(sess *root.Session, stmt string, w *bufio.Writer) err
 			rows, err = nil, merr
 		}
 	}
-	s.stmtMu.Unlock()
+	if lock {
+		s.stmtMu.Unlock()
+	}
 	if err != nil {
 		return writeLine(w, "ERR "+err.Error())
 	}
@@ -300,6 +317,12 @@ func (s *Server) streamSQL(sess *root.Session, stmt string, w *bufio.Writer) err
 		}
 	}
 	return writeLine(w, `}`)
+}
+
+// isPromote reports whether a SQL statement line is PROMOTE (modulo
+// spacing and a trailing semicolon).
+func isPromote(stmt string) bool {
+	return strings.EqualFold(strings.TrimRight(strings.TrimSpace(stmt), "; \t"), "PROMOTE")
 }
 
 // splitQualifier resolves an optional leading view qualifier: ok
@@ -374,6 +397,14 @@ func (s *Server) execVerb(sess *root.Session, cmd string, args []string) string 
 		view, rest = "", args
 	default:
 		return "ERR unknown command " + cmd
+	}
+
+	// STATS replica reports the replication collectors (lag, apply
+	// rate, reconnects) — unless a view is actually named "replica".
+	if cmd == "STATS" && view == "replica" {
+		if _, err := s.db.View("replica"); err != nil {
+			return s.replicaStats()
+		}
 	}
 
 	bv, err := sess.Bind(view)
@@ -475,6 +506,18 @@ func (s *Server) applyVerb(bv *root.BoundView, cmd string, args []string) string
 		return line
 	}
 	return "ERR unknown command " + cmd
+}
+
+// replicaStats renders the hazy_replica_* collectors as one
+// key=value line — the STATS replica verb.
+func (s *Server) replicaStats() string {
+	var parts []string
+	for _, m := range s.db.Metrics().Snapshot() {
+		if name, ok := strings.CutPrefix(m.Name, "hazy_replica_"); ok {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, m.Value))
+		}
+	}
+	return strings.Join(parts, " ")
 }
 
 // parseID parses the single-id argument shape of LABEL.

@@ -72,6 +72,10 @@ type DetachEngine struct {
 // pages) and prune the write-ahead log below the recorded position.
 type Checkpoint struct{}
 
+// Promote is PROMOTE: stop a replica's log applier and make the
+// database writable at the exact position it had applied to.
+type Promote struct{}
+
 // Select is
 //
 //	SELECT list FROM table [WHERE conds]
@@ -126,3 +130,4 @@ func (ShowStats) stmt()    {}
 func (AttachEngine) stmt() {}
 func (DetachEngine) stmt() {}
 func (Checkpoint) stmt()   {}
+func (Promote) stmt()      {}

@@ -107,6 +107,8 @@ func (p *parser) statement() (Stmt, error) {
 		return p.detachEngine()
 	case p.accept("CHECKPOINT"):
 		return Checkpoint{}, nil
+	case p.accept("PROMOTE"):
+		return Promote{}, nil
 	default:
 		return nil, errAt(p.peek(), "unknown statement starting at %q", p.peek().text)
 	}

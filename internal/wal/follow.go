@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"hazy/internal/storage"
+)
+
+// Follower is a tailing reader over the committed prefix of a live
+// Log — the primary side of log shipping reads through one. It
+// streams every record from its start position onward, in order,
+// crossing segment rotations, and blocks (bounded) at the committed
+// tip until new records commit. It reads through its own file
+// handles, so following never contends with the append path beyond
+// the watermark loads.
+//
+// A Follower only ever surfaces committed records: bytes appended but
+// not yet covered by an fsync (SyncAlways) are invisible to it, so a
+// replica can never apply a record its primary could lose.
+type Follower struct {
+	l   *Log
+	pos Pos
+	f   storage.File // open handle on pos.Seg, nil until first read
+	seg uint32       // segment f is open on
+}
+
+// Follow opens a follower positioned at pos (clamped to the first
+// record slot of its segment). The caller must have checked
+// Contains(pos); a pruned segment surfaces as an open error on the
+// first Next.
+func (l *Log) Follow(pos Pos) *Follower {
+	if pos.Off < headerSize {
+		pos.Off = headerSize
+	}
+	if pos.Seg == 0 {
+		pos.Seg = 1
+	}
+	return &Follower{l: l, pos: pos}
+}
+
+// Pos returns the follower's cursor: the position of the next record
+// it will return.
+func (f *Follower) Pos() Pos { return f.pos }
+
+// SegmentBytes returns the log's segment size cap — the stride of
+// Pos.Seg, which remote consumers need to turn a position delta into
+// an (approximate) byte distance.
+func (l *Log) SegmentBytes() int64 { return l.opts.SegmentBytes }
+
+// Next returns the next committed record and its position. When no
+// record commits within wait (or done closes first) it returns
+// ok=false with a nil error — the caller's heartbeat turn. A closed
+// log or a torn committed record is an error.
+func (f *Follower) Next(done <-chan struct{}, wait time.Duration) (Pos, []byte, bool, error) {
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for {
+		ce, notify, closed := f.l.committedState()
+		if !f.pos.Before(ce) {
+			if closed {
+				return Pos{}, nil, false, fmt.Errorf("wal: follow: log closed")
+			}
+			select {
+			case <-notify:
+				continue
+			case <-done:
+				return Pos{}, nil, false, nil
+			case <-deadline.C:
+				return Pos{}, nil, false, nil
+			}
+		}
+		if err := f.open(f.pos.Seg); err != nil {
+			return Pos{}, nil, false, err
+		}
+		// Never read past the committed watermark: the current segment
+		// may hold appended-but-unsynced bytes beyond it. Sealed
+		// (rotated) segments are committed in full.
+		limit := int64(0)
+		if f.pos.Seg == ce.Seg {
+			limit = ce.Off
+		} else {
+			size, err := f.f.Size()
+			if err != nil {
+				return Pos{}, nil, false, fmt.Errorf("wal: follow: stat segment %d: %w", f.pos.Seg, err)
+			}
+			limit = size
+		}
+		payload, next, ok := readFrame(f.f, limit, f.pos.Off)
+		if ok {
+			at := f.pos
+			f.pos.Off = next
+			return at, payload, true, nil
+		}
+		if f.pos.Seg < ce.Seg {
+			// End of a sealed segment: rotation numbers segments
+			// contiguously, so the stream continues at the next one.
+			f.close()
+			f.pos = Pos{Seg: f.pos.Seg + 1, Off: headerSize}
+			continue
+		}
+		// pos < committed end within one segment yet no intact frame:
+		// the committed-boundary invariant is broken.
+		return Pos{}, nil, false, fmt.Errorf("wal: follow: torn committed record at segment %d offset %d", f.pos.Seg, f.pos.Off)
+	}
+}
+
+func (f *Follower) open(seg uint32) error {
+	if f.f != nil && f.seg == seg {
+		return nil
+	}
+	f.close()
+	// The VFS creates missing files on open; a pruned segment must
+	// surface as an error, not quietly come back as an empty file.
+	if !f.l.retained(seg) {
+		return fmt.Errorf("wal: follow: segment %d pruned by checkpoint", seg)
+	}
+	h, err := f.l.opts.VFS.OpenFile(filepath.Join(f.l.dir, segName(seg)))
+	if err != nil {
+		return fmt.Errorf("wal: follow: open segment %d: %w", seg, err)
+	}
+	if err := checkHeader(h, seg); err != nil {
+		h.Close()
+		return err
+	}
+	f.f = h
+	f.seg = seg
+	return nil
+}
+
+func (f *Follower) close() {
+	if f.f != nil {
+		f.f.Close()
+		f.f = nil
+	}
+}
+
+// Close releases the follower's file handle.
+func (f *Follower) Close() { f.close() }

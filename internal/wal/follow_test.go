@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// appendN appends n deterministic records and returns each record's
+// starting Pos (as reported by Append) alongside the payloads.
+func appendN(t *testing.T, l *Log, n int) (poss []Pos, recs [][]byte) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-%s", i, string(bytes.Repeat([]byte{'x'}, i%97))))
+		pos, err := l.Append(rec)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		poss = append(poss, pos)
+		recs = append(recs, rec)
+	}
+	return poss, recs
+}
+
+// TestReplayFromMidSegmentPos pins the replica resume path's core
+// contract: Replay(pos) for the Pos of ANY record — including ones in
+// the middle of interior segments — yields exactly that record and
+// everything after it, in order.
+func TestReplayFromMidSegmentPos(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 1 << 10, Mode: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	poss, recs := appendN(t, l, 60)
+	if last := poss[len(poss)-1]; last.Seg < 3 {
+		t.Fatalf("workload stayed in %d segment(s); want rotations", last.Seg)
+	}
+	for i := range poss {
+		got := collect(t, l, poss[i])
+		if len(got) != len(recs)-i {
+			t.Fatalf("replay from record %d (%+v): %d records, want %d", i, poss[i], len(got), len(recs)-i)
+		}
+		for j, rec := range got {
+			if !bytes.Equal(rec, recs[i+j]) {
+				t.Fatalf("replay from record %d: payload %d diverges", i, j)
+			}
+		}
+	}
+	// One past the end replays nothing.
+	if got := collect(t, l, l.End()); len(got) != 0 {
+		t.Fatalf("replay from End returned %d records", len(got))
+	}
+}
+
+// TestReplayAtPrunedSegmentBoundary pins the Checkpoint hand-off:
+// after pruning everything below a checkpoint Pos, Replay from that
+// exact Pos still yields the full suffix, and Replay from a position
+// later in the same (oldest retained) segment keeps working. The
+// replica's resume-after-checkpoint leans on both.
+func TestReplayAtPrunedSegmentBoundary(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 1 << 10, Mode: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	poss, recs := appendN(t, l, 60)
+
+	// The checkpoint position: the first record of an interior segment.
+	bound := -1
+	for i := 1; i < len(poss); i++ {
+		if poss[i].Seg > poss[i-1].Seg && poss[i].Seg < poss[len(poss)-1].Seg {
+			bound = i
+		}
+	}
+	if bound < 0 {
+		t.Fatal("no interior segment boundary in workload")
+	}
+	if err := l.Checkpoint(poss[bound]); err != nil {
+		t.Fatal(err)
+	}
+	if l.Contains(poss[0]) {
+		t.Fatalf("Contains(%+v) true after pruning its segment", poss[0])
+	}
+	if !l.Contains(poss[bound]) {
+		t.Fatalf("Contains(%+v) false for the checkpoint position", poss[bound])
+	}
+
+	got := collect(t, l, poss[bound])
+	if len(got) != len(recs)-bound {
+		t.Fatalf("replay from pruned boundary: %d records, want %d", len(got), len(recs)-bound)
+	}
+	for j, rec := range got {
+		if !bytes.Equal(rec, recs[bound+j]) {
+			t.Fatalf("replay from pruned boundary: payload %d diverges", j)
+		}
+	}
+	// Mid-segment resume within the oldest retained segment.
+	if got := collect(t, l, poss[bound+1]); len(got) != len(recs)-bound-1 {
+		t.Fatalf("replay past pruned boundary: %d records, want %d", len(got), len(recs)-bound-1)
+	}
+}
+
+// TestFollowerTailsAcrossRotations drives a follower over a log that
+// keeps appending: every committed record arrives exactly once, in
+// order, across segment rotations, and an idle tip yields heartbeat
+// turns (ok=false) instead of blocking forever.
+func TestFollowerTailsAcrossRotations(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 1 << 10, Mode: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, first := appendN(t, l, 20)
+
+	f := l.Follow(Pos{Seg: 1, Off: headerSize})
+	defer f.Close()
+	done := make(chan struct{})
+	var got [][]byte
+	read := func(n int) {
+		t.Helper()
+		for len(got) < n {
+			_, payload, ok, err := f.Next(done, 2*time.Second)
+			if err != nil {
+				t.Fatalf("follower after %d records: %v", len(got), err)
+			}
+			if !ok {
+				t.Fatalf("follower timed out after %d records (want %d)", len(got), n)
+			}
+			got = append(got, append([]byte(nil), payload...))
+		}
+	}
+	read(len(first))
+	// Idle tip: a bounded wait returns a heartbeat turn, not a record.
+	if _, _, ok, err := f.Next(done, 20*time.Millisecond); ok || err != nil {
+		t.Fatalf("idle Next = ok=%v err=%v, want heartbeat", ok, err)
+	}
+	// Live tail: records appended after the follower caught up.
+	_, second := appendN(t, l, 25)
+	read(len(first) + len(second))
+	want := append(append([][]byte(nil), first...), second...)
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("followed record %d diverges", i)
+		}
+	}
+}
+
+// TestFollowerSeesOnlyCommitted pins the shipping-safety invariant in
+// SyncAlways mode: an appended-but-uncommitted record is invisible to
+// a follower until Commit covers it.
+func TestFollowerSeesOnlyCommitted(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 1 << 20, Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	f := l.Follow(l.CommittedEnd())
+	defer f.Close()
+	done := make(chan struct{})
+	if _, err := l.Append([]byte("uncommitted")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := f.Next(done, 20*time.Millisecond); ok || err != nil {
+		t.Fatalf("follower surfaced an uncommitted record (ok=%v err=%v)", ok, err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, ok, err := f.Next(done, 2*time.Second)
+	if err != nil || !ok || string(payload) != "uncommitted" {
+		t.Fatalf("committed record not followed: ok=%v err=%v payload=%q", ok, err, payload)
+	}
+}

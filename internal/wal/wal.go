@@ -156,6 +156,15 @@ type Log struct {
 	waiters  int   // committers waiting on the sync watermark
 	met      walMetrics
 
+	// committed is the position one past the last record the mode
+	// promises durable — what followers (log shipping) may read. In
+	// SyncOff it tracks every append; in SyncAlways it advances only
+	// under a covering fsync, so a replica never sees a record the
+	// primary could lose. notify is closed and replaced each time
+	// committed advances (or the log closes), waking followers.
+	committed Pos
+	notify    chan struct{}
+
 	rotated atomic.Bool // set on rotation, taken by TakeRotated
 	closed  bool
 	// failed poisons the log after an fsync failure: on Linux the
@@ -189,12 +198,14 @@ func Open(dir string, opts Options) (*Log, error) {
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	l := &Log{dir: dir, opts: opts}
 	l.cond = sync.NewCond(&l.mu)
+	l.notify = make(chan struct{})
 	l.met.init(opts.Metrics)
 	if len(segs) == 0 {
 		if err := l.createSegment(1); err != nil {
 			return nil, err
 		}
 		l.segs = []uint32{1}
+		l.committed = Pos{Seg: l.seg, Off: l.off}
 		return l, nil
 	}
 	l.segs = segs
@@ -229,7 +240,20 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l.f = f
 	l.off = end
+	// Everything that survived to disk is the recoverable prefix, so it
+	// is also the shippable prefix.
+	l.committed = Pos{Seg: l.seg, Off: l.off}
 	return l, nil
+}
+
+// advanceCommitted raises the committed watermark to p and wakes
+// followers. Callers hold l.mu; p must be a record boundary.
+func (l *Log) advanceCommitted(p Pos) {
+	if l.committed.Before(p) {
+		l.committed = p
+		close(l.notify)
+		l.notify = make(chan struct{})
+	}
 }
 
 // createSegment opens a fresh segment file and writes its header.
@@ -359,6 +383,11 @@ func (l *Log) Append(payload []byte) (Pos, error) {
 	l.off += frame
 	l.appended += frame
 	l.met.appended.Add(uint64(frame))
+	if l.opts.Mode == SyncOff {
+		// SyncOff promises process-crash durability the moment the
+		// write reaches the OS, so the record is shippable immediately.
+		l.advanceCommitted(Pos{Seg: l.seg, Off: l.off})
+	}
 	return pos, nil
 }
 
@@ -384,6 +413,7 @@ func (l *Log) rotateLocked() error {
 	// Everything appended so far lives in the outgoing segment and is
 	// now as durable as the mode promises.
 	l.synced = l.appended
+	l.advanceCommitted(Pos{Seg: l.seg, Off: l.off})
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: close segment %d: %w", l.seg, err)
 	}
@@ -414,6 +444,49 @@ func (l *Log) End() Pos {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Pos{Seg: l.seg, Off: l.off}
+}
+
+// CommittedEnd returns the position one past the last record the sync
+// mode promises durable — the shippable prefix. Every record starting
+// strictly before it is intact and committed.
+func (l *Log) CommittedEnd() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.committed
+}
+
+// committedState returns the committed watermark, the channel closed
+// at its next advance, and whether the log is closed — the follower's
+// wait primitive.
+func (l *Log) committedState() (Pos, <-chan struct{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.committed, l.notify, l.closed
+}
+
+// retained reports whether segment n is still on disk (not pruned).
+func (l *Log) retained(n uint32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range l.segs {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether a follower may resume from pos: its
+// segment is still retained (not pruned by Checkpoint) and pos does
+// not run ahead of the committed prefix. A false answer means the
+// follower must re-bootstrap from a checkpoint image.
+func (l *Log) Contains(pos Pos) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 || pos.Seg < l.segs[0] {
+		return false
+	}
+	return !l.committed.Before(pos)
 }
 
 // Commit makes every record appended before the call durable under
@@ -461,6 +534,7 @@ func (l *Log) Sync() error {
 	l.syncing = true
 	f := l.f
 	covered := l.appended // everything in the current file right now
+	endAt := Pos{Seg: l.seg, Off: l.off}
 	// Every current waiter's target is ≤ covered, so this fsync's
 	// group-commit cohort is the syncer plus all of them.
 	cohort := 1 + l.waiters
@@ -478,6 +552,7 @@ func (l *Log) Sync() error {
 		if covered > l.synced {
 			l.synced = covered
 		}
+		l.advanceCommitted(endAt)
 	} else if l.failed == nil {
 		// Poison: the kernel may have dropped the dirty pages, so a
 		// retry's success would lie about durability.
@@ -584,10 +659,18 @@ func (l *Log) Close() error {
 	var err error
 	if l.opts.Mode == SyncAlways {
 		err = l.f.Sync()
+		if err == nil {
+			l.synced = l.appended
+			l.advanceCommitted(Pos{Seg: l.seg, Off: l.off})
+		}
 	}
 	if cerr := l.f.Close(); cerr != nil && err == nil {
 		err = cerr
 	}
 	l.cond.Broadcast()
+	// Wake blocked followers so they observe the close instead of
+	// sleeping on a channel that will never be closed again.
+	close(l.notify)
+	l.notify = make(chan struct{})
 	return err
 }

@@ -54,9 +54,9 @@ type metaManifest struct {
 	Views  []metaView  `json:"views"`
 }
 
-// saveMeta writes the hazy-level manifest atomically. Callers hold
-// db.mu (read or write).
-func (db *DB) saveMeta() error {
+// buildMeta assembles the manifest from the catalog maps. Callers
+// hold db.mu (read or write).
+func (db *DB) buildMeta() metaManifest {
 	var m metaManifest
 	for _, name := range sortedKeys(db.tables) {
 		m.Tables = append(m.Tables, metaTable{
@@ -90,6 +90,13 @@ func (db *DB) saveMeta() error {
 			Partitions: spec.Partitions,
 		})
 	}
+	return m
+}
+
+// saveMeta writes the hazy-level manifest atomically. Callers hold
+// db.mu (read or write).
+func (db *DB) saveMeta() error {
+	m := db.buildMeta()
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("hazy: marshal manifest: %w", err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 
 	"hazy/internal/core"
 	"hazy/internal/exec"
@@ -127,6 +128,12 @@ func (c *sessionCatalog) View(name string) (exec.ViewSource, bool, error) {
 	}
 	if eng != nil {
 		return &snapshotSource{name: name, snap: eng.Snapshot()}, true, nil
+	}
+	// On a replica, plans bind the published snapshot — the applier
+	// owns the live structure — so replica reads are lock-free and
+	// never block on (or observe half of) an applying batch.
+	if snap := cv.pub.Load(); snap != nil {
+		return &snapshotSource{name: name, snap: snap}, true, nil
 	}
 	c.live = true
 	return &liveSource{cv: cv}, true, nil
@@ -467,12 +474,14 @@ func drainPlan(op exec.Operator) error {
 
 // showStats renders the metrics registry as (metric, value) rows —
 // the SHOW STATS [FOR view] statement. Counters and gauges are one
-// row each; histograms surface as _count and _sum rows. FOR view
-// keeps only collectors labeled view=<view>.
+// row each; histograms surface as _count and _sum rows. FOR x keeps
+// collectors labeled view=x, plus any named hazy_x_* — so subsystem
+// families without a view label (SHOW STATS FOR replica) select too.
 func (s *Session) showStats(view string) *Rows {
 	var rows [][]string
 	for _, sm := range s.db.metrics.Snapshot() {
-		if view != "" && !hasLabel(sm.Labels, "view", view) {
+		if view != "" && !hasLabel(sm.Labels, "view", view) &&
+			!strings.HasPrefix(sm.Name, "hazy_"+view+"_") {
 			continue
 		}
 		lbl := obs.FormatLabels(sm.Labels)

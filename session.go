@@ -183,6 +183,9 @@ func (bv *BoundView) MostUncertain(k int) ([]int64, error) {
 	if bv.eng != nil {
 		return bv.eng.MostUncertain(k)
 	}
+	if s := bv.cv.pub.Load(); s != nil {
+		return s.MostUncertain(k)
+	}
 	u, ok := bv.cv.Core().(Uncertain)
 	if !ok {
 		return nil, fmt.Errorf("hazy: view %q does not support uncertainty ranking", bv.cv.Name())
@@ -407,6 +410,11 @@ func (s *Session) execStmt(st sqlmini.Stmt) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Msg: "CHECKPOINT"}, nil
+	case sqlmini.Promote:
+		if err := s.db.Promote(); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "PROMOTE"}, nil
 	default:
 		return nil, fmt.Errorf("sql: unhandled statement %T", st)
 	}

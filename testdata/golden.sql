@@ -137,3 +137,9 @@ SELECT COUNT(*) FROM striped WHERE class = 1;
 EXPLAIN SELECT id FROM striped WHERE eps >= -0.75 AND eps <= 0.75;
 DETACH ENGINE FROM striped;
 SELECT id, class FROM striped ORDER BY id DESC LIMIT 3;
+
+-- Replication observability: the replica_* collectors are registered
+-- on every database (zero when the process is not replicating), so
+-- dashboards and scripts can rely on the names before a replica ever
+-- attaches. SHOW STATS FOR replica filters to them by prefix.
+SHOW STATS FOR replica;
