@@ -9,14 +9,17 @@
 package hazy
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"hazy/internal/core"
 	"hazy/internal/dataset"
+	"hazy/internal/exec"
 	"hazy/internal/feature"
 	"hazy/internal/learn"
 	"hazy/internal/multiclass"
@@ -421,6 +424,16 @@ func sqlBenchSession(b *testing.B) *Session {
 			sqlBenchErr = err
 			return
 		}
+		// A second, partition-striped view over the same corpus, left
+		// unmanaged so its reads exercise the live scatter-gather merge
+		// scan (engined snapshots are pre-merged).
+		if _, err := db.CreateClassificationView(ViewSpec{
+			Name: "striped_served", Entities: "papers", Examples: "feedback",
+			Method: "svm", Partitions: 4,
+		}); err != nil {
+			sqlBenchErr = err
+			return
+		}
 		sqlBenchSess = db.NewSession()
 	})
 	if sqlBenchErr != nil {
@@ -441,9 +454,15 @@ func BenchmarkSQLReadPath(b *testing.B) {
 	}{
 		{"FullScan", "SELECT COUNT(*) FROM served WHERE class = -1"},
 		{"MembersCount", "SELECT COUNT(*) FROM served WHERE class = 1"},
-		{"EpsRange", "SELECT COUNT(*) FROM served WHERE eps >= -0.05 AND eps <= 0.05"},
+		// ±2.0 covers the whole bimodal eps distribution of this corpus,
+		// so the case measures a 50k-row index scan (the historical
+		// ±0.05 band was empty — it measured parse overhead only).
+		{"EpsRange", "SELECT COUNT(*) FROM served WHERE eps >= -2.0 AND eps <= 2.0"},
 		{"PointRead", "SELECT class FROM served WHERE id = 25000"},
 		{"Uncertain", "SELECT id FROM served ORDER BY ABS(eps) LIMIT 10"},
+		// The live striped view scatters the same band to 4 stripes and
+		// gathers it back in (eps, id) order.
+		{"StripedMerge", "SELECT COUNT(*) FROM striped_served WHERE eps >= -2.0 AND eps <= 2.0"},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
@@ -456,6 +475,70 @@ func BenchmarkSQLReadPath(b *testing.B) {
 			}
 		})
 	}
+}
+
+// TestSQLReadPathEmitJSON measures the vectorized read path on the
+// same corpus BenchmarkSQLReadPath uses and writes one JSON object to
+// the path in BENCH_JSON_OUT (CI writes BENCH_readpath_ci.json and
+// diffs it against the committed BENCH_pr8.json). Each scan shape
+// records batched ns/op and allocs/op; the three full-band shapes
+// also record their speedup over a batch size of 1 — the executor's
+// row-at-a-time degenerate case — so benchdiff guards the batching
+// win itself, not just absolute latency. Skipped unless the env var
+// is set.
+func TestSQLReadPathEmitJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON_OUT")
+	if out == "" {
+		t.Skip("set BENCH_JSON_OUT=<path> to emit the SQL read-path benchmark JSON")
+	}
+	measure := func(stmt string) (int64, int64) {
+		res := testing.Benchmark(func(b *testing.B) {
+			s := sqlBenchSession(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return res.NsPerOp(), res.AllocsPerOp()
+	}
+	shapes := []struct {
+		key, stmt string
+		vsRow     bool // also measure at batch size 1 for a speedup key
+	}{
+		{"fullscan", "SELECT COUNT(*) FROM served WHERE class = -1", true},
+		{"epsrange", "SELECT COUNT(*) FROM served WHERE eps >= -2.0 AND eps <= 2.0", true},
+		{"stripedmerge", "SELECT COUNT(*) FROM striped_served WHERE eps >= -2.0 AND eps <= 2.0", true},
+		{"pointread", "SELECT class FROM served WHERE id = 25000", false},
+		{"uncertain", "SELECT id FROM served ORDER BY ABS(eps) LIMIT 10", false},
+	}
+	report := map[string]any{
+		"bench":      "SQLReadPath",
+		"entities":   sqlBenchEntities,
+		"cores":      runtime.GOMAXPROCS(0),
+		"batch_size": exec.BatchSize(),
+	}
+	for _, sh := range shapes {
+		ns, allocs := measure(sh.stmt)
+		report[sh.key+"_ns_op"] = ns
+		report[sh.key+"_allocs_op"] = allocs
+		if sh.vsRow {
+			exec.SetBatchSize(1)
+			rowNs, _ := measure(sh.stmt)
+			exec.SetBatchSize(1024)
+			report["speedup_"+sh.key+"_vs_row"] = float64(rowNs) / float64(ns)
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", out, data)
 }
 
 // BenchmarkSkiingVsOpt regenerates the Lemma 3.2 analysis: the

@@ -9,6 +9,9 @@
 //
 //   - keys ending in "_ns_op" are latencies: FAIL when
 //     new > old × (1 + tolerance)
+//   - keys ending in "_allocs_op" are per-op allocation counts (from
+//     -benchmem): FAIL when new > old × (1 + tolerance) — the guard
+//     that keeps the batched executor's alloc wins from eroding
 //   - keys starting with "speedup_" are ratios: FAIL when
 //     new < old × (1 - tolerance)
 //   - every other numeric key is informational (cores, dim, entities)
@@ -83,7 +86,7 @@ func diff(w io.Writer, oldM, newM map[string]any, tol float64) (failed bool) {
 			continue
 		}
 		switch {
-		case strings.HasSuffix(k, "_ns_op"):
+		case strings.HasSuffix(k, "_ns_op"), strings.HasSuffix(k, "_allocs_op"):
 			if nnum > onum*(1+tol) {
 				fmt.Fprintf(w, "FAIL %-20s old=%.0f new=%.0f (+%.1f%%, limit +%.0f%%)\n",
 					k, onum, nnum, 100*(nnum/onum-1), 100*tol)

@@ -35,10 +35,28 @@ func TestDiffRules(t *testing.T) {
 		{"improvement", map[string]any{"bench": "StripedReorg", "cores": 1.0,
 			"stripes1_ns_op": 500.0, "stripes4_ns_op": 100.0, "speedup_4stripes": 5.0}, false},
 	}
+	allocOld := map[string]any{"fullscan_allocs_op": 100.0}
+	allocCases := []struct {
+		name string
+		new  map[string]any
+		fail bool
+	}{
+		{"allocs within band", map[string]any{"fullscan_allocs_op": 120.0}, false},
+		{"allocs regressed", map[string]any{"fullscan_allocs_op": 130.0}, true},
+		{"allocs improved", map[string]any{"fullscan_allocs_op": 30.0}, false},
+	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var b strings.Builder
 			if got := diff(&b, old, tc.new, 0.25); got != tc.fail {
+				t.Errorf("diff = %v, want %v\n%s", got, tc.fail, b.String())
+			}
+		})
+	}
+	for _, tc := range allocCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			if got := diff(&b, allocOld, tc.new, 0.25); got != tc.fail {
 				t.Errorf("diff = %v, want %v\n%s", got, tc.fail, b.String())
 			}
 		})

@@ -13,7 +13,7 @@
 // Usage:
 //
 //	hazyd [-addr :7437] [-db DIR] [-view labeled_papers] [-workers N] [-batch N] [-queue N] [-engine=false]
-//	      [-fsync always|off] [-wal-segment BYTES] [-partitions P] [-metrics ADDR]
+//	      [-fsync always|off] [-wal-segment BYTES] [-partitions P] [-exec-batch N] [-metrics ADDR]
 //	      [-ship ADDR] [-replica-of HOST:PORT]
 //
 // -ship ADDR serves the replication stream (WAL log shipping)
@@ -86,6 +86,7 @@ import (
 	"time"
 
 	root "hazy"
+	"hazy/internal/exec"
 	"hazy/internal/server"
 )
 
@@ -108,6 +109,7 @@ func run() (err error) {
 		fsync     = flag.String("fsync", "always", "WAL commit policy: always (acknowledged writes survive power loss; engines group-commit one fsync per batch) or off (survive process crash only)")
 		walSeg    = flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes; each rotation triggers a catalog checkpoint")
 		parts     = flag.Int("partitions", 0, "stripe count for views declared without PARTITIONS (hash-partitioned parallel maintenance; 0/1 = unstriped)")
+		execBatch = flag.Int("exec-batch", 0, "rows per executor batch on the SQL read path (0 = default 1024; 1 = row-at-a-time, for debugging)")
 		metrics   = flag.String("metrics", "", "HTTP observability listen address serving /metrics (Prometheus text), /statsz (JSON), /debug/pprof/* (empty = disabled)")
 		ship      = flag.String("ship", "", "serve the replication stream (WAL log shipping) on this address, e.g. :7438 (empty = disabled)")
 		replicaOf = flag.String("replica-of", "", "serve as a read-only replica of the primary shipping at this address; writes are rejected until PROMOTE")
@@ -115,6 +117,9 @@ func run() (err error) {
 	flag.Parse()
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
+	}
+	if *execBatch > 0 {
+		exec.SetBatchSize(*execBatch)
 	}
 
 	dir := *dbDir

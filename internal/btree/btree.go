@@ -465,6 +465,51 @@ func (c *Cursor) Next() (Key, storage.RID, bool, error) {
 	return Key{}, storage.RID{}, false, nil
 }
 
+// NextBatch copies the next run of in-range entries into ks/rids
+// (parallel slices; min(len(ks), len(rids)) is the request) and
+// returns how many it wrote. Each call drains at most what remains of
+// the pinned leaf before crossing to the next one, so a full leaf's
+// entries cost one bounds check and one pin transition instead of a
+// call each. It loops across leaf boundaries until it has at least
+// one entry, so a return of 0 always means the range is exhausted
+// (the pin is then released, as with Next).
+func (c *Cursor) NextBatch(ks []Key, rids []storage.RID) (int, error) {
+	want := len(ks)
+	if len(rids) < want {
+		want = len(rids)
+	}
+	n := 0
+	for n < want && c.page != storage.InvalidPage {
+		for n < want && c.i < c.n {
+			k := leafKey(c.buf, c.i)
+			if k.Eps > c.hi {
+				c.Close()
+				return n, nil
+			}
+			ks[n] = k
+			rids[n] = leafRID(c.buf, c.i)
+			c.i++
+			n++
+		}
+		if n == want {
+			return n, nil
+		}
+		next := nodeLink(c.buf)
+		c.t.pool.Unpin(c.page, false)
+		c.page, c.buf = next, nil
+		if next == storage.InvalidPage {
+			break
+		}
+		buf, err := c.t.pool.Pin(next)
+		if err != nil {
+			c.page = storage.InvalidPage
+			return n, err
+		}
+		c.buf, c.n, c.i = buf, nodeCount(buf), 0
+	}
+	return n, nil
+}
+
 // Close releases the cursor's leaf pin.
 func (c *Cursor) Close() {
 	if c.page != storage.InvalidPage {

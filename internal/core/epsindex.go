@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"hazy/internal/btree"
+	"hazy/internal/learn"
 	"hazy/internal/storage"
 )
 
@@ -18,11 +19,16 @@ import (
 // happens to have instead of rescanning everything (paper §3.2.2's
 // "clustered B+-tree index on t.eps", generalized to all layouts).
 
-// RowCursor streams (id, eps, label) rows, eps-ascending, one row per
-// Next. Close releases any held resources (page pins for the on-disk
-// cursor) and is idempotent; callers must Close even after an error.
+// RowCursor streams (id, eps, label) rows, eps-ascending. Next
+// returns one row at a time; NextBatch is the bulk-fill form the
+// vectorized executor drives — it fills a prefix of dst (up to
+// len(dst) rows, one leaf's worth per call for the on-disk cursor)
+// and returns how many, 0 meaning the scan is exhausted. Close
+// releases any held resources (page pins for the on-disk cursor) and
+// is idempotent; callers must Close even after an error.
 type RowCursor interface {
 	Next() (SnapEntry, bool, error)
+	NextBatch(dst []SnapEntry) (int, error)
 	Close()
 }
 
@@ -52,6 +58,12 @@ func (c *sliceCursor) Next() (SnapEntry, bool, error) {
 	e := c.entries[c.i]
 	c.i++
 	return e, true, nil
+}
+
+func (c *sliceCursor) NextBatch(dst []SnapEntry) (int, error) {
+	n := copy(dst, c.entries[c.i:])
+	c.i += n
+	return n, nil
 }
 
 func (c *sliceCursor) Close() {}
@@ -133,6 +145,37 @@ func (c *memCursor) Next() (SnapEntry, bool, error) {
 	return SnapEntry{ID: ent.id, Eps: ent.eps, Label: int8(label)}, true, nil
 }
 
+// NextBatch resolves a run of entries at once; the lazy-mode model
+// pointer is loaded once per batch instead of once per row.
+func (c *memCursor) NextBatch(dst []SnapEntry) (int, error) {
+	n := len(dst)
+	if rest := c.end - c.i; rest < n {
+		n = rest
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	lazy := c.v.opts.Mode == Lazy
+	var model *learn.Model
+	if lazy {
+		model = c.v.trainer.Model()
+	}
+	for k := 0; k < n; k++ {
+		ent := c.v.entries[c.i+k]
+		label := int(ent.label)
+		if lazy {
+			if l, certain := c.v.wm.Test(ent.eps); certain {
+				label = l
+			} else {
+				label = model.Predict(ent.f)
+			}
+		}
+		dst[k] = SnapEntry{ID: ent.id, Eps: ent.eps, Label: int8(label)}
+	}
+	c.i += n
+	return n, nil
+}
+
 func (c *memCursor) Close() {}
 
 // ScanEps streams the entries with eps ∈ [lo, hi] in eps order.
@@ -166,6 +209,10 @@ func (v *DiskView) EpsOf(id int64) (float64, error) {
 type diskCursor struct {
 	v   *DiskView
 	cur *btree.Cursor
+
+	// bulk-fill scratch, sized to the batch request on first use
+	ks   []btree.Key
+	rids []storage.RID
 }
 
 func (c *diskCursor) Next() (SnapEntry, bool, error) {
@@ -178,6 +225,27 @@ func (c *diskCursor) Next() (SnapEntry, bool, error) {
 		return SnapEntry{}, false, err
 	}
 	return SnapEntry{ID: k.ID, Eps: k.Eps, Label: int8(label)}, true, nil
+}
+
+// NextBatch pulls a run of index entries (up to a leaf's worth per
+// tree call) and resolves their labels in one pass.
+func (c *diskCursor) NextBatch(dst []SnapEntry) (int, error) {
+	if cap(c.ks) < len(dst) {
+		c.ks = make([]btree.Key, len(dst))
+		c.rids = make([]storage.RID, len(dst))
+	}
+	n, err := c.cur.NextBatch(c.ks[:len(dst)], c.rids[:len(dst)])
+	if err != nil || n == 0 {
+		return 0, err
+	}
+	for k := 0; k < n; k++ {
+		label, err := c.v.rowLabel(c.ks[k], c.rids[k])
+		if err != nil {
+			return 0, err
+		}
+		dst[k] = SnapEntry{ID: c.ks[k].ID, Eps: c.ks[k].Eps, Label: int8(label)}
+	}
+	return n, nil
 }
 
 func (c *diskCursor) Close() { c.cur.Close() }

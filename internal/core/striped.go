@@ -594,6 +594,30 @@ func (c *stripeCursor) Next() (SnapEntry, bool, error) {
 	return SnapEntry{ID: ent.id, Eps: ent.eps, Label: int8(label)}, true, nil
 }
 
+func (c *stripeCursor) NextBatch(dst []SnapEntry) (int, error) {
+	n := len(dst)
+	if rest := c.end - c.i; rest < n {
+		n = rest
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	for k := 0; k < n; k++ {
+		ent := c.st.entries[c.i+k]
+		label := int(ent.label)
+		if c.lazy {
+			if l, certain := c.st.wm.Test(ent.eps); certain {
+				label = l
+			} else {
+				label = c.cur.Predict(ent.f)
+			}
+		}
+		dst[k] = SnapEntry{ID: ent.id, Eps: ent.eps, Label: int8(label)}
+	}
+	c.i += n
+	return n, nil
+}
+
 func (c *stripeCursor) Close() {}
 
 // ScanEpsStripe streams one stripe's rows with eps ∈ [lo, hi], eps-
@@ -649,6 +673,25 @@ func (m *mergeRowCursor) Next() (SnapEntry, bool, error) {
 	}
 	m.heads[best], m.live[best] = e, ok
 	return out, true, nil
+}
+
+// NextBatch merges rows until dst is full or every input is dry. The
+// merge itself is row-at-a-time (it must interleave inputs), but the
+// batch form amortizes the executor's per-call overhead.
+func (m *mergeRowCursor) NextBatch(dst []SnapEntry) (int, error) {
+	n := 0
+	for n < len(dst) {
+		e, ok, err := m.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		dst[n] = e
+		n++
+	}
+	return n, nil
 }
 
 func (m *mergeRowCursor) Close() {

@@ -14,6 +14,11 @@ import (
 // the wrapped node's own child links point at further Analyzed
 // wrappers, a node's time includes its whole subtree (inclusive
 // semantics, like PostgreSQL's actual time).
+//
+// Timing is batch-granular: one clock pair per NextBatch call (~1024
+// rows), not per row, so the decorator's own overhead no longer
+// inflates time= on fast operators. Row counts stay exact — each
+// batch's length is what the node actually produced.
 type Analyzed struct {
 	// Child is the wrapped node. Interior nodes' own Child fields are
 	// rewired to the next Analyzed wrapper by Instrument.
@@ -54,15 +59,14 @@ func (a *Analyzed) Open() error {
 	return err
 }
 
-// Next forwards, times, and counts produced rows.
-func (a *Analyzed) Next() (Row, bool, error) {
+// NextBatch forwards, times (once per batch, not per row), and
+// counts produced rows.
+func (a *Analyzed) NextBatch(dst *Batch) error {
 	start := time.Now()
-	row, ok, err := a.Child.Next()
+	err := a.Child.NextBatch(dst)
 	a.dur += time.Since(start)
-	if ok {
-		a.rows++
-	}
-	return row, ok, err
+	a.rows += int64(dst.Len())
+	return err
 }
 
 // Close forwards and times the wrapped node's Close, then flushes

@@ -1,6 +1,6 @@
 // Package exec is the streaming query executor behind SELECT and
-// EXPLAIN: a volcano-style operator pipeline (Open / Next / Close
-// over typed rows) plus a small planner that lowers a parsed
+// EXPLAIN: a vectorized volcano pipeline (Open / NextBatch / Close
+// over columnar batches) plus a small planner that lowers a parsed
 // sqlmini.Select onto the physical read surfaces the catalog offers.
 //
 // The planner is where the paper's read taxonomy (§3.2–3.4) becomes
@@ -16,8 +16,15 @@
 //
 // Everything the pushdown cannot consume stays behind as a Filter;
 // ORDER BY, LIMIT, COUNT(*), and projection are ordinary operators
-// above the scan. Rows stream through the pipeline one at a time —
-// only Sort materializes, because ordering is inherently blocking.
+// above the scan. Rows stream through the pipeline a Batch (~1024
+// rows as parallel column slices) at a time, so the per-row costs of
+// the classic one-tuple Next() — a virtual call, a boxed row
+// allocation, a timing touch under EXPLAIN ANALYZE — are paid per
+// batch instead. Only Sort materializes, because ordering is
+// inherently blocking; the row-at-a-time surface survives solely as
+// an adapter at the outermost cursor boundary (the root package's
+// Rows), so the SQL dialect and wire protocol are byte-identical to
+// the row-at-a-time executor's.
 //
 // The package is pure plumbing over two narrow interfaces, ViewSource
 // and TableSource, implemented by the root package: an engined view
@@ -86,24 +93,35 @@ type Column struct {
 	Kind Kind
 }
 
-// Operator is one node of a streaming plan. The contract is the
-// classic volcano one: Open prepares the node (and its children),
-// Next produces the next row or ok=false at end of stream, Close
-// releases resources and is safe to call after a failed Open or
-// mid-stream. Describe renders the node for EXPLAIN and names its
-// child (nil for leaves) so a plan prints without being executed.
+// Operator is one node of a streaming plan — the volcano contract,
+// vectorized: Open prepares the node (and its children); NextBatch
+// resets dst to the node's output schema and fills it with up to
+// dst.Room() rows (dst.Len() == 0 reports end of stream, and repeated
+// calls after that stay empty); Close releases resources and is safe
+// to call after a failed Open or mid-stream. Describe renders the
+// node for EXPLAIN and names its child (nil for leaves) so a plan
+// prints without being executed.
+//
+// A non-empty batch mid-stream is never zero rows: operators that can
+// come up short on one pull (Filter) keep pulling their child until
+// they have at least one row or the child is exhausted. The only
+// want-setter is Limit, which caps its child's fills at the rows it
+// still needs so leaf reads do not overrun a LIMIT by a whole batch.
 type Operator interface {
 	Open() error
-	Next() (Row, bool, error)
+	NextBatch(dst *Batch) error
 	Close() error
 	Describe() (string, Operator)
 }
 
-// Cursor streams source rows into a leaf operator. Close is
-// idempotent and releases whatever the source holds (page pins for
-// on-disk scans; nothing for snapshots).
+// Cursor streams source rows into a leaf operator, a batch at a
+// time: NextBatch appends up to dst.Room() rows to dst (appending
+// none reports end of stream — sources never return a short-but-empty
+// fill mid-stream). The leaf operator owns dst's schema; the cursor
+// only appends. Close is idempotent and releases whatever the source
+// holds (page pins for on-disk scans; nothing for snapshots).
 type Cursor interface {
-	Next() (Row, bool, error)
+	NextBatch(dst *Batch) error
 	Close()
 }
 
@@ -173,6 +191,18 @@ var viewColumns = []Column{
 	{Name: "id", Kind: KInt},
 	{Name: "class", Kind: KInt},
 	{Name: "eps", Kind: KFloat},
+}
+
+// viewKinds is viewColumns as a batch schema.
+var viewKinds = []Kind{KInt, KInt, KFloat}
+
+// columnKinds extracts a batch schema from a column list.
+func columnKinds(cols []Column) []Kind {
+	kinds := make([]Kind, len(cols))
+	for i, c := range cols {
+		kinds[i] = c.Kind
+	}
+	return kinds
 }
 
 // Positions of the view columns in a view Row.

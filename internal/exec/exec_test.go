@@ -89,13 +89,12 @@ type fakeCursor struct {
 	i    int
 }
 
-func (c *fakeCursor) Next() (Row, bool, error) {
-	if c.i >= len(c.rows) {
-		return nil, false, nil
+func (c *fakeCursor) NextBatch(dst *Batch) error {
+	for c.i < len(c.rows) && dst.Room() > 0 {
+		dst.AppendRow(c.rows[c.i])
+		c.i++
 	}
-	r := c.rows[c.i]
-	c.i++
-	return r, true, nil
+	return nil
 }
 
 func (c *fakeCursor) Close() {}
@@ -193,6 +192,27 @@ func testCatalog() *fakeCatalog {
 	}
 }
 
+// drain runs an opened plan to completion, rendering every batch.
+func drain(t *testing.T, src string, root Operator) [][]string {
+	t.Helper()
+	b := NewBatch()
+	defer b.Release()
+	var out [][]string
+	for {
+		if err := root.NextBatch(b); err != nil {
+			t.Fatalf("%s: next: %v", src, err)
+		}
+		if b.Len() == 0 {
+			return out
+		}
+		for r := 0; r < b.Len(); r++ {
+			rendered := make([]string, b.Width())
+			b.RenderRow(r, rendered)
+			out = append(out, rendered)
+		}
+	}
+}
+
 // run plans and executes one statement, returning rendered rows.
 func run(t *testing.T, src string) (*Plan, [][]string) {
 	t.Helper()
@@ -212,21 +232,7 @@ func run(t *testing.T, src string) (*Plan, [][]string) {
 		t.Fatalf("%s: open: %v", src, err)
 	}
 	defer plan.Root.Close()
-	var out [][]string
-	for {
-		row, ok, err := plan.Root.Next()
-		if err != nil {
-			t.Fatalf("%s: next: %v", src, err)
-		}
-		if !ok {
-			return plan, out
-		}
-		rendered := make([]string, len(row))
-		for i, v := range row {
-			rendered[i] = v.Render()
-		}
-		out = append(out, rendered)
-	}
+	return plan, drain(t, src, plan.Root)
 }
 
 func TestPlanShapesAndResults(t *testing.T) {
@@ -391,7 +397,9 @@ func TestPointReadMissingEntityErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer plan.Root.Close()
-	if _, _, err := plan.Root.Next(); err == nil {
+	b := NewBatch()
+	defer b.Release()
+	if err := plan.Root.NextBatch(b); err == nil {
 		t.Fatal("missing view entity did not error")
 	}
 }

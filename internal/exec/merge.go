@@ -1,21 +1,63 @@
 package exec
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
+
+// mergeState is the reusable scatter-gather scratch of an
+// EpsMergeScan: one cursor, one buffered batch, and one consume
+// position per stripe. Pooled so repeated statements over striped
+// views reallocate neither the per-stripe slices nor the stripe
+// batches.
+type mergeState struct {
+	curs []Cursor
+	bufs []*Batch
+	pos  []int
+}
+
+var mergePool = sync.Pool{New: func() any { return new(mergeState) }}
+
+// grow sizes the state for n stripes, reusing pooled capacity.
+func (st *mergeState) grow(n int) {
+	if cap(st.curs) < n {
+		st.curs = make([]Cursor, n)
+		st.pos = make([]int, n)
+	}
+	st.curs, st.pos = st.curs[:n], st.pos[:n]
+	for len(st.bufs) < n {
+		st.bufs = append(st.bufs, NewBatch())
+	}
+	for i := range st.curs {
+		st.curs[i], st.pos[i] = nil, 0
+	}
+}
+
+// release closes any open cursors and returns the state (and its
+// stripe batches) to the pool.
+func (st *mergeState) release() {
+	for i, c := range st.curs {
+		if c != nil {
+			c.Close()
+			st.curs[i] = nil
+		}
+	}
+	mergePool.Put(st)
+}
 
 // EpsMergeScan is the scatter-gather leaf for partition-striped
-// views: Open scatters one eps-range cursor per stripe, Next gathers
-// the per-stripe streams back in global (eps, id) order. Each stripe
-// cursor is already eps-ascending, so the gather is a P-way merge —
-// the relational answer to reading a hash-partitioned clustered
-// index in key order.
+// views: Open scatters one eps-range cursor per stripe, NextBatch
+// gathers the per-stripe streams back in global (eps, id) order. Each
+// stripe cursor is already eps-ascending and buffered a batch at a
+// time, so the gather is a P-way merge over batch heads — the
+// relational answer to reading a hash-partitioned clustered index in
+// key order.
 type EpsMergeScan struct {
 	Src    ViewSource
 	Str    StripedSource
 	Lo, Hi float64
 
-	curs  []Cursor
-	heads []Row
-	live  []bool
+	st *mergeState
 }
 
 // NewEpsMergeScan builds the merge leaf over [lo, hi] (use infinities
@@ -25,68 +67,78 @@ func NewEpsMergeScan(src ViewSource, str StripedSource, lo, hi float64) *EpsMerg
 }
 
 // Open scatters: one cursor per stripe, each primed with its first
-// row.
+// batch.
 func (m *EpsMergeScan) Open() error {
 	n := m.Str.Stripes()
-	m.curs = make([]Cursor, 0, n)
-	m.heads = make([]Row, n)
-	m.live = make([]bool, n)
+	m.st = mergePool.Get().(*mergeState)
+	m.st.grow(n)
 	for i := 0; i < n; i++ {
 		cur, err := m.Str.ScanEpsStripe(i, m.Lo, m.Hi)
 		if err != nil {
 			m.Close()
 			return err
 		}
-		m.curs = append(m.curs, cur)
-		row, ok, err := cur.Next()
-		if err != nil {
+		m.st.curs[i] = cur
+		if err := m.fill(i); err != nil {
 			m.Close()
 			return err
 		}
-		m.heads[i], m.live[i] = row, ok
 	}
 	return nil
 }
 
-// Next gathers the minimum (eps, id) head across the stripes.
-func (m *EpsMergeScan) Next() (Row, bool, error) {
-	best := -1
-	for i := range m.curs {
-		if !m.live[i] {
-			continue
-		}
-		if best < 0 || rowEpsLess(m.heads[i], m.heads[best]) {
-			best = i
-		}
-	}
-	if best < 0 {
-		return nil, false, nil
-	}
-	out := m.heads[best]
-	row, ok, err := m.curs[best].Next()
-	if err != nil {
-		return nil, false, err
-	}
-	m.heads[best], m.live[best] = row, ok
-	return out, true, nil
+// fill refills stripe i's buffer with its next batch.
+func (m *EpsMergeScan) fill(i int) error {
+	buf := m.st.bufs[i]
+	buf.ResetSchema(viewKinds...)
+	m.st.pos[i] = 0
+	return m.st.curs[i].NextBatch(buf)
 }
 
-// rowEpsLess orders view rows by (eps, id) — the clustered key.
-func rowEpsLess(a, b Row) bool {
-	if a[viewColEps].f != b[viewColEps].f {
-		return a[viewColEps].f < b[viewColEps].f
+// NextBatch gathers the minimum (eps, id) heads across the stripe
+// buffers until dst is full or every stripe is exhausted.
+func (m *EpsMergeScan) NextBatch(dst *Batch) error {
+	dst.ResetSchema(viewKinds...)
+	st := m.st
+	if st == nil {
+		return nil
 	}
-	return a[viewColID].i < b[viewColID].i
+	for dst.Room() > 0 {
+		best := -1
+		var bestEps float64
+		var bestID int64
+		for i, buf := range st.bufs[:len(st.curs)] {
+			p := st.pos[i]
+			if p >= buf.Len() {
+				continue
+			}
+			eps, id := buf.Float(p, viewColEps), buf.Int(p, viewColID)
+			if best < 0 || eps < bestEps || (eps == bestEps && id < bestID) {
+				best, bestEps, bestID = i, eps, id
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		buf, p := st.bufs[best], st.pos[best]
+		dst.AppendViewRow(bestID, buf.Int(p, viewColClass), bestEps)
+		st.pos[best]++
+		if st.pos[best] >= buf.Len() {
+			if err := m.fill(best); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
-// Close releases every stripe cursor.
+// Close releases every stripe cursor and returns the scatter-gather
+// scratch to the pool.
 func (m *EpsMergeScan) Close() error {
-	for _, c := range m.curs {
-		if c != nil {
-			c.Close()
-		}
+	if m.st != nil {
+		m.st.release()
+		m.st = nil
 	}
-	m.curs = nil
 	return nil
 }
 

@@ -70,21 +70,7 @@ func runOn(t *testing.T, cat Catalog, src string) (*Plan, [][]string) {
 		t.Fatalf("%s: open: %v", src, err)
 	}
 	defer plan.Root.Close()
-	var out [][]string
-	for {
-		row, ok, err := plan.Root.Next()
-		if err != nil {
-			t.Fatalf("%s: next: %v", src, err)
-		}
-		if !ok {
-			return plan, out
-		}
-		rendered := make([]string, len(row))
-		for i, v := range row {
-			rendered[i] = v.Render()
-		}
-		out = append(out, rendered)
-	}
+	return plan, drain(t, src, plan.Root)
 }
 
 // TestEpsMergeScanPlansAndOrder: eps-band and clustered full scans
@@ -148,19 +134,23 @@ func TestEpsMergeScanOperatorDirect(t *testing.T) {
 	defer m.Close()
 	var ids []int64
 	prev := math.Inf(-1)
+	b := NewBatch()
+	defer b.Release()
 	for {
-		row, ok, err := m.Next()
-		if err != nil {
+		if err := m.NextBatch(b); err != nil {
 			t.Fatal(err)
 		}
-		if !ok {
+		if b.Len() == 0 {
 			break
 		}
-		if row[viewColEps].f < prev {
-			t.Fatalf("merge emitted eps out of order: %g after %g", row[viewColEps].f, prev)
+		for r := 0; r < b.Len(); r++ {
+			eps := b.Float(r, viewColEps)
+			if eps < prev {
+				t.Fatalf("merge emitted eps out of order: %g after %g", eps, prev)
+			}
+			prev = eps
+			ids = append(ids, b.Int(r, viewColID))
 		}
-		prev = row[viewColEps].f
-		ids = append(ids, row[viewColID].i)
 	}
 	if want := []int64{4, 1, 5, 2, 7, 3, 6}; !reflect.DeepEqual(ids, want) {
 		t.Fatalf("merged ids = %v, want %v", ids, want)

@@ -44,9 +44,8 @@ func cmpFloat(a float64, op string, b float64) bool {
 	return false
 }
 
-// match evaluates the predicate against one row.
-func (p Pred) match(row Row) bool {
-	v := row[p.Col]
+// match evaluates the predicate against one cell.
+func (p Pred) match(v Value) bool {
 	if v.kind == KString {
 		switch p.Op {
 		case "=":
@@ -75,37 +74,78 @@ func (p Pred) describe() string {
 	return fmt.Sprintf("%s %s %s", p.name, p.Op, lit)
 }
 
-// Filter streams the child rows that satisfy every predicate.
+// Filter streams the child rows that satisfy every predicate. It
+// pulls whole child batches into an internal buffer and copies the
+// surviving rows out, resuming mid-buffer across calls, so it honors
+// the caller's row request exactly (a LIMIT above never makes it
+// discard matched rows).
 type Filter struct {
 	Child Operator
 	Preds []Pred
+
+	buf *Batch // current child batch (pooled)
+	pos int    // next unexamined row of buf
+	eof bool
 }
 
 // Open opens the child.
-func (f *Filter) Open() error { return f.Child.Open() }
+func (f *Filter) Open() error {
+	f.buf, f.pos, f.eof = nil, 0, false
+	return f.Child.Open()
+}
 
-// Next pulls child rows until one passes.
-func (f *Filter) Next() (Row, bool, error) {
-	for {
-		row, ok, err := f.Child.Next()
-		if err != nil || !ok {
-			return nil, false, err
+// NextBatch copies matching child rows into dst until dst is full or
+// the child is exhausted.
+func (f *Filter) NextBatch(dst *Batch) error {
+	if f.buf == nil {
+		f.buf = NewBatch()
+		if err := f.Child.NextBatch(f.buf); err != nil {
+			return err
 		}
-		pass := true
-		for _, p := range f.Preds {
-			if !p.match(row) {
-				pass = false
-				break
+		f.pos = 0
+	}
+	dst.ResetLike(f.buf)
+	for {
+		if f.eof || dst.Room() == 0 {
+			return nil
+		}
+		if f.pos >= f.buf.Len() {
+			if f.buf.Len() == 0 && f.pos == 0 {
+				f.eof = true // empty first fill
+				return nil
+			}
+			if err := f.Child.NextBatch(f.buf); err != nil {
+				return err
+			}
+			f.pos = 0
+			if f.buf.Len() == 0 {
+				f.eof = true
+				return nil
 			}
 		}
-		if pass {
-			return row, true, nil
+		for ; f.pos < f.buf.Len() && dst.Room() > 0; f.pos++ {
+			pass := true
+			for _, p := range f.Preds {
+				if !p.match(f.buf.Value(f.pos, p.Col)) {
+					pass = false
+					break
+				}
+			}
+			if pass {
+				dst.AppendFrom(f.buf, f.pos)
+			}
 		}
 	}
 }
 
-// Close closes the child.
-func (f *Filter) Close() error { return f.Child.Close() }
+// Close releases the buffer and closes the child.
+func (f *Filter) Close() error {
+	if f.buf != nil {
+		f.buf.Release()
+		f.buf = nil
+	}
+	return f.Child.Close()
+}
 
 // Describe renders the node.
 func (f *Filter) Describe() (string, Operator) {
@@ -116,7 +156,8 @@ func (f *Filter) Describe() (string, Operator) {
 	return fmt.Sprintf("Filter(%s)", strings.Join(parts, " AND ")), f.Child
 }
 
-// Project reorders the child row onto the select list.
+// Project reorders the child batch's columns onto the select list — a
+// permutation of the batch's column view; no row data moves.
 type Project struct {
 	Child Operator
 	Idx   []int
@@ -126,17 +167,17 @@ type Project struct {
 // Open opens the child.
 func (p *Project) Open() error { return p.Child.Open() }
 
-// Next projects one child row.
-func (p *Project) Next() (Row, bool, error) {
-	row, ok, err := p.Child.Next()
-	if err != nil || !ok {
-		return nil, false, err
+// NextBatch projects one child batch. Empty (end-of-stream) batches
+// pass through unprojected — a child at EOF may have dropped its
+// schema, and no caller reads columns of an empty batch.
+func (p *Project) NextBatch(dst *Batch) error {
+	if err := p.Child.NextBatch(dst); err != nil {
+		return err
 	}
-	out := make(Row, len(p.Idx))
-	for i, j := range p.Idx {
-		out[i] = row[j]
+	if dst.Len() > 0 {
+		dst.Project(p.Idx)
 	}
-	return out, true, nil
+	return nil
 }
 
 // Close closes the child.
@@ -148,8 +189,11 @@ func (p *Project) Describe() (string, Operator) {
 }
 
 // Sort materializes the child and emits its rows ordered by one key
-// column — the only blocking operator in the pipeline. The sort is
-// stable, so ties keep the child's (deterministic) order.
+// column — the only blocking operator in the pipeline. The child's
+// batches accumulate into one big columnar buffer and a permutation
+// over it is sorted (stably, so ties keep the child's deterministic
+// order); emission copies rows out through the permutation a batch at
+// a time.
 type Sort struct {
 	Child Operator
 	Key   int
@@ -158,7 +202,8 @@ type Sort struct {
 	// name is the key column's name, for EXPLAIN.
 	name string
 
-	rows []Row
+	all  *Batch // materialized child rows (pooled; grows past BatchSize)
+	perm []int
 	i    int
 }
 
@@ -172,60 +217,72 @@ func (s *Sort) Open() error {
 	if err := s.Child.Open(); err != nil {
 		return err
 	}
-	s.rows, s.i = nil, 0
+	s.i = 0
+	s.all = NewBatch()
+	in := NewBatch()
+	defer in.Release()
+	first := true
 	for {
-		row, ok, err := s.Child.Next()
-		if err != nil {
+		if err := s.Child.NextBatch(in); err != nil {
 			return err
 		}
-		if !ok {
+		if first {
+			s.all.ResetLike(in)
+			first = false
+		}
+		if in.Len() == 0 {
 			break
 		}
-		s.rows = append(s.rows, row)
+		s.all.Extend(in)
 	}
-	key := func(r Row) float64 {
-		v := r[s.Key].num()
+	s.perm = make([]int, s.all.Len())
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	all, key := s.all, s.Key
+	num := func(r int) float64 {
+		v := all.Num(r, key)
 		if s.Abs {
 			v = math.Abs(v)
 		}
 		return v
 	}
-	str := len(s.rows) > 0 && s.rows[0][s.Key].kind == KString
-	sort.SliceStable(s.rows, func(a, b int) bool {
-		var less bool
+	str := all.Len() > 0 && all.Value(0, key).kind == KString
+	sort.SliceStable(s.perm, func(a, b int) bool {
+		ra, rb := s.perm[a], s.perm[b]
+		var less, eq bool
 		if str {
-			less = s.rows[a][s.Key].s < s.rows[b][s.Key].s
+			va, vb := all.Value(ra, key).s, all.Value(rb, key).s
+			less, eq = va < vb, va == vb
 		} else {
-			less = key(s.rows[a]) < key(s.rows[b])
+			va, vb := num(ra), num(rb)
+			less, eq = va < vb, all.Num(ra, key) == all.Num(rb, key)
 		}
 		if s.Desc {
-			return !less && !equalKey(s.rows[a], s.rows[b], s.Key, str)
+			return !less && !eq
 		}
 		return less
 	})
 	return nil
 }
 
-func equalKey(a, b Row, key int, str bool) bool {
-	if str {
-		return a[key].s == b[key].s
+// NextBatch emits the next run of sorted rows.
+func (s *Sort) NextBatch(dst *Batch) error {
+	dst.ResetLike(s.all)
+	for s.i < len(s.perm) && dst.Room() > 0 {
+		dst.AppendFrom(s.all, s.perm[s.i])
+		s.i++
 	}
-	return a[key].num() == b[key].num()
-}
-
-// Next emits the next sorted row.
-func (s *Sort) Next() (Row, bool, error) {
-	if s.i >= len(s.rows) {
-		return nil, false, nil
-	}
-	row := s.rows[s.i]
-	s.i++
-	return row, true, nil
+	return nil
 }
 
 // Close releases the materialized rows and closes the child.
 func (s *Sort) Close() error {
-	s.rows = nil
+	if s.all != nil {
+		s.all.Release()
+		s.all = nil
+	}
+	s.perm = nil
 	return s.Child.Close()
 }
 
@@ -242,7 +299,8 @@ func (s *Sort) Describe() (string, Operator) {
 }
 
 // Limit stops the stream after N rows, letting the whole pipeline
-// below it quit early.
+// below it quit early — it is the one operator that sets the batch's
+// want, so its child fills exactly the rows still needed.
 type Limit struct {
 	Child Operator
 	N     int
@@ -255,17 +313,22 @@ func (l *Limit) Open() error {
 	return l.Child.Open()
 }
 
-// Next forwards up to N rows.
-func (l *Limit) Next() (Row, bool, error) {
+// NextBatch forwards up to N rows total.
+func (l *Limit) NextBatch(dst *Batch) error {
 	if l.seen >= l.N {
-		return nil, false, nil
+		dst.Reset()
+		return nil
 	}
-	row, ok, err := l.Child.Next()
-	if err != nil || !ok {
-		return nil, false, err
+	outer := dst.want
+	dst.SetWant(l.N - l.seen)
+	err := l.Child.NextBatch(dst)
+	dst.SetWant(outer)
+	if err != nil {
+		return err
 	}
-	l.seen++
-	return row, true, nil
+	dst.Truncate(l.N - l.seen) // defensive; children honor want
+	l.seen += dst.Len()
+	return nil
 }
 
 // Close closes the child.
@@ -288,23 +351,28 @@ func (c *Count) Open() error {
 	return c.Child.Open()
 }
 
-// Next counts the child's stream.
-func (c *Count) Next() (Row, bool, error) {
+// NextBatch counts the child's stream.
+func (c *Count) NextBatch(dst *Batch) error {
 	if c.done {
-		return nil, false, nil
+		dst.Reset()
+		return nil
 	}
 	c.done = true
 	n := int64(0)
+	in := NewBatch()
+	defer in.Release()
 	for {
-		_, ok, err := c.Child.Next()
-		if err != nil {
-			return nil, false, err
+		if err := c.Child.NextBatch(in); err != nil {
+			return err
 		}
-		if !ok {
-			return Row{IntVal(n)}, true, nil
+		if in.Len() == 0 {
+			break
 		}
-		n++
+		n += int64(in.Len())
 	}
+	dst.ResetSchema(KInt)
+	dst.AppendRow(Row{IntVal(n)})
+	return nil
 }
 
 // Close closes the child.

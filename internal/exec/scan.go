@@ -22,14 +22,18 @@ func renderEpsRange(lo, hi float64) string {
 }
 
 // cursorScan adapts a source Cursor to an Operator — the shared body
-// of the full-scan and eps-range leaves.
+// of the full-scan, eps-range, and table-scan leaves. The operator
+// owns the batch schema; the cursor bulk-appends rows.
 type cursorScan struct {
-	open func() (Cursor, error)
-	desc string
-	cur  Cursor
+	open  func() (Cursor, error)
+	kinds []Kind
+	desc  string
+	cur   Cursor
+	eof   bool
 }
 
 func (s *cursorScan) Open() error {
+	s.eof = false
 	cur, err := s.open()
 	if err != nil {
 		return err
@@ -38,11 +42,18 @@ func (s *cursorScan) Open() error {
 	return nil
 }
 
-func (s *cursorScan) Next() (Row, bool, error) {
-	if s.cur == nil {
-		return nil, false, nil
+func (s *cursorScan) NextBatch(dst *Batch) error {
+	dst.ResetSchema(s.kinds...)
+	if s.cur == nil || s.eof {
+		return nil
 	}
-	return s.cur.Next()
+	if err := s.cur.NextBatch(dst); err != nil {
+		return err
+	}
+	if dst.Len() == 0 {
+		s.eof = true
+	}
+	return nil
 }
 
 func (s *cursorScan) Close() error {
@@ -58,8 +69,9 @@ func (s *cursorScan) Describe() (string, Operator) { return s.desc, nil }
 // NewFullScan streams every row of the view.
 func NewFullScan(src ViewSource) Operator {
 	return &cursorScan{
-		open: src.Scan,
-		desc: fmt.Sprintf("FullScan(%s, %s)", src.Name(), src.Origin()),
+		open:  src.Scan,
+		kinds: viewKinds,
+		desc:  fmt.Sprintf("FullScan(%s, %s)", src.Name(), src.Origin()),
 	}
 }
 
@@ -67,16 +79,18 @@ func NewFullScan(src ViewSource) Operator {
 // the clustered layout — the paper's index scan of an eps band.
 func NewEpsRange(src ViewSource, lo, hi float64) Operator {
 	return &cursorScan{
-		open: func() (Cursor, error) { return src.ScanEps(lo, hi) },
-		desc: fmt.Sprintf("EpsRange(%s, %s, %s)", src.Name(), src.Origin(), renderEpsRange(lo, hi)),
+		open:  func() (Cursor, error) { return src.ScanEps(lo, hi) },
+		kinds: viewKinds,
+		desc:  fmt.Sprintf("EpsRange(%s, %s, %s)", src.Name(), src.Origin(), renderEpsRange(lo, hi)),
 	}
 }
 
 // NewTableScan streams a relational table in heap order.
 func NewTableScan(src TableSource) Operator {
 	return &cursorScan{
-		open: src.Scan,
-		desc: fmt.Sprintf("TableScan(%s)", src.Name()),
+		open:  src.Scan,
+		kinds: columnKinds(src.Columns()),
+		desc:  fmt.Sprintf("TableScan(%s)", src.Name()),
 	}
 }
 
@@ -99,23 +113,25 @@ func (p *PointRead) Open() error {
 	return nil
 }
 
-// Next emits the single row.
-func (p *PointRead) Next() (Row, bool, error) {
+// NextBatch emits the single row.
+func (p *PointRead) NextBatch(dst *Batch) error {
+	dst.ResetSchema(viewKinds...)
 	if p.done {
-		return nil, false, nil
+		return nil
 	}
 	p.done = true
 	label, err := p.Src.Label(p.ID)
 	if err != nil {
-		return nil, false, err
+		return err
 	}
 	eps := 0.0
 	if p.NeedEps {
 		if eps, err = p.Src.Eps(p.ID); err != nil {
-			return nil, false, err
+			return err
 		}
 	}
-	return Row{IntVal(p.ID), IntVal(int64(label)), FloatVal(eps)}, true, nil
+	dst.AppendViewRow(p.ID, int64(label), eps)
+	return nil
 }
 
 // Close is a no-op.
@@ -146,14 +162,14 @@ func (m *MembersScan) Open() error {
 	return nil
 }
 
-// Next emits the next member.
-func (m *MembersScan) Next() (Row, bool, error) {
-	if m.i >= len(m.ids) {
-		return nil, false, nil
+// NextBatch emits the next run of members.
+func (m *MembersScan) NextBatch(dst *Batch) error {
+	dst.ResetSchema(viewKinds...)
+	for m.i < len(m.ids) && dst.Room() > 0 {
+		dst.AppendViewRow(m.ids[m.i], 1, 0)
+		m.i++
 	}
-	id := m.ids[m.i]
-	m.i++
-	return Row{IntVal(id), IntVal(1), FloatVal(0)}, true, nil
+	return nil
 }
 
 // Close releases the ids.
@@ -180,17 +196,19 @@ func (m *MembersCount) Open() error {
 	return nil
 }
 
-// Next emits the count row.
-func (m *MembersCount) Next() (Row, bool, error) {
+// NextBatch emits the count row.
+func (m *MembersCount) NextBatch(dst *Batch) error {
+	dst.ResetSchema(KInt)
 	if m.done {
-		return nil, false, nil
+		return nil
 	}
 	m.done = true
 	n, err := m.Src.CountMembers()
 	if err != nil {
-		return nil, false, err
+		return err
 	}
-	return Row{IntVal(int64(n))}, true, nil
+	dst.AppendRow(Row{IntVal(int64(n))})
+	return nil
 }
 
 // Close is a no-op.
@@ -225,26 +243,27 @@ func (u *Uncertain) Open() error {
 	return nil
 }
 
-// Next emits the next boundary id.
-func (u *Uncertain) Next() (Row, bool, error) {
-	if u.i >= len(u.ids) {
-		return nil, false, nil
-	}
-	id := u.ids[u.i]
-	u.i++
-	label, eps := 0, 0.0
-	var err error
-	if u.NeedClass {
-		if label, err = u.Src.Label(id); err != nil {
-			return nil, false, err
+// NextBatch emits the next run of boundary ids.
+func (u *Uncertain) NextBatch(dst *Batch) error {
+	dst.ResetSchema(viewKinds...)
+	for u.i < len(u.ids) && dst.Room() > 0 {
+		id := u.ids[u.i]
+		u.i++
+		label, eps := 0, 0.0
+		var err error
+		if u.NeedClass {
+			if label, err = u.Src.Label(id); err != nil {
+				return err
+			}
 		}
-	}
-	if u.NeedEps {
-		if eps, err = u.Src.Eps(id); err != nil {
-			return nil, false, err
+		if u.NeedEps {
+			if eps, err = u.Src.Eps(id); err != nil {
+				return err
+			}
 		}
+		dst.AppendViewRow(id, int64(label), eps)
 	}
-	return Row{IntVal(id), IntVal(int64(label)), FloatVal(eps)}, true, nil
+	return nil
 }
 
 // Close releases the ids.
@@ -272,13 +291,19 @@ func (g *TableGet) Open() error {
 	return nil
 }
 
-// Next emits the row, if present.
-func (g *TableGet) Next() (Row, bool, error) {
+// NextBatch emits the row, if present.
+func (g *TableGet) NextBatch(dst *Batch) error {
+	dst.ResetSchema(columnKinds(g.Src.Columns())...)
 	if g.done {
-		return nil, false, nil
+		return nil
 	}
 	g.done = true
-	return g.Src.Get(g.ID)
+	row, ok, err := g.Src.Get(g.ID)
+	if err != nil || !ok {
+		return err
+	}
+	dst.AppendRow(row)
+	return nil
 }
 
 // Close is a no-op.

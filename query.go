@@ -19,18 +19,23 @@ import (
 // the Rows cursor the Session's query surface returns.
 
 // Rows is a streaming statement result: column names up front, then
-// one rendered row per Next. SELECT rows flow straight out of the
-// operator pipeline — nothing is materialized beyond what the plan
-// itself requires (a Sort, and nothing else) — which is what lets the
-// server write a large result to the wire row by row. Callers must
-// Close (idempotent); DDL/DML statements yield a Rows with only Msg
-// set.
+// one rendered row per Next. SELECT rows flow out of the vectorized
+// operator pipeline a batch (~1024 rows) at a time; Rows is the
+// row-at-a-time boundary — it holds the current batch and deals one
+// rendered row per Next, refilling when the batch runs dry — so the
+// SQL surface and wire protocol see exactly the row stream they
+// always did. Nothing is materialized beyond what the plan itself
+// requires (a Sort, and nothing else), which is what lets the server
+// write a large result to the wire row by row. Callers must Close
+// (idempotent); DDL/DML statements yield a Rows with only Msg set.
 type Rows struct {
 	cols   []string
 	msg    string
 	live   bool
 	op     exec.Operator
-	static [][]string // pre-rendered rows (EXPLAIN, Materialize)
+	batch  *exec.Batch // current batch pulled from op (pooled)
+	bi     int         // next unread row within batch
+	static [][]string  // pre-rendered rows (EXPLAIN, Materialize)
 	i      int
 	closed bool
 }
@@ -52,19 +57,25 @@ func (r *Rows) Materialize() error {
 	op := r.op
 	r.op = nil
 	defer op.Close()
+	b := r.batch
+	r.batch = nil
+	if b == nil {
+		b = exec.NewBatch()
+	}
+	defer b.Release()
 	for {
-		row, ok, err := op.Next()
-		if err != nil {
+		for ; r.bi < b.Len(); r.bi++ {
+			out := make([]string, b.Width())
+			b.RenderRow(r.bi, out)
+			r.static = append(r.static, out)
+		}
+		if err := op.NextBatch(b); err != nil {
 			return err
 		}
-		if !ok {
+		r.bi = 0
+		if b.Len() == 0 {
 			return nil
 		}
-		out := make([]string, len(row))
-		for i, v := range row {
-			out[i] = v.Render()
-		}
-		r.static = append(r.static, out)
 	}
 }
 
@@ -80,14 +91,21 @@ func (r *Rows) Next() ([]string, bool, error) {
 		return nil, false, nil
 	}
 	if r.op != nil {
-		row, ok, err := r.op.Next()
-		if err != nil || !ok {
-			return nil, false, err
+		if r.batch == nil {
+			r.batch = exec.NewBatch()
 		}
-		out := make([]string, len(row))
-		for i, v := range row {
-			out[i] = v.Render()
+		if r.bi >= r.batch.Len() {
+			if err := r.op.NextBatch(r.batch); err != nil {
+				return nil, false, err
+			}
+			r.bi = 0
+			if r.batch.Len() == 0 {
+				return nil, false, nil
+			}
 		}
+		out := make([]string, r.batch.Width())
+		r.batch.RenderRow(r.bi, out)
+		r.bi++
 		return out, true, nil
 	}
 	if r.i >= len(r.static) {
@@ -104,6 +122,10 @@ func (r *Rows) Close() error {
 		return nil
 	}
 	r.closed = true
+	if r.batch != nil {
+		r.batch.Release()
+		r.batch = nil
+	}
 	if r.op != nil {
 		return r.op.Close()
 	}
@@ -157,25 +179,39 @@ func (c *sessionCatalog) Table(name string) (exec.TableSource, bool, error) {
 	return nil, false, nil
 }
 
-// entryRow converts a core row to an executor row.
-func entryRow(e core.SnapEntry) exec.Row {
-	return exec.Row{exec.IntVal(e.ID), exec.IntVal(int64(e.Label)), exec.FloatVal(e.Eps)}
-}
-
-// coreCursor adapts a core.RowCursor to the executor.
+// coreCursor adapts a core.RowCursor to the executor's batch
+// contract: each NextBatch bulk-fills a scratch entry slice from the
+// source (one core-level call per run of rows, a leaf's worth at a
+// time for the on-disk layout) and transposes it into dst's columns.
+// The scratch persists across calls, so a scan allocates it once.
 type coreCursor struct {
-	c core.RowCursor
+	c   core.RowCursor
+	buf []core.SnapEntry
 }
 
-func (c coreCursor) Next() (exec.Row, bool, error) {
-	e, ok, err := c.c.Next()
-	if err != nil || !ok {
-		return nil, false, err
+func (c *coreCursor) NextBatch(dst *exec.Batch) error {
+	for {
+		want := dst.Room()
+		if want == 0 {
+			return nil
+		}
+		if cap(c.buf) < want {
+			c.buf = make([]core.SnapEntry, want)
+		}
+		n, err := c.c.NextBatch(c.buf[:want])
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		for _, e := range c.buf[:n] {
+			dst.AppendViewRow(e.ID, int64(e.Label), e.Eps)
+		}
 	}
-	return entryRow(e), true, nil
 }
 
-func (c coreCursor) Close() { c.c.Close() }
+func (c *coreCursor) Close() { c.c.Close() }
 
 // entriesCursor streams a snapshot's entry slice.
 type entriesCursor struct {
@@ -183,13 +219,13 @@ type entriesCursor struct {
 	i       int
 }
 
-func (c *entriesCursor) Next() (exec.Row, bool, error) {
-	if c.i >= len(c.entries) {
-		return nil, false, nil
+func (c *entriesCursor) NextBatch(dst *exec.Batch) error {
+	for c.i < len(c.entries) && dst.Room() > 0 {
+		e := c.entries[c.i]
+		c.i++
+		dst.AppendViewRow(e.ID, int64(e.Label), e.Eps)
 	}
-	e := c.entries[c.i]
-	c.i++
-	return entryRow(e), true, nil
+	return nil
 }
 
 func (c *entriesCursor) Close() {}
@@ -223,7 +259,7 @@ func (s *snapshotSource) ScanEps(lo, hi float64) (exec.Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return coreCursor{c: c}, nil
+	return &coreCursor{c: c}, nil
 }
 
 // liveSource serves an unmanaged view's plan from the live structure.
@@ -265,7 +301,7 @@ func (s *liveSource) Scan() (exec.Cursor, error) {
 		if err != nil {
 			return nil, err
 		}
-		return coreCursor{c: c}, nil
+		return &coreCursor{c: c}, nil
 	}
 	// Naive layouts keep no eps clustering to stream from; fall back
 	// to the members set joined against the entity table — the
@@ -302,7 +338,7 @@ func (s *liveSource) ScanEps(lo, hi float64) (exec.Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return coreCursor{c: c}, nil
+	return &coreCursor{c: c}, nil
 }
 
 // Stripes exposes the live view's partition count so the planner can
@@ -326,7 +362,7 @@ func (s *liveSource) ScanEpsStripe(i int, lo, hi float64) (exec.Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return coreCursor{c: c}, nil
+	return &coreCursor{c: c}, nil
 }
 
 var _ exec.StripedSource = (*liveSource)(nil)
@@ -339,13 +375,12 @@ type sliceCursor struct {
 	i    int
 }
 
-func (c *sliceCursor) Next() (exec.Row, bool, error) {
-	if c.i >= len(c.rows) {
-		return nil, false, nil
+func (c *sliceCursor) NextBatch(dst *exec.Batch) error {
+	for c.i < len(c.rows) && dst.Room() > 0 {
+		dst.AppendRow(c.rows[c.i])
+		c.i++
 	}
-	r := c.rows[c.i]
-	c.i++
-	return r, true, nil
+	return nil
 }
 
 func (c *sliceCursor) Close() {}
@@ -453,20 +488,21 @@ func (s *Session) Query(src string) (*Rows, error) {
 	}
 }
 
-// drainPlan runs an instrumented plan to completion: Open, exhaust,
-// Close — the execution half of EXPLAIN ANALYZE.
+// drainPlan runs an instrumented plan to completion: Open, exhaust
+// batch by batch, Close — the execution half of EXPLAIN ANALYZE.
 func drainPlan(op exec.Operator) error {
 	if err := op.Open(); err != nil {
 		op.Close()
 		return err
 	}
+	b := exec.NewBatch()
+	defer b.Release()
 	for {
-		_, ok, err := op.Next()
-		if err != nil {
+		if err := op.NextBatch(b); err != nil {
 			op.Close()
 			return err
 		}
-		if !ok {
+		if b.Len() == 0 {
 			return op.Close()
 		}
 	}

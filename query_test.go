@@ -3,10 +3,13 @@ package hazy
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+
+	"hazy/internal/exec"
 )
 
 // buildQueryFixture declares a two-topic corpus, a hazy view over it,
@@ -191,6 +194,11 @@ func TestEpsRequiresClustering(t *testing.T) {
 // against a live engine's async ingest. Run under -race this pins
 // that SELECT streaming never touches mutable engine state.
 func TestConcurrentSQLScanVsEngineIngest(t *testing.T) {
+	// A small batch size forces every streaming statement through many
+	// batch refills while the engine mutates underneath, so -race sees
+	// the refill path, not just the first fill.
+	defer exec.SetBatchSize(exec.BatchSize())
+	exec.SetBatchSize(7)
 	s := newSession(t)
 	buildQueryFixture(t, s, "cv", "HAZY", 12)
 	mustExec(t, s, "ATTACH ENGINE TO cv QUEUE 256 BATCH 32")
@@ -229,7 +237,10 @@ func TestConcurrentSQLScanVsEngineIngest(t *testing.T) {
 		"SELECT COUNT(*) FROM cv WHERE class = 1",
 		"SELECT class FROM cv WHERE id = 7",
 		"SELECT id FROM cv ORDER BY ABS(eps) LIMIT 5",
+		"SELECT id, eps FROM cv ORDER BY eps DESC LIMIT 7",
+		"SELECT id FROM cv WHERE eps >= -0.5 LIMIT 9",
 		"EXPLAIN SELECT id FROM cv WHERE eps > 0",
+		"EXPLAIN ANALYZE SELECT COUNT(*) FROM cv WHERE eps >= -0.5 AND eps <= 0.5",
 		"SELECT COUNT(*) FROM qp",
 	}
 	for g := 0; g < readers; g++ {
@@ -259,6 +270,74 @@ func TestConcurrentSQLScanVsEngineIngest(t *testing.T) {
 	r := mustExec(t, s, "SELECT COUNT(*) FROM cv")
 	if r.Rows[0][0] != strconv.Itoa(60+writers*per) {
 		t.Fatalf("final entity count %v, want %d", r.Rows, 60+writers*per)
+	}
+}
+
+// TestBatchSizeEndToEnd replays the dialect through the Session
+// surface at batch sizes 1 and 7 and checks the rendered results are
+// identical to the default 1024 — the SQL answer must not depend on
+// where batch boundaries fall, live or engined.
+func TestBatchSizeEndToEnd(t *testing.T) {
+	defer exec.SetBatchSize(exec.BatchSize())
+	s := newSession(t)
+	buildQueryFixture(t, s, "qv", "HAZY", 12)
+	stmts := []string{
+		"SELECT id, class, eps FROM qv",
+		"SELECT id, eps FROM qv WHERE eps >= -0.5 AND eps <= 0.5",
+		"SELECT COUNT(*) FROM qv WHERE class = 1",
+		"SELECT id FROM qv ORDER BY ABS(eps) LIMIT 5",
+		"SELECT id, eps FROM qv ORDER BY eps DESC LIMIT 7",
+		"SELECT id FROM qv WHERE eps >= -0.5 LIMIT 9",
+		"SELECT id FROM qv ORDER BY id DESC LIMIT 3",
+		"SELECT COUNT(*) FROM qp",
+	}
+	for _, engined := range []bool{false, true} {
+		if engined {
+			mustExec(t, s, "ATTACH ENGINE TO qv")
+		}
+		exec.SetBatchSize(1024)
+		want := map[string][][]string{}
+		for _, q := range stmts {
+			want[q] = mustExec(t, s, q).Rows
+		}
+		for _, size := range []int{1, 7} {
+			exec.SetBatchSize(size)
+			for _, q := range stmts {
+				got := mustExec(t, s, q).Rows
+				if !reflect.DeepEqual(got, want[q]) {
+					t.Errorf("engined=%v batch=%d %s:\nrows %v\nwant %v", engined, size, q, got, want[q])
+				}
+			}
+		}
+	}
+}
+
+// TestEmptyViewQueries: a view over an empty entity table streams
+// zero rows (and COUNT streams one zero) through every plan shape.
+func TestEmptyViewQueries(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE zp (id BIGINT, title TEXT) KEY id")
+	mustExec(t, s, "CREATE TABLE zf (id BIGINT, label BIGINT) KEY id")
+	mustExec(t, s, `CREATE CLASSIFICATION VIEW zv KEY id
+		ENTITIES FROM zp KEY id EXAMPLES FROM zf KEY id LABEL label
+		FEATURE FUNCTION tf_bag_of_words USING SVM STRATEGY HAZY`)
+	for stmt, wantRows := range map[string]int{
+		"SELECT id, class, eps FROM zv":                      0,
+		"SELECT id FROM zv WHERE eps >= -1.0 AND eps <= 1.0": 0,
+		"SELECT id FROM zv WHERE class = 1":                  0,
+		"SELECT id FROM zv ORDER BY ABS(eps) LIMIT 3":        0,
+		"SELECT id FROM zv ORDER BY id DESC LIMIT 3":         0,
+		"SELECT COUNT(*) FROM zv":                            1,
+		"SELECT COUNT(*) FROM zv WHERE class = 1":            1,
+		"SELECT COUNT(*) FROM zp":                            1,
+	} {
+		r := mustExec(t, s, stmt)
+		if len(r.Rows) != wantRows {
+			t.Errorf("%s: %d rows (%v), want %d", stmt, len(r.Rows), r.Rows, wantRows)
+		}
+		if wantRows == 1 && r.Rows[0][0] != "0" {
+			t.Errorf("%s: count = %v, want 0", stmt, r.Rows[0])
+		}
 	}
 }
 
