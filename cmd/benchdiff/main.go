@@ -87,6 +87,20 @@ func diff(w io.Writer, oldM, newM map[string]any, tol float64) (failed bool) {
 		}
 		switch {
 		case strings.HasSuffix(k, "_ns_op"), strings.HasSuffix(k, "_allocs_op"):
+			// A zero baseline makes the ratio meaningless (Inf/NaN) —
+			// possible for _allocs_op once a path reaches zero
+			// allocations. Treat it explicitly: staying at zero is
+			// ok, growing from zero is a regression, both reported
+			// without a percentage.
+			if onum == 0 {
+				if nnum > 0 {
+					fmt.Fprintf(w, "FAIL %-20s old=0 new=%.0f (regressed from zero baseline)\n", k, nnum)
+					failed = true
+				} else {
+					fmt.Fprintf(w, "ok   %-20s old=0 new=0\n", k)
+				}
+				continue
+			}
 			if nnum > onum*(1+tol) {
 				fmt.Fprintf(w, "FAIL %-20s old=%.0f new=%.0f (+%.1f%%, limit +%.0f%%)\n",
 					k, onum, nnum, 100*(nnum/onum-1), 100*tol)
@@ -95,6 +109,13 @@ func diff(w io.Writer, oldM, newM map[string]any, tol float64) (failed bool) {
 				fmt.Fprintf(w, "ok   %-20s old=%.0f new=%.0f (%+.1f%%)\n", k, onum, nnum, 100*(nnum/onum-1))
 			}
 		case strings.HasPrefix(k, "speedup_"):
+			// A zero (or negative) speedup baseline carries no
+			// information — any non-negative new value passes rather
+			// than tripping on a 0×(1−tol) comparison.
+			if onum <= 0 {
+				fmt.Fprintf(w, "ok   %-20s old=%.3f new=%.3f (zero baseline, informational)\n", k, onum, nnum)
+				continue
+			}
 			if nnum < onum*(1-tol) {
 				fmt.Fprintf(w, "FAIL %-20s old=%.3f new=%.3f (%.1f%%, limit -%.0f%%)\n",
 					k, onum, nnum, 100*(nnum/onum-1), 100*tol)

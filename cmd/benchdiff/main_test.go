@@ -61,4 +61,39 @@ func TestDiffRules(t *testing.T) {
 			}
 		})
 	}
+
+	// Zero baselines: the old ratio rules produced Inf/NaN
+	// percentages and a confusing verdict; now the comparison is
+	// explicit, with no +Inf% in the report.
+	zeroOld := map[string]any{
+		"fullscan_allocs_op": 0.0,
+		"warm_ns_op":         0.0,
+		"speedup_batched":    0.0,
+	}
+	zeroCases := []struct {
+		name string
+		new  map[string]any
+		fail bool
+	}{
+		{"zero baselines held", map[string]any{
+			"fullscan_allocs_op": 0.0, "warm_ns_op": 0.0, "speedup_batched": 1.2}, false},
+		{"allocs grew from zero", map[string]any{
+			"fullscan_allocs_op": 3.0, "warm_ns_op": 0.0, "speedup_batched": 1.2}, true},
+		{"latency grew from zero", map[string]any{
+			"fullscan_allocs_op": 0.0, "warm_ns_op": 900.0, "speedup_batched": 1.2}, true},
+		{"zero speedup baseline is informational", map[string]any{
+			"fullscan_allocs_op": 0.0, "warm_ns_op": 0.0, "speedup_batched": 0.0}, false},
+	}
+	for _, tc := range zeroCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			got := diff(&b, zeroOld, tc.new, 0.25)
+			if got != tc.fail {
+				t.Errorf("diff = %v, want %v\n%s", got, tc.fail, b.String())
+			}
+			if out := b.String(); strings.Contains(out, "Inf") || strings.Contains(out, "NaN") {
+				t.Errorf("report leaked Inf/NaN:\n%s", out)
+			}
+		})
+	}
 }

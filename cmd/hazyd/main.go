@@ -13,8 +13,14 @@
 // Usage:
 //
 //	hazyd [-addr :7437] [-db DIR] [-view labeled_papers] [-workers N] [-batch N] [-queue N] [-engine=false]
-//	      [-fsync always|off] [-wal-segment BYTES] [-partitions P] [-exec-batch N] [-metrics ADDR]
-//	      [-ship ADDR] [-replica-of HOST:PORT]
+//	      [-fsync always|off] [-wal-segment BYTES] [-partitions P] [-maint-workers N] [-exec-batch N]
+//	      [-metrics ADDR] [-ship ADDR] [-replica-of HOST:PORT]
+//
+// -maint-workers N sizes the catalog's shared maintenance pool — the
+// single scheduler that runs every attached engine's batch
+// application and every striped view's per-stripe tasks, so total
+// maintenance goroutines stay O(N) however many views are attached
+// (default: GOMAXPROCS).
 //
 // -ship ADDR serves the replication stream (WAL log shipping)
 // alongside the protocol listener; any number of replicas can
@@ -109,6 +115,7 @@ func run() (err error) {
 		fsync     = flag.String("fsync", "always", "WAL commit policy: always (acknowledged writes survive power loss; engines group-commit one fsync per batch) or off (survive process crash only)")
 		walSeg    = flag.Int64("wal-segment", 4<<20, "WAL segment size in bytes; each rotation triggers a catalog checkpoint")
 		parts     = flag.Int("partitions", 0, "stripe count for views declared without PARTITIONS (hash-partitioned parallel maintenance; 0/1 = unstriped)")
+		maintW    = flag.Int("maint-workers", 0, "shared maintenance-pool size: one scheduler runs every attached engine's batches and every striped view's stripe tasks (0 = GOMAXPROCS)")
 		execBatch = flag.Int("exec-batch", 0, "rows per executor batch on the SQL read path (0 = default 1024; 1 = row-at-a-time, for debugging)")
 		metrics   = flag.String("metrics", "", "HTTP observability listen address serving /metrics (Prometheus text), /statsz (JSON), /debug/pprof/* (empty = disabled)")
 		ship      = flag.String("ship", "", "serve the replication stream (WAL log shipping) on this address, e.g. :7438 (empty = disabled)")
@@ -135,6 +142,7 @@ func run() (err error) {
 		Fsync:             *fsync,
 		WALSegmentBytes:   *walSeg,
 		DefaultPartitions: *parts,
+		MaintWorkers:      *maintW,
 	}
 	if *replicaOf != "" {
 		// Seed a fresh directory from the primary's checkpoint image

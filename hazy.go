@@ -74,6 +74,7 @@ import (
 	"hazy/internal/obs"
 	"hazy/internal/relation"
 	"hazy/internal/replica"
+	"hazy/internal/sched"
 	"hazy/internal/storage"
 	"hazy/internal/vector"
 	"hazy/internal/wal"
@@ -106,6 +107,7 @@ type DB struct {
 	rel          *relation.DB
 	registry     *feature.Registry
 	metrics      *obs.Registry
+	pool         *sched.Pool // shared maintenance scheduler for all engines and striped views
 	vfs          storage.VFS
 	fsync        wal.SyncMode
 	defaultParts int
@@ -160,6 +162,12 @@ type OpenOptions struct {
 	// count is persisted with the view's declaration, so reopening
 	// without the option keeps existing views striped as declared.
 	DefaultPartitions int
+	// MaintWorkers sizes the catalog's shared maintenance pool — the
+	// single scheduler every attached engine's batches and every
+	// striped view's per-stripe tasks run on, so total maintenance
+	// goroutines stay O(MaintWorkers) however many views are attached.
+	// 0 (the default) uses GOMAXPROCS.
+	MaintWorkers int
 }
 
 // Open creates or reopens a database directory with default
@@ -192,6 +200,7 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 		vfs = storage.OS
 	}
 	metrics := obs.NewRegistry()
+	pool := sched.NewPool(opts.MaintWorkers, metrics)
 	rel, err := relation.OpenDBWith(dir, 512, relation.Options{
 		VFS:             vfs,
 		Fsync:           mode,
@@ -199,15 +208,18 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 		Metrics:         metrics,
 	})
 	if err != nil {
+		pool.Close()
 		return nil, err
 	}
 	// A failed open must release the log and pager handles it
 	// acquired — without checkpointing, which could overwrite a good
-	// manifest with partially recovered state.
+	// manifest with partially recovered state — and stop the
+	// maintenance pool it started.
 	opened := false
 	defer func() {
 		if !opened {
 			rel.Abort()
+			pool.Close()
 		}
 	}()
 	db := &DB{
@@ -215,6 +227,7 @@ func OpenWith(dir string, opts OpenOptions) (*DB, error) {
 		rel:          rel,
 		registry:     feature.NewRegistry(),
 		metrics:      metrics,
+		pool:         pool,
 		vfs:          vfs,
 		fsync:        mode,
 		defaultParts: opts.DefaultPartitions,
@@ -404,6 +417,10 @@ func (db *DB) Close() error {
 	if err := db.rel.Close(); err != nil && first == nil {
 		first = err
 	}
+	// The pool goes down last: the engine drains above were its final
+	// clients, and a post-close straggler still runs via the pool's
+	// degraded fallback rather than hanging.
+	db.pool.Close()
 	return first
 }
 
@@ -847,6 +864,7 @@ func (db *DB) buildView(spec ViewSpec, et *EntityTable, xt *ExampleTable) (*Clas
 		Warm:        warm,
 		Metrics:     db.metrics,
 		MetricsName: spec.Name,
+		Pool:        db.pool,
 	}
 	view, err := core.New(spec.Arch, spec.Strategy, filepath.Join(db.dir, "view-"+spec.Name), spec.PoolPages, entities, opts)
 	if err != nil {
@@ -1047,6 +1065,7 @@ func (db *DB) AttachEngine(view string, opts EngineOptions) (*engine.Engine, err
 	}
 	opts.Metrics = db.metrics
 	opts.Name = view
+	opts.Pool = db.pool
 	eng, err := engine.New(&viewBackend{db: db, cv: cv}, opts)
 	if err != nil {
 		cv.managed.Store(false)

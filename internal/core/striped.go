@@ -2,14 +2,13 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strconv"
-	"sync"
 	"time"
 
 	"hazy/internal/learn"
 	"hazy/internal/obs"
+	"hazy/internal/sched"
 	"hazy/internal/vector"
 )
 
@@ -18,11 +17,12 @@ import (
 // own eps-clustered entries slice, watermark pair, and Skiing
 // accumulator, while the model stays global (trained once, shared by
 // every stripe). Reorganization, band sweeps, inserts, full rescans,
-// and snapshot export all run across the stripes on a worker pool, so
-// the reorganization cost S — the quantity the Skiing strategy
-// amortizes against — scales with the stripe size n/P instead of the
-// view size n, and a multi-core host reorganizes P stripes
-// concurrently.
+// and snapshot export all scatter across the stripes on the shared
+// maintenance pool (internal/sched), so the reorganization cost S —
+// the quantity the Skiing strategy amortizes against — scales with
+// the stripe size n/P instead of the view size n, and a multi-core
+// host reorganizes P stripes concurrently while sharing one
+// parallelism budget with every other view's maintenance.
 //
 // Correctness rests on the watermark guarantee holding per stripe:
 // each stripe's Watermark carries its own stored model (the model of
@@ -42,13 +42,13 @@ import (
 //
 // Like MemView, a StripedView requires external serialization between
 // writers and readers (SafeView, the serving engine, or
-// single-threaded use); its internal worker pool never outlives the
-// call that spawned it.
+// single-threaded use); every parallel section is bounded by the call
+// that opened it (the pool's scatter barrier).
 type StripedView struct {
 	opts    Options
 	trainer *learn.SGD // global model, shared by all stripes
 	stripes []*stripe
-	workers int
+	pool    *sched.Pool
 	stats   Stats
 }
 
@@ -85,7 +85,10 @@ func NewStriped(entities []Entity, partitions int, opts Options) (*StripedView, 
 		opts:    opts,
 		trainer: learn.NewSGD(opts.SGD),
 		stripes: make([]*stripe, partitions),
-		workers: runtime.GOMAXPROCS(0),
+		pool:    opts.Pool,
+	}
+	if v.pool == nil {
+		v.pool = sched.Default()
 	}
 	for _, ex := range opts.Warm {
 		v.trainer.Train(ex.F, ex.Label)
@@ -129,38 +132,19 @@ func (v *StripedView) Stripes() int { return len(v.stripes) }
 // Model returns the shared model.
 func (v *StripedView) Model() *learn.Model { return v.trainer.Model() }
 
-// forStripes runs fn once per stripe across the worker pool and waits
-// for all of them — the single gather barrier every parallel section
-// ends with. fn receives the stripe's index so call sites can write
-// into per-stripe output slots directly.
+// forStripes runs fn once per stripe as a scatter on the shared
+// maintenance pool and waits for all of them — the single gather
+// barrier every parallel section ends with. The calling goroutine
+// participates and idle pool workers steal the rest, so this is
+// deadlock-free even when the caller is itself a pool worker (an
+// engine quantum applying a batch to this view). A panicking fn
+// cannot kill the process or a shared worker: the pool re-raises the
+// first panic on this caller (as a *sched.TaskPanic) only after every
+// stripe task has finished, so no stripe is mid-mutation when the
+// caller unwinds. fn receives the stripe's index so call sites can
+// write into per-stripe output slots directly.
 func (v *StripedView) forStripes(fn func(i int, st *stripe)) {
-	n := len(v.stripes)
-	workers := v.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i, st := range v.stripes {
-			fn(i, st)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := range v.stripes {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i, v.stripes[i])
-			}
-		}()
-	}
-	wg.Wait()
+	v.pool.RunAll(len(v.stripes), func(i int) { fn(i, v.stripes[i]) })
 }
 
 // reorganize re-clusters one stripe on eps under cur, resets its

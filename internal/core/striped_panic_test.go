@@ -1,0 +1,72 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hazy/internal/sched"
+	"hazy/internal/vector"
+)
+
+// TestForStripesPanicPropagates is the regression test for the
+// process-killing stripe worker: a panic inside a forStripes fn used
+// to unwind a bare worker goroutine (fatal), or — recovered naively —
+// leave wg.Wait hanging. Now it must re-raise on the caller as a
+// *sched.TaskPanic, and only after every other stripe task has
+// finished.
+func TestForStripesPanicPropagates(t *testing.T) {
+	var ents []Entity
+	for id := int64(1); id <= 64; id++ {
+		ents = append(ents, Entity{ID: id, F: vector.NewDense([]float64{1, 0})})
+	}
+	v, err := NewStriped(ents, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ran atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("stripe panic did not propagate to the forStripes caller")
+		}
+		tp, ok := r.(*sched.TaskPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *sched.TaskPanic", r)
+		}
+		if !strings.Contains(tp.Error(), "stripe exploded") {
+			t.Fatalf("TaskPanic = %v, want original panic value", tp)
+		}
+		if got := ran.Load(); got != 8 {
+			t.Fatalf("stripe fns finished = %d, want all 8 before the re-panic (no mid-mutation unwind)", got)
+		}
+		// The view is still usable: the panic killed one parallel
+		// section, not the pool or the process.
+		if n, err := v.CountMembers(); err != nil || n != 64 {
+			t.Fatalf("CountMembers after panic = %d, %v; want all 64 entities", n, err)
+		}
+	}()
+	v.forStripes(func(i int, st *stripe) {
+		defer ran.Add(1)
+		if i == 3 {
+			panic("stripe exploded")
+		}
+	})
+	t.Fatal("unreachable: forStripes should have panicked")
+}
+
+// TestForStripesSingleStripePanic covers the n=1 path, which runs
+// entirely on the caller.
+func TestForStripesSingleStripePanic(t *testing.T) {
+	v, err := NewStriped(nil, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("single-stripe panic did not propagate")
+		}
+	}()
+	v.forStripes(func(i int, st *stripe) { panic("solo") })
+}

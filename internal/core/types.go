@@ -18,6 +18,7 @@ import (
 
 	"hazy/internal/learn"
 	"hazy/internal/obs"
+	"hazy/internal/sched"
 	"hazy/internal/vector"
 )
 
@@ -199,6 +200,11 @@ type Options struct {
 	Metrics *obs.Registry
 	// MetricsName is the view label for registered collectors.
 	MetricsName string
+	// Pool is the shared maintenance pool striped views scatter their
+	// per-stripe parallel sections onto, so stripe parallelism and
+	// engine maintenance share one budget. Nil uses the process-wide
+	// default pool.
+	Pool *sched.Pool
 }
 
 func (o Options) withDefaults() Options {

@@ -3,17 +3,25 @@
 // paper's read and write paths onto different synchronization
 // machinery.
 //
-// Writes (TRAIN and ADD) enter a bounded queue and are drained by a
-// single per-view maintenance goroutine, which group-applies each
-// drained batch: every queued example is folded into the model (one
-// SGD step and one watermark observation each — both cheap), but the
-// expensive maintenance decision — reorganize, or sweep the [lw, hw]
-// band — runs once per batch. This amortizes the paper's incremental
-// step a second time: Hazy amortizes maintenance across the tuples of
-// one update; the engine amortizes it across the updates of one
-// batch. The bounded queue is the backpressure mechanism: when
-// maintenance falls behind, producers block in Enqueue instead of
-// growing an unbounded backlog.
+// Writes (TRAIN and ADD) enter a bounded queue and are drained one
+// batch at a time by the shared maintenance pool (internal/sched):
+// the engine is a *task source*, not a goroutine owner. While the
+// queue holds work the source is runnable and the pool runs its
+// quanta — each quantum drains up to MaxBatch queued ops and
+// group-applies them: every queued example is folded into the model
+// (one SGD step and one watermark observation each — both cheap), but
+// the expensive maintenance decision — reorganize, or sweep the
+// [lw, hw] band — runs once per batch. This amortizes the paper's
+// incremental step a second time: Hazy amortizes maintenance across
+// the tuples of one update; the engine amortizes it across the
+// updates of one batch. When the queue empties the source parks — an
+// idle view costs no goroutine and no scheduler state — and the next
+// enqueue wakes it. The pool's round-robin quantum discipline is the
+// catalog-level fairness contract: a flooded view runs one batch,
+// then every other runnable view runs one, so a hot tenant cannot
+// starve cold ones. The bounded queue is the admission-control
+// mechanism: when maintenance falls behind, producers block in
+// Enqueue instead of growing an unbounded backlog.
 //
 // Reads (LABEL, COUNT, MEMBERS, CLASSIFY, UNCERTAIN) never touch the
 // view at all. After each applied batch the maintenance goroutine
@@ -41,6 +49,7 @@ import (
 	"sync/atomic"
 
 	"hazy/internal/obs"
+	"hazy/internal/sched"
 )
 
 // ErrClosed is returned by writes enqueued after Close.
@@ -61,6 +70,11 @@ type Options struct {
 	Metrics *obs.Registry
 	// Name labels this engine's collectors (view=Name).
 	Name string
+	// Pool is the shared maintenance pool this engine's quanta run
+	// on. Nil uses the process-wide default pool. All engines of one
+	// catalog share one pool, so total maintenance goroutines stay
+	// O(pool size) however many views are attached.
+	Pool *sched.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +83,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 256
+	}
+	if o.Pool == nil {
+		o.Pool = sched.Default()
 	}
 	return o
 }
@@ -79,6 +96,12 @@ const (
 	opTrain opKind = iota
 	opAdd
 	opBarrier
+	// opClose is the teardown sentinel Close enqueues after flipping
+	// closed under the write lock: every producer send happens under
+	// the read lock with closed still false, so by the time the
+	// sentinel is sent, no later op can ever enter the queue — it is
+	// the guaranteed-last op, and processing it retires the source.
+	opClose
 )
 
 // Token identifies one producer session for asynchronous-error
@@ -104,14 +127,15 @@ type op struct {
 	done  chan error
 }
 
-// Engine runs the maintenance goroutine and owns the published
-// snapshot. One Engine serves one view.
+// Engine is one view's task source on the shared maintenance pool
+// and owns the view's published snapshot. One Engine serves one view.
 type Engine struct {
 	be   Backend
 	opts Options
 
 	ops        chan op
-	workerDone chan struct{}
+	task       *sched.Task
+	workerDone chan struct{} // closed when the opClose sentinel is processed
 
 	closeMu    sync.RWMutex // guards closed vs. sends on ops
 	closed     bool
@@ -138,8 +162,10 @@ func (e *Engine) Closed() bool {
 	return e.closed
 }
 
-// New starts an engine over be. The initial snapshot is built
-// synchronously so reads work before the first write.
+// New registers an engine over be as a task source on the shared
+// pool, initially parked. The initial snapshot is built synchronously
+// so reads work before the first write. No goroutine is started: an
+// idle engine costs only its queue.
 func New(be Backend, opts Options) (*Engine, error) {
 	e := &Engine{
 		be:         be,
@@ -159,11 +185,18 @@ func New(be Backend, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("engine: initial snapshot: %w", err)
 	}
 	e.publish(s)
-	go e.run()
+	e.task = e.opts.Pool.Register(e.quantum)
+	e.opts.Metrics.GaugeFunc("hazy_engine_runnable",
+		"task-source scheduling state (0 parked, 1 queued, 2 running)",
+		func() int64 { return int64(e.task.State()) }, lbl...)
 	return e, nil
 }
 
-// enqueue places o on the queue, blocking when the queue is full.
+// enqueue places o on the queue, blocking when the queue is full,
+// then wakes the task source. The send-then-wake order is the
+// no-lost-work contract with the scheduler: by the time Wake runs the
+// op is in the queue, so the quantum that Wake guarantees will
+// observe it.
 func (e *Engine) enqueue(o op) error {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
@@ -171,10 +204,11 @@ func (e *Engine) enqueue(o op) error {
 		return ErrClosed
 	}
 	// The send may block under RLock; Close waits for the write lock,
-	// and the worker keeps draining until the channel is closed, so
-	// blocked senders always complete.
+	// and the pool keeps draining a non-empty queue (every prior send
+	// issued a wake), so blocked senders always complete.
 	e.ops <- o
 	e.stats.enqueued.Add(1)
+	e.task.Wake()
 	return nil
 }
 
@@ -252,11 +286,24 @@ func (e *Engine) FlushTok(tok Token) error {
 	return e.takeAsyncErr(tok)
 }
 
-// Drain flushes repeatedly until the queue is empty — including ops
-// enqueued by other goroutines after Drain started, which a single
-// Flush barrier would not cover.
+// maxDrainRounds bounds Drain's chase of concurrently enqueued work.
+// Each round is a full Flush barrier, so the guaranteed prefix grows
+// by at least one queue's worth per round; eight rounds of a still-
+// growing queue means a producer is sustaining load and Drain's
+// best-effort chase should yield rather than livelock.
+const maxDrainRounds = 8
+
+// Drain flushes until the queue is observed empty, chasing ops other
+// goroutines enqueue after Drain started — which a single Flush
+// barrier would not cover. The chase is bounded: under sustained
+// concurrent enqueue Drain stops after maxDrainRounds rather than
+// livelocking, with the guarantee that every op enqueued before the
+// final barrier (in particular, everything enqueued before Drain was
+// called) has been applied and is visible. Callers that need a truly
+// empty queue must stop their producers first — with live producers,
+// "empty" is not a reachable fixpoint for any barrier.
 func (e *Engine) Drain() error {
-	for {
+	for i := 0; i < maxDrainRounds; i++ {
 		if err := e.Flush(); err != nil {
 			return err
 		}
@@ -264,21 +311,32 @@ func (e *Engine) Drain() error {
 			return nil
 		}
 	}
+	// Still non-empty: concede the race to the producers, but leave
+	// the barrier guarantee intact for everything already queued.
+	return e.Flush()
 }
 
 // Close stops accepting writes, drains everything already queued,
-// publishes the final snapshot, and stops the maintenance goroutine.
-// Reads keep working against the final snapshot. Close is
-// idempotent; it returns the first unreported async error. If the
-// backend implements Detach, it is called once after the drain so
-// the wrapped view can resume unmanaged operation.
+// publishes the final snapshot, and retires the task source — the
+// pool itself keeps running for the other views. Reads keep working
+// against the final snapshot. Close is idempotent; it returns the
+// first unreported async error. If the backend implements Detach, it
+// is called once after the drain so the wrapped view can resume
+// unmanaged operation.
 func (e *Engine) Close() error {
 	e.closeMu.Lock()
-	if !e.closed {
-		e.closed = true
-		close(e.ops)
-	}
+	already := e.closed
+	e.closed = true
 	e.closeMu.Unlock()
+	if !already {
+		// Taking the write lock waited out every in-flight enqueue
+		// (they send under the read lock), and closed now turns new
+		// ones away, so this sentinel is the last op the queue will
+		// ever carry. The send may block if the queue is full; prior
+		// wakes keep the pool draining until it fits.
+		e.ops <- op{kind: opClose}
+		e.task.Wake()
+	}
 	<-e.workerDone
 	e.detachOnce.Do(func() {
 		if d, ok := e.be.(interface{ Detach() }); ok {
@@ -333,13 +391,21 @@ func (e *Engine) noteAsyncErr(tok Token, err error) {
 	e.asyncMu.Unlock()
 }
 
-// run is the maintenance goroutine: drain a batch, group-apply it,
-// publish a fresh snapshot, then acknowledge the batch's waiters.
-func (e *Engine) run() {
-	defer close(e.workerDone)
-	for first := range e.ops {
+// quantum is one scheduling unit on the shared pool: drain one batch,
+// group-apply it, publish a fresh snapshot, acknowledge the batch's
+// waiters, and report whether more work is already queued (requeue at
+// the back of the run queue) or not (park). The pool never runs two
+// quanta of one engine concurrently, so everything below is still
+// single-threaded per view, exactly like the dedicated goroutine it
+// replaces.
+func (e *Engine) quantum() (more bool) {
+	select {
+	case first := <-e.ops:
 		batch := e.fill(first)
 		e.apply(batch)
+		return len(e.ops) > 0
+	default:
+		return false
 	}
 }
 
@@ -350,10 +416,7 @@ func (e *Engine) fill(first op) []op {
 	batch := append(make([]op, 0, e.opts.MaxBatch), first)
 	for len(batch) < e.opts.MaxBatch {
 		select {
-		case o, ok := <-e.ops:
-			if !ok {
-				return batch
-			}
+		case o := <-e.ops:
 			batch = append(batch, o)
 		default:
 			return batch
@@ -373,12 +436,66 @@ func (e *Engine) fill(first op) []op {
 // readers observe exactly one publish barrier per batch.
 func (e *Engine) apply(batch []op) {
 	errs := make([]error, len(batch))
-	mutated := false
+	mutated, perr := e.applyMutations(batch, errs)
+	if perr != nil {
+		// A maintenance panic fails the whole batch: every write not
+		// already carrying its own error — including ones whose group
+		// call succeeded before the panic — reports the panic, and no
+		// snapshot is published for this batch (the next successful
+		// one exposes whatever state survived). Sync waiters unblock
+		// with the error; async producers find it at their next
+		// flush. Barriers ack clean and surface the error through the
+		// usual token slots, so it is reported exactly once.
+		for i := range errs {
+			if errs[i] == nil && batch[i].kind != opBarrier && batch[i].kind != opClose {
+				errs[i] = perr
+			}
+		}
+		mutated = false
+	}
+
+	if mutated {
+		if s, err := e.be.Snapshot(); err != nil {
+			e.noteAsyncErr(SharedToken, fmt.Errorf("engine: snapshot: %w", err))
+		} else {
+			e.publish(s)
+		}
+	}
+	e.stats.observeBatch(len(batch))
+	retired := false
+	for i, o := range batch {
+		if o.kind == opClose {
+			retired = true
+		}
+		if o.done != nil {
+			o.done <- errs[i]
+		} else if errs[i] != nil && o.kind != opClose {
+			e.noteAsyncErr(o.tok, errs[i])
+		}
+		e.stats.applied.Add(1)
+	}
+	if retired {
+		close(e.workerDone)
+	}
+}
+
+// applyMutations runs the batch's group calls and the group commit
+// under a recover barrier: a panic out of the backend (a striped
+// view's reorganization, say) must not strand the batch's sync
+// waiters or kill a shared pool worker. It reports whether the view
+// mutated and the recovered panic, if any.
+func (e *Engine) applyMutations(batch []op, errs []error) (mutated bool, perr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.stats.errors.Add(1)
+			perr = fmt.Errorf("engine: maintenance panic: %v", r)
+		}
+	}()
 
 	var runStart int
 	runKind := opBarrier
 	flushRun := func(end int) {
-		if runStart == end || runKind == opBarrier {
+		if runStart == end || runKind == opBarrier || runKind == opClose {
 			runStart = end
 			return
 		}
@@ -442,21 +559,5 @@ func (e *Engine) apply(batch []op) {
 			}
 		}
 	}
-
-	if mutated {
-		if s, err := e.be.Snapshot(); err != nil {
-			e.noteAsyncErr(SharedToken, fmt.Errorf("engine: snapshot: %w", err))
-		} else {
-			e.publish(s)
-		}
-	}
-	e.stats.observeBatch(len(batch))
-	for i, o := range batch {
-		if o.done != nil {
-			o.done <- errs[i]
-		} else if errs[i] != nil {
-			e.noteAsyncErr(o.tok, errs[i])
-		}
-		e.stats.applied.Add(1)
-	}
+	return mutated, nil
 }

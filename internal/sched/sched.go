@@ -1,0 +1,426 @@
+// Package sched is the catalog-wide maintenance scheduler: one shared
+// pool of worker goroutines that runs ALL background maintenance —
+// every attached engine's batch application and every striped view's
+// per-stripe tasks — so the process runs O(GOMAXPROCS) maintenance
+// goroutines however many engined views the catalog serves, instead of
+// one goroutine per engine plus a private worker pool per striped
+// view.
+//
+// Two kinds of work flow through a Pool:
+//
+//   - Task sources (Register/Task.Wake): long-lived producers — one
+//     per attached engine — that own a bounded queue of pending work.
+//     A source with runnable work is QUEUED on a global FIFO run
+//     queue; a worker dequeues it and runs exactly one quantum
+//     (Runner's one bounded batch), then requeues it at the BACK of
+//     the FIFO if more work is immediately runnable. That round-robin
+//     quantum discipline is the fairness mechanism: a hot view that
+//     always has work cannot run twice before every other runnable
+//     view has run once, so cold-view barrier latency is bounded by
+//     (runnable sources × one quantum), not by the hot view's backlog.
+//     Admission control is the source's own bounded queue: when the
+//     pool falls behind, producers block in their enqueue
+//     (backpressure), they do not grow the scheduler's state. A source
+//     with no runnable work is PARKED — it occupies no goroutine and
+//     no run-queue slot — and a Wake on enqueue makes it runnable
+//     again.
+//
+//   - Scatters (RunAll): bounded fan-outs — one function over n
+//     indexes, a striped view's per-stripe parallel section — where
+//     the CALLING goroutine participates: it claims indexes from the
+//     scatter's atomic cursor alongside any idle pool workers that
+//     steal the rest. Caller participation makes RunAll deadlock-free
+//     by construction (progress never depends on a free worker, so a
+//     quantum running on a pool worker may itself scatter onto the
+//     same pool), and idle-worker stealing is what makes the engine's
+//     batch maintenance and a striped view's reorganization share one
+//     parallelism budget.
+//
+// Panic safety: a panicking scatter function cannot kill the process
+// or deadlock the gather barrier — every task runs under recover, the
+// first panic is captured, and RunAll re-raises it on the caller as a
+// *TaskPanic (original value + stack) after ALL tasks have finished,
+// so no stripe is still mutating when the caller unwinds. A panicking
+// source quantum likewise cannot kill its worker: the pool recovers,
+// counts it, and parks the source.
+//
+// The pool reports through the obs registry passed at construction:
+// worker/busy/runnable gauges, quantum and wake counters, scatter
+// task and steal counters, and a power-of-two histogram of scheduling
+// delay (wake → quantum start) in microseconds.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hazy/internal/obs"
+)
+
+// Task-source states. A source is in exactly one of them; transitions
+// are CAS-driven so Wake is safe from any goroutine, lock-free until
+// the push.
+const (
+	// StateIdle: parked — no runnable work, not queued, not running.
+	StateIdle int32 = iota
+	// StateQueued: on the run queue, waiting for a worker.
+	StateQueued
+	// StateRunning: a worker is executing one quantum right now.
+	StateRunning
+)
+
+// Runner is one quantum of a task source's work: drain and apply at
+// most one bounded batch. It returns true when more work is
+// immediately runnable, which requeues the source at the back of the
+// run queue (round-robin; it does NOT keep running). RunQuantum is
+// never invoked concurrently for the same Task.
+type Runner func() (more bool)
+
+// Task is a registered source's scheduling handle. The zero value is
+// not usable; obtain one from Pool.Register.
+type Task struct {
+	pool   *Pool
+	run    Runner
+	state  atomic.Int32
+	rearm  atomic.Bool // wake arrived while running
+	wakeNS atomic.Int64
+}
+
+// State returns the task's instantaneous scheduling state (one of
+// StateIdle/StateQueued/StateRunning) — exposed so owners can report
+// a runnable-state gauge per view.
+func (t *Task) State() int32 { return t.state.Load() }
+
+// Wake marks the source runnable: a parked source is pushed onto the
+// run queue; a queued source is left in place; a running source is
+// re-armed so it is requeued when its quantum ends. Every successful
+// enqueue onto the source's own queue must be followed by a Wake —
+// that ordering is the no-lost-wakeup contract.
+func (t *Task) Wake() {
+	t.pool.wakes.Inc()
+	for {
+		switch t.state.Load() {
+		case StateIdle:
+			if t.state.CompareAndSwap(StateIdle, StateQueued) {
+				t.pool.push(t)
+				return
+			}
+		case StateQueued:
+			return
+		case StateRunning:
+			t.rearm.Store(true)
+			// The quantum may have ended between the load and the
+			// store; re-examine so the rearm cannot be missed.
+			if t.state.Load() == StateRunning {
+				return
+			}
+		}
+	}
+}
+
+// scatter is one RunAll fan-out: n tasks claimed from an atomic
+// cursor by the caller and any helping workers, gathered on wg.
+type scatter struct {
+	n    int
+	fn   func(int)
+	next atomic.Int64
+	wg   sync.WaitGroup
+
+	panicMu  sync.Mutex
+	panicked bool
+	panicVal any
+	stack    []byte
+}
+
+// remaining reports whether unclaimed indexes exist (racy by design —
+// claimOne re-checks).
+func (s *scatter) remaining() bool { return s.next.Load() < int64(s.n) }
+
+// claimOne claims and runs one index; false when the cursor is
+// exhausted. Panics are captured, never propagated to the executor.
+func (s *scatter) claimOne() bool {
+	i := int(s.next.Add(1)) - 1
+	if i >= s.n {
+		return false
+	}
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicMu.Lock()
+			if !s.panicked {
+				s.panicked = true
+				s.panicVal = r
+				s.stack = debug.Stack()
+			}
+			s.panicMu.Unlock()
+		}
+	}()
+	s.fn(i)
+	return true
+}
+
+// TaskPanic is re-raised by RunAll on the calling goroutine when a
+// scatter function panicked: the first panic's value plus the stack of
+// the task that raised it. It is raised only after every task of the
+// scatter has finished, so the caller never unwinds while a sibling
+// task is still mutating shared state.
+type TaskPanic struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic for error contexts.
+func (tp *TaskPanic) Error() string {
+	return fmt.Sprintf("sched: task panic: %v", tp.Value)
+}
+
+func (tp *TaskPanic) String() string {
+	return fmt.Sprintf("sched: task panic: %v\n\ntask stack:\n%s", tp.Value, tp.Stack)
+}
+
+// Pool is the shared maintenance pool. All methods are safe for
+// concurrent use.
+type Pool struct {
+	workers int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	runq     []*Task    // FIFO of queued sources (round-robin order)
+	scatters []*scatter // active fan-outs with possibly unclaimed work
+	closed   bool
+	wg       sync.WaitGroup
+
+	wakes        *obs.Counter
+	quanta       *obs.Counter
+	quantaPanics *obs.Counter
+	scatterTasks *obs.Counter
+	steals       *obs.Counter
+	busy         *obs.Gauge
+	delay        *obs.Histogram
+}
+
+// NewPool starts a pool of `workers` goroutines (0 = GOMAXPROCS).
+// Collectors register on reg (nil keeps them private) under the
+// hazy_sched_* names.
+func NewPool(workers int, reg *obs.Registry) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wakes = reg.Counter("hazy_sched_wakes_total", "task-source wake requests")
+	p.quanta = reg.Counter("hazy_sched_quanta_total", "source quanta executed")
+	p.quantaPanics = reg.Counter("hazy_sched_quantum_panics_total", "source quanta that panicked (recovered)")
+	p.scatterTasks = reg.Counter("hazy_sched_scatter_tasks_total", "scatter (stripe) tasks executed, by any goroutine")
+	p.steals = reg.Counter("hazy_sched_steals_total", "scatter tasks stolen by idle pool workers")
+	p.busy = reg.Gauge("hazy_sched_busy_workers", "workers currently executing a quantum or stolen task")
+	p.delay = reg.Histogram("hazy_sched_delay_us", "power-of-two histogram of scheduling delay (wake to quantum start), microseconds", 22)
+	reg.GaugeFunc("hazy_sched_workers", "pool worker goroutines", func() int64 { return int64(p.workers) })
+	reg.GaugeFunc("hazy_sched_runnable_sources", "task sources on the run queue", func() int64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return int64(len(p.runq))
+	})
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the lazily started process-wide pool (GOMAXPROCS
+// workers, unregistered metrics). It is the fallback scheduler for
+// engines and striped views constructed without an explicit pool —
+// direct core users, benchmarks — and is never closed: its workers
+// park on the condition variable when idle.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = NewPool(0, nil) })
+	return defaultPool
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Register adds a task source and returns its scheduling handle,
+// initially parked. run is invoked one quantum at a time, never
+// concurrently with itself. The pool holds no reference to a parked
+// task, so an abandoned source is simply garbage collected.
+func (p *Pool) Register(run Runner) *Task {
+	return &Task{pool: p, run: run}
+}
+
+// push appends t (already in StateQueued) to the run-queue tail. On a
+// closed pool the task is run on a fresh goroutine instead — degraded
+// but live, so a source woken during teardown can still drain.
+func (p *Pool) push(t *Task) {
+	t.wakeNS.Store(time.Now().UnixNano())
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		go p.runTask(t)
+		return
+	}
+	p.runq = append(p.runq, t)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// worker is the pool loop: steal scatter work first (a blocked RunAll
+// caller is waiting on it), then dequeue one source and run one
+// quantum, else park.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		if s := p.pickScatter(); s != nil {
+			p.mu.Unlock()
+			p.busy.Add(1)
+			for s.claimOne() {
+				p.scatterTasks.Inc()
+				p.steals.Inc()
+			}
+			p.busy.Add(-1)
+			p.mu.Lock()
+			continue
+		}
+		if len(p.runq) > 0 {
+			t := p.runq[0]
+			p.runq = p.runq[1:]
+			p.mu.Unlock()
+			p.runTask(t)
+			p.mu.Lock()
+			continue
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		p.cond.Wait()
+	}
+}
+
+// pickScatter returns an active scatter that still has unclaimed
+// work. Caller holds p.mu.
+func (p *Pool) pickScatter() *scatter {
+	for _, s := range p.scatters {
+		if s.remaining() {
+			return s
+		}
+	}
+	return nil
+}
+
+// runTask executes one quantum of t and applies the state-machine
+// epilogue: requeue at the tail when more work is runnable (or a wake
+// arrived mid-quantum), park otherwise.
+func (p *Pool) runTask(t *Task) {
+	p.busy.Add(1)
+	if woke := t.wakeNS.Load(); woke != 0 {
+		p.delay.ObserveDuration(time.Duration(time.Now().UnixNano() - woke))
+	}
+	t.state.Store(StateRunning)
+	// Wakes observed before this point are satisfied by the quantum's
+	// own drain; wakes during the quantum re-arm below.
+	t.rearm.Store(false)
+	more := p.quantum(t)
+	p.quanta.Inc()
+	if more {
+		t.state.Store(StateQueued)
+		p.push(t)
+	} else {
+		t.state.Store(StateIdle)
+		if t.rearm.Swap(false) {
+			if t.state.CompareAndSwap(StateIdle, StateQueued) {
+				p.push(t)
+			}
+		}
+	}
+	p.busy.Add(-1)
+}
+
+// quantum runs one Runner invocation under recover: a panicking
+// source must not kill a shared worker (or, via the closed-pool
+// fallback, an unrelated goroutine). The panic is counted and the
+// source parks; its owner's own error machinery is responsible for
+// surfacing the failure.
+func (p *Pool) quantum(t *Task) (more bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.quantaPanics.Inc()
+			more = false
+		}
+	}()
+	return t.run()
+}
+
+// RunAll runs fn(0..n-1) to completion: the calling goroutine claims
+// tasks from the scatter's cursor while idle pool workers steal the
+// rest, and it returns only when every task has finished — the gather
+// barrier every parallel section ends with. Progress never depends on
+// pool capacity (the caller always participates), so RunAll may be
+// invoked from inside a source quantum running on this same pool, or
+// on a closed pool (everything then runs on the caller).
+//
+// If any task panicked, RunAll re-raises the FIRST panic on the
+// caller as a *TaskPanic after the barrier — sibling tasks have all
+// finished, and the process does not die on a worker goroutine.
+func (p *Pool) RunAll(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	s := &scatter{n: n, fn: fn}
+	s.wg.Add(n)
+	if n > 1 && p != nil {
+		p.mu.Lock()
+		if !p.closed {
+			p.scatters = append(p.scatters, s)
+			p.mu.Unlock()
+			p.cond.Broadcast()
+			defer p.removeScatter(s)
+		} else {
+			p.mu.Unlock()
+		}
+	}
+	for s.claimOne() {
+		if p != nil {
+			p.scatterTasks.Inc()
+		}
+	}
+	s.wg.Wait()
+	if s.panicked {
+		panic(&TaskPanic{Value: s.panicVal, Stack: s.stack})
+	}
+}
+
+// removeScatter unlinks a finished scatter from the active list.
+func (p *Pool) removeScatter(s *scatter) {
+	p.mu.Lock()
+	for i, cand := range p.scatters {
+		if cand == s {
+			p.scatters = append(p.scatters[:i], p.scatters[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the workers after the run queue drains and waits for
+// them to exit. Sources woken after Close run on ad-hoc goroutines
+// (push's fallback) so nothing hangs; new scatters run entirely on
+// their callers. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

@@ -1,0 +1,391 @@
+package sched
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hazy/internal/obs"
+)
+
+// snapVals flattens a registry snapshot into name → value (histogram
+// value = observation count).
+func snapVals(reg *obs.Registry) map[string]int64 {
+	m := make(map[string]int64)
+	for _, s := range reg.Snapshot() {
+		m[s.Name] = s.Value
+	}
+	return m
+}
+
+// drainState waits until t parks (quantum consumed all wakes).
+func waitIdle(t *testing.T, task *Task) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for task.State() != StateIdle {
+		if time.Now().After(deadline) {
+			t.Fatalf("task never parked (state=%d)", task.State())
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestSourceWakeRunsQuantum: a parked source runs exactly when woken,
+// and parks again when its quantum reports no more work.
+func TestSourceWakeRunsQuantum(t *testing.T) {
+	p := NewPool(2, nil)
+	defer p.Close()
+
+	var pending atomic.Int64
+	var ran atomic.Int64
+	task := p.Register(func() bool {
+		ran.Add(1)
+		return pending.Add(-1) > 0
+	})
+
+	if got := task.State(); got != StateIdle {
+		t.Fatalf("fresh task state = %d, want idle", got)
+	}
+	pending.Store(3)
+	task.Wake()
+	waitIdle(t, task)
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("quanta ran = %d, want 3 (requeue-while-more)", got)
+	}
+
+	// Idle parking: nothing else runs without a wake.
+	time.Sleep(20 * time.Millisecond)
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("parked task ran a quantum without a wake (ran=%d)", got)
+	}
+
+	pending.Store(1)
+	task.Wake()
+	waitIdle(t, task)
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("re-woken task quanta = %d, want 4", got)
+	}
+}
+
+// TestRoundRobinFairness: with one worker, a hot source that always
+// has more work must not run twice before a co-queued cold source
+// runs once — the requeue-at-tail discipline.
+func TestRoundRobinFairness(t *testing.T) {
+	p := NewPool(1, nil)
+	defer p.Close()
+
+	start := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	record := func(name string) {
+		mu.Lock()
+		order = append(order, name)
+		mu.Unlock()
+	}
+
+	hotQuanta := 0
+	coldRan := make(chan struct{})
+	var hot, cold *Task
+	hot = p.Register(func() bool {
+		<-start // hold the only worker until both sources are queued
+		record("hot")
+		hotQuanta++
+		return hotQuanta < 5 // stays runnable
+	})
+	cold = p.Register(func() bool {
+		record("cold")
+		close(coldRan)
+		return false
+	})
+
+	hot.Wake()
+	cold.Wake()
+	close(start)
+	select {
+	case <-coldRan:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cold source starved behind hot source")
+	}
+	waitIdle(t, hot)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != "hot" || order[1] != "cold" {
+		t.Fatalf("order = %v, want hot then cold then hot...", order)
+	}
+}
+
+// TestWakeDuringRunningRearms: a wake that lands while the quantum is
+// executing must schedule another quantum (no lost wakeup).
+func TestWakeDuringRunningRearms(t *testing.T) {
+	p := NewPool(1, nil)
+	defer p.Close()
+
+	inQuantum := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+	var task *Task
+	task = p.Register(func() bool {
+		if ran.Add(1) == 1 {
+			close(inQuantum)
+			<-release
+		}
+		return false
+	})
+	task.Wake()
+	<-inQuantum
+	task.Wake() // lands in StateRunning → rearm
+	close(release)
+	waitIdle(t, task)
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rearmed wake lost: ran=%d, want 2", ran.Load())
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestRunAllExecutesEverythingOnce: every index exactly once, with
+// the caller participating.
+func TestRunAllExecutesEverythingOnce(t *testing.T) {
+	p := NewPool(4, nil)
+	defer p.Close()
+	const n = 1000
+	counts := make([]atomic.Int32, n)
+	p.RunAll(n, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestRunAllFromInsideWorker: a source quantum scattering onto its
+// own pool must complete even when every worker is busy — the caller
+// participates, so progress never waits on a free worker.
+func TestRunAllFromInsideWorker(t *testing.T) {
+	p := NewPool(1, nil) // single worker: the quantum IS the pool
+	defer p.Close()
+
+	done := make(chan struct{})
+	var sum atomic.Int64
+	task := p.Register(func() bool {
+		p.RunAll(8, func(i int) { sum.Add(int64(i)) })
+		close(done)
+		return false
+	})
+	task.Wake()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunAll from inside a pool worker deadlocked")
+	}
+	if got := sum.Load(); got != 28 {
+		t.Fatalf("sum = %d, want 28", got)
+	}
+}
+
+// TestRunAllPanicPropagates: the first panic re-raises on the caller
+// as *TaskPanic after all tasks finish; siblings are not lost.
+func TestRunAllPanicPropagates(t *testing.T) {
+	p := NewPool(4, nil)
+	defer p.Close()
+	var ran atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate to RunAll caller")
+		}
+		tp, ok := r.(*TaskPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *TaskPanic", r)
+		}
+		if tp.Value != "boom-3" {
+			t.Fatalf("panic value = %v, want boom-3", tp.Value)
+		}
+		if !strings.Contains(string(tp.Stack), "sched") {
+			t.Fatalf("TaskPanic.Stack missing task stack:\n%s", tp.Stack)
+		}
+		if got := ran.Load(); got != 8 {
+			t.Fatalf("sibling tasks ran = %d, want all 8 before re-panic", got)
+		}
+	}()
+	p.RunAll(8, func(i int) {
+		defer ran.Add(1)
+		if i == 3 {
+			panic("boom-3")
+		}
+	})
+	t.Fatal("unreachable: RunAll should have panicked")
+}
+
+// TestQuantumPanicDoesNotKillWorker: a panicking source parks; the
+// pool keeps serving other sources.
+func TestQuantumPanicDoesNotKillWorker(t *testing.T) {
+	p := NewPool(1, nil)
+	defer p.Close()
+	bad := p.Register(func() bool { panic("rogue source") })
+	ok := make(chan struct{})
+	good := p.Register(func() bool { close(ok); return false })
+	bad.Wake()
+	good.Wake()
+	select {
+	case <-ok:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker died on source panic; healthy source starved")
+	}
+	waitIdle(t, bad)
+}
+
+// TestStealCounting: with the caller blocked inside its own claimed
+// task, idle workers steal the rest and the steal counter moves.
+func TestStealCounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(4, reg)
+	defer p.Close()
+
+	const n = 64
+	var workerRan atomic.Int64
+	callerGone := make(chan struct{})
+	p.RunAll(n, func(i int) {
+		if i == 0 {
+			// The caller claims index 0 first; stall it so workers
+			// must steal the remainder.
+			select {
+			case <-callerGone:
+			case <-time.After(200 * time.Millisecond):
+			}
+			return
+		}
+		workerRan.Add(1)
+	})
+	close(callerGone)
+	snap := snapVals(reg)
+	steals := snap["hazy_sched_steals_total"]
+	if steals <= 0 {
+		t.Fatalf("hazy_sched_steals_total = %d, want > 0 (workers stole while caller stalled)", steals)
+	}
+	if got := snap["hazy_sched_scatter_tasks_total"]; got != n {
+		t.Fatalf("hazy_sched_scatter_tasks_total = %d, want %d", got, n)
+	}
+}
+
+// TestCloseInlineFallback: RunAll on a closed pool runs entirely on
+// the caller; a post-close wake still drains via the goroutine
+// fallback.
+func TestCloseInlineFallback(t *testing.T) {
+	p := NewPool(2, nil)
+	p.Close()
+
+	var ran atomic.Int32
+	p.RunAll(16, func(i int) { ran.Add(1) })
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("closed-pool RunAll ran %d/16", got)
+	}
+
+	done := make(chan struct{})
+	task := p.Register(func() bool { close(done); return false })
+	task.Wake()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-close wake never ran (fallback goroutine missing)")
+	}
+}
+
+// TestMetricsRegistered: the pool's collectors land in the registry
+// and move under load.
+func TestMetricsRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(3, reg)
+	defer p.Close()
+
+	var pending atomic.Int64
+	pending.Store(4)
+	task := p.Register(func() bool { return pending.Add(-1) > 0 })
+	task.Wake()
+	waitIdle(t, task)
+
+	snap := snapVals(reg)
+	if got := snap["hazy_sched_workers"]; got != 3 {
+		t.Fatalf("hazy_sched_workers = %d, want 3", got)
+	}
+	if got := snap["hazy_sched_quanta_total"]; got != 4 {
+		t.Fatalf("hazy_sched_quanta_total = %d, want 4", got)
+	}
+	if got := snap["hazy_sched_wakes_total"]; got < 1 {
+		t.Fatalf("hazy_sched_wakes_total = %d, want >= 1", got)
+	}
+	if got, ok := snap["hazy_sched_delay_us"]; !ok || got != 4 {
+		t.Fatalf("hazy_sched_delay_us count = %d (present=%v), want 4 quanta observed", got, ok)
+	}
+}
+
+// TestConcurrentWakeStorm: many goroutines waking one source while
+// its quantum drains must neither lose work nor run quanta
+// concurrently.
+func TestConcurrentWakeStorm(t *testing.T) {
+	p := NewPool(4, nil)
+	defer p.Close()
+
+	var pending atomic.Int64
+	var inQuantum atomic.Int32
+	var consumed atomic.Int64
+	task := p.Register(func() bool {
+		if inQuantum.Add(1) != 1 {
+			t.Error("quantum ran concurrently with itself")
+		}
+		defer inQuantum.Add(-1)
+		// Drain up to 8 units per quantum.
+		for i := 0; i < 8; i++ {
+			if pending.Add(-1) < 0 {
+				pending.Add(1)
+				return false
+			}
+			consumed.Add(1)
+		}
+		return pending.Load() > 0
+	})
+
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				pending.Add(1)
+				task.Wake()
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for consumed.Load() < producers*perProducer {
+		if time.Now().After(deadline) {
+			t.Fatalf("consumed %d/%d — lost wakeup", consumed.Load(), producers*perProducer)
+		}
+		runtime.Gosched()
+	}
+	waitIdle(t, task)
+}
+
+// TestDefaultPool: the package-global fallback exists and works.
+func TestDefaultPool(t *testing.T) {
+	p := Default()
+	if p == nil || p.Workers() < 1 {
+		t.Fatalf("Default() pool unusable: %+v", p)
+	}
+	var ran atomic.Int32
+	p.RunAll(4, func(i int) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Fatalf("Default pool RunAll ran %d/4", ran.Load())
+	}
+	if Default() != p {
+		t.Fatal("Default() not a singleton")
+	}
+}
