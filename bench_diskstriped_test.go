@@ -1,0 +1,171 @@
+// Disk-resident striped-reorganization benchmark: the PR-10 tentpole
+// claim is that striping composes with the on-disk architecture —
+// per-stripe clustered B+-tree generations behind private buffer
+// pools — so one reorganization event rewrites n/P records instead of
+// n. The headline metric is the reorganization STALL: the slowest
+// single stripe's rebuild (Stats().LastReorgNs), which is the pause a
+// reorganization imposes on that stripe's band regardless of how many
+// cores run the scatter. Stall shrinks ~P× with P stripes on any
+// machine; total wall time additionally shrinks with cores. Both are
+// reported; the committed speedup key is stall-based so the trajectory
+// is stable across single- and multi-core runners.
+//
+// The full run builds a 10M-entity disk-resident view (≈1 GiB of
+// generation file per layout) and is gated behind BENCH_JSON_OUT like
+// every trajectory emitter; DISK_BENCH_ENTITIES scales it down for
+// smoke runs (CI races a 20k-entity pass, then measures the full 10M
+// in the non-race disk-bench job and diffs against BENCH_pr10.json).
+package hazy
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"hazy/internal/core"
+	"hazy/internal/learn"
+	"hazy/internal/vector"
+)
+
+const (
+	diskStripedDefaultEntities = 10_000_000
+	diskStripedDim             = 8
+	diskStripedPoolPages       = 1024
+)
+
+// diskStripedEntityCount honors the DISK_BENCH_ENTITIES scale-down.
+func diskStripedEntityCount(tb testing.TB) int {
+	if s := os.Getenv("DISK_BENCH_ENTITIES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1000 {
+			tb.Fatalf("DISK_BENCH_ENTITIES=%q: want an integer >= 1000", s)
+		}
+		return n
+	}
+	return diskStripedDefaultEntities
+}
+
+// diskStripedCorpus synthesizes the dense corpus. Unlike the 50k
+// main-memory corpus this is not cached across configurations — at
+// 10M entities the slices are ~1 GiB and each configuration should
+// pay its build, not inherit a sibling's heap.
+func diskStripedCorpus(n int) ([]core.Entity, []learn.Example) {
+	r := rand.New(rand.NewSource(71))
+	ents := make([]core.Entity, n)
+	for i := range ents {
+		f := make([]float64, diskStripedDim)
+		for d := range f {
+			f[d] = r.NormFloat64()
+		}
+		ents[i] = core.Entity{ID: int64(i), F: vector.NewDense(f)}
+	}
+	exs := make([]learn.Example, 16)
+	for i := range exs {
+		f := make([]float64, diskStripedDim)
+		for d := range f {
+			f[d] = r.NormFloat64()
+		}
+		exs[i] = learn.Example{F: vector.NewDense(f), Label: 1 - 2*(i%2)}
+	}
+	return ents, exs
+}
+
+// diskStripedMeasure builds an on-disk view with the given stripe
+// count, measures one full reorganization (Retrain), and returns wall
+// nanoseconds and the per-stripe stall (slowest single stripe's
+// rebuild; equal to wall work for the unstriped layout).
+func diskStripedMeasure(tb testing.TB, dir string, entities int, stripes int) (wallNs, stallNs int64) {
+	ents, exs := diskStripedCorpus(entities)
+	opts := core.Options{Norm: 2, SGD: learn.SGDConfig{Eta0: 0.3}, Warm: exs, Partitions: stripes}
+	v, err := core.New(core.OnDisk, core.HazyStrategy, dir, diskStripedPoolPages, ents, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer func() {
+		if c, ok := v.(interface{ Close() error }); ok {
+			c.Close()
+		}
+	}()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := v.Retrain(exs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return res.NsPerOp(), v.Stats().LastReorgNs
+}
+
+// BenchmarkDiskStripedReorg is the go-bench form (scaled down unless
+// DISK_BENCH_ENTITIES says otherwise — a full 10M iteration per
+// go-bench round is CI-hostile; the trajectory run goes through
+// TestDiskStripedReorgEmitJSON).
+func BenchmarkDiskStripedReorg(b *testing.B) {
+	entities := 50_000
+	if s := os.Getenv("DISK_BENCH_ENTITIES"); s != "" {
+		entities = diskStripedEntityCount(b)
+	}
+	ents, exs := diskStripedCorpus(entities)
+	for _, stripes := range []int{1, 4} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			opts := core.Options{Norm: 2, SGD: learn.SGDConfig{Eta0: 0.3}, Warm: exs, Partitions: stripes}
+			v, err := core.New(core.OnDisk, core.HazyStrategy, b.TempDir(), diskStripedPoolPages, ents, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer v.(interface{ Close() error }).Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := v.Retrain(exs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDiskStripedReorgEmitJSON measures the disk-resident striped
+// reorganization at 1 vs 4 stripes and writes the trajectory JSON to
+// BENCH_JSON_OUT (CI's disk-bench job emits and diffs BENCH_pr10.json
+// at the full 10M entities). speedup_4stripes is the stall ratio —
+// the per-event write pause striping bounds at n/P — and is the
+// guarded key; wall times are committed as latency keys.
+func TestDiskStripedReorgEmitJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON_OUT")
+	if out == "" {
+		t.Skip("set BENCH_JSON_OUT=<path> to emit the disk-striped reorg benchmark JSON")
+	}
+	entities := diskStripedEntityCount(t)
+	base := t.TempDir()
+	wall1, stall1 := diskStripedMeasure(t, filepath.Join(base, "s1"), entities, 1)
+	wall4, stall4 := diskStripedMeasure(t, filepath.Join(base, "s4"), entities, 4)
+	if stall1 <= 0 || stall4 <= 0 {
+		t.Fatalf("stall not measured: stripes1=%d stripes4=%d", stall1, stall4)
+	}
+	report := map[string]any{
+		"bench":                "DiskStripedReorg",
+		"entities":             entities,
+		"dim":                  diskStripedDim,
+		"cores":                runtime.GOMAXPROCS(0),
+		"stripes1_reorg_ns_op": wall1,
+		"stripes4_reorg_ns_op": wall4,
+		"stripes1_stall_ns_op": stall1,
+		"stripes4_stall_ns_op": stall4,
+		"speedup_4stripes":     float64(stall1) / float64(stall4),
+		"wall_ratio_4stripes":  float64(wall1) / float64(wall4),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %s", out, data)
+}

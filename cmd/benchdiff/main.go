@@ -20,6 +20,16 @@
 // Usage:
 //
 //	benchdiff [-tolerance 0.25] old.json new.json
+//	benchdiff -all [-tolerance 0.25] [-skip f.json,...] [-override f.json=0.5,...] baselineDir freshDir
+//
+// -all diffs every committed BENCH_pr*.json in baselineDir against
+// the file of the same name in freshDir, in one invocation — the CI
+// bench job re-measures the whole trajectory into freshDir and runs
+// one benchdiff instead of one per PR baseline. A baseline with no
+// fresh counterpart fails (the trajectory must not silently lose
+// coverage) unless listed in -skip (for baselines measured by a
+// different CI job); -override widens or narrows the band per file
+// (noisy percentile benchmarks run wider).
 //
 // Exit status 1 on any regression, 2 on usage or I/O errors. The
 // default ±25% band absorbs scheduler noise on shared CI runners
@@ -32,16 +42,54 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 func main() {
 	tol := flag.Float64("tolerance", 0.25, "allowed fractional regression before failing")
+	all := flag.Bool("all", false, "diff every BENCH_pr*.json in baselineDir against its freshDir counterpart")
+	skip := flag.String("skip", "", "comma-separated baseline basenames to skip in -all mode")
+	override := flag.String("override", "", "comma-separated basename=tolerance per-file overrides in -all mode")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] old.json new.json")
+		fmt.Fprintln(os.Stderr, "       benchdiff -all [-tolerance 0.25] [-skip f.json,...] [-override f.json=0.5,...] baselineDir freshDir")
 		os.Exit(2)
+	}
+	if *all {
+		skips := map[string]bool{}
+		for _, s := range strings.Split(*skip, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				skips[s] = true
+			}
+		}
+		overrides := map[string]float64{}
+		for _, s := range strings.Split(*override, ",") {
+			if s = strings.TrimSpace(s); s == "" {
+				continue
+			}
+			name, val, ok := strings.Cut(s, "=")
+			tv, err := strconv.ParseFloat(val, 64)
+			if !ok || err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: bad -override entry %q (want file.json=0.5)\n", s)
+				os.Exit(2)
+			}
+			overrides[name] = tv
+		}
+		failed, err := diffAll(os.Stdout, flag.Arg(0), flag.Arg(1), *tol, skips, overrides)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if failed {
+			fmt.Println("benchdiff: REGRESSION")
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: within tolerance")
+		return
 	}
 	oldM, err := load(flag.Arg(0))
 	if err != nil {
@@ -58,6 +106,52 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: within tolerance")
+}
+
+// diffAll diffs every BENCH_pr*.json baseline in baseDir against the
+// same basename under freshDir. Skipped baselines are reported but
+// not compared; a non-skipped baseline whose fresh counterpart is
+// missing fails the run — losing a trajectory point is itself a
+// regression.
+func diffAll(w io.Writer, baseDir, freshDir string, tol float64, skips map[string]bool, overrides map[string]float64) (failed bool, err error) {
+	baselines, err := filepath.Glob(filepath.Join(baseDir, "BENCH_pr*.json"))
+	if err != nil {
+		return false, err
+	}
+	if len(baselines) == 0 {
+		return false, fmt.Errorf("no BENCH_pr*.json baselines in %s", baseDir)
+	}
+	sort.Strings(baselines)
+	for _, path := range baselines {
+		name := filepath.Base(path)
+		if skips[name] {
+			fmt.Fprintf(w, "==== %s: skipped\n", name)
+			continue
+		}
+		ftol := tol
+		if o, ok := overrides[name]; ok {
+			ftol = o
+		}
+		fresh := filepath.Join(freshDir, name)
+		if _, serr := os.Stat(fresh); serr != nil {
+			fmt.Fprintf(w, "==== %s: FAIL (no fresh measurement at %s)\n", name, fresh)
+			failed = true
+			continue
+		}
+		oldM, lerr := load(path)
+		if lerr != nil {
+			return failed, lerr
+		}
+		newM, lerr := load(fresh)
+		if lerr != nil {
+			return failed, lerr
+		}
+		fmt.Fprintf(w, "==== %s (tolerance %.0f%%)\n", name, 100*ftol)
+		if diff(w, oldM, newM, ftol) {
+			failed = true
+		}
+	}
+	return failed, nil
 }
 
 // diff reports every baseline key against the new measurements and

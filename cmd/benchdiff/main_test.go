@@ -1,9 +1,86 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestDiffAll covers the one-invocation trajectory mode: every
+// committed baseline against its fresh counterpart, skips honored,
+// per-file tolerance overrides applied, and a missing fresh file
+// failing the run.
+func TestDiffAll(t *testing.T) {
+	write := func(dir, name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newDirs := func() (string, string) {
+		base, fresh := t.TempDir(), t.TempDir()
+		write(base, "BENCH_pr1.json", `{"a_ns_op": 1000}`)
+		write(base, "BENCH_pr2.json", `{"b_ns_op": 1000}`)
+		write(base, "IGNORED.json", `{"c_ns_op": 1}`) // not a BENCH_pr* baseline
+		return base, fresh
+	}
+
+	t.Run("all within tolerance", func(t *testing.T) {
+		base, fresh := newDirs()
+		write(fresh, "BENCH_pr1.json", `{"a_ns_op": 1100}`)
+		write(fresh, "BENCH_pr2.json", `{"b_ns_op": 900}`)
+		var b strings.Builder
+		failed, err := diffAll(&b, base, fresh, 0.25, nil, nil)
+		if err != nil || failed {
+			t.Fatalf("failed=%v err=%v\n%s", failed, err, b.String())
+		}
+	})
+	t.Run("one file regressed", func(t *testing.T) {
+		base, fresh := newDirs()
+		write(fresh, "BENCH_pr1.json", `{"a_ns_op": 2000}`)
+		write(fresh, "BENCH_pr2.json", `{"b_ns_op": 1000}`)
+		var b strings.Builder
+		failed, err := diffAll(&b, base, fresh, 0.25, nil, nil)
+		if err != nil || !failed {
+			t.Fatalf("failed=%v err=%v, want regression\n%s", failed, err, b.String())
+		}
+	})
+	t.Run("override widens the band", func(t *testing.T) {
+		base, fresh := newDirs()
+		write(fresh, "BENCH_pr1.json", `{"a_ns_op": 1800}`) // +80%: fails at 0.25, passes at 1.0
+		write(fresh, "BENCH_pr2.json", `{"b_ns_op": 1000}`)
+		var b strings.Builder
+		failed, err := diffAll(&b, base, fresh, 0.25, nil, map[string]float64{"BENCH_pr1.json": 1.0})
+		if err != nil || failed {
+			t.Fatalf("failed=%v err=%v, override not applied\n%s", failed, err, b.String())
+		}
+	})
+	t.Run("missing fresh counterpart fails", func(t *testing.T) {
+		base, fresh := newDirs()
+		write(fresh, "BENCH_pr1.json", `{"a_ns_op": 1000}`)
+		var b strings.Builder
+		failed, err := diffAll(&b, base, fresh, 0.25, nil, nil)
+		if err != nil || !failed {
+			t.Fatalf("failed=%v err=%v, want coverage-loss failure\n%s", failed, err, b.String())
+		}
+	})
+	t.Run("skip excuses a missing counterpart", func(t *testing.T) {
+		base, fresh := newDirs()
+		write(fresh, "BENCH_pr1.json", `{"a_ns_op": 1000}`)
+		var b strings.Builder
+		failed, err := diffAll(&b, base, fresh, 0.25, map[string]bool{"BENCH_pr2.json": true}, nil)
+		if err != nil || failed {
+			t.Fatalf("failed=%v err=%v\n%s", failed, err, b.String())
+		}
+	})
+	t.Run("no baselines is an error", func(t *testing.T) {
+		var b strings.Builder
+		if _, err := diffAll(&b, t.TempDir(), t.TempDir(), 0.25, nil, nil); err == nil {
+			t.Fatal("want error for empty baseline dir")
+		}
+	})
+}
 
 func TestDiffRules(t *testing.T) {
 	old := map[string]any{

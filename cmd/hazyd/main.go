@@ -43,11 +43,13 @@
 // bind an ephemeral local port; the chosen address is printed as
 // "hazyd: metrics on ADDR".
 //
-// -partitions P stripes every main-memory Hazy view declared without
-// an explicit PARTITIONS clause (the bootstrap view included) into P
-// hash partitions: reorganization, batched maintenance, and rescans
-// then run across the stripes in parallel, so reorganization cost
-// scales with the stripe size instead of the view size.
+// -partitions P stripes every Hazy-strategy view declared without an
+// explicit PARTITIONS clause (the bootstrap view included, whatever
+// its architecture) into P hash partitions: reorganization, batched
+// maintenance, and rescans then run across the stripes in parallel,
+// so reorganization cost — and for on-disk layouts the per-event
+// write stall — scales with the stripe size instead of the view
+// size.
 //
 // The server opens its database in full-durability mode by default
 // (-fsync always): every acknowledged write is covered by a write-

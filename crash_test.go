@@ -79,6 +79,15 @@ func crashWorkload() []crashOp {
 	for id := int64(7); id <= 10; id++ {
 		addEntity(id)
 	}
+	// A second, striped on-disk view over the same tables: every crash
+	// point downstream also recovers a disk-resident striped layout
+	// (stripe subdirectories, per-stripe clustered B+-trees) from the
+	// same WAL prefix.
+	ops = append(ops, crashOp{kind: 'D', stmt: `CREATE CLASSIFICATION VIEW sv KEY id
+		ENTITIES FROM papers KEY id
+		EXAMPLES FROM feedback KEY id LABEL label
+		FEATURE FUNCTION tf_bag_of_words USING SVM
+		ARCHITECTURE OD PARTITIONS 2`})
 	ops = append(ops, crashOp{kind: 'D', stmt: "CHECKPOINT"})
 	for id := int64(11); id <= 14; id++ {
 		addEntity(id)
@@ -190,13 +199,23 @@ func assertPrefixConsistent(t *testing.T, db *root.DB, ops []crashOp, minAcked i
 	return -1
 }
 
+// assertViewsConsistent audits every view of the crash workload: the
+// unstriped main-memory lv and the striped on-disk sv.
+func assertViewsConsistent(t *testing.T, db *root.DB, desc string) {
+	t.Helper()
+	assertViewConsistent(t, db, "lv", desc)
+	assertViewConsistent(t, db, "sv", desc)
+}
+
 // assertViewConsistent checks the rebuilt view against a full rescan:
 // every recovered entity has a ±1 label, the members set is exactly
 // the +1-labeled ids, and the ε-clustered index covers exactly the
-// recovered entities with labels agreeing with point reads.
-func assertViewConsistent(t *testing.T, db *root.DB, desc string) {
+// recovered entities with labels agreeing with point reads. Striped
+// views additionally get a per-stripe audit: the stripes partition
+// the entity set exactly, with per-stripe labels agreeing too.
+func assertViewConsistent(t *testing.T, db *root.DB, name, desc string) {
 	t.Helper()
-	v, err := db.View("lv")
+	v, err := db.View(name)
 	if err != nil {
 		return // crash predates the view declaration
 	}
@@ -266,9 +285,42 @@ func assertViewConsistent(t *testing.T, db *root.DB, desc string) {
 			t.Fatalf("%s: eps index covers %d ids, tables have %d", desc, len(seen), len(ents))
 		}
 	}
+	// Striped views: the stripes must partition the recovered entity
+	// set exactly — every id in exactly one stripe's clustered index,
+	// with the stripe-local label agreeing with the point read.
+	if sv, ok := v.Core().(*core.StripedView); ok {
+		owner := map[int64]int{}
+		for i := 0; i < sv.Stripes(); i++ {
+			cur, err := sv.ScanEpsStripe(i, math.Inf(-1), math.Inf(1))
+			if err != nil {
+				t.Fatalf("%s: ScanEpsStripe(%d): %v", desc, i, err)
+			}
+			for {
+				e, ok, err := cur.Next()
+				if err != nil {
+					t.Fatalf("%s: stripe %d cursor: %v", desc, i, err)
+				}
+				if !ok {
+					break
+				}
+				if prev, dup := owner[e.ID]; dup {
+					t.Fatalf("%s: id %d in stripes %d and %d", desc, e.ID, prev, i)
+				}
+				owner[e.ID] = i
+				lbl, _ := v.Label(e.ID)
+				if int(e.Label) != lbl {
+					t.Fatalf("%s: stripe %d label %d for id %d, point read %d", desc, i, e.Label, e.ID, lbl)
+				}
+			}
+			cur.Close()
+		}
+		if len(owner) != len(ents) {
+			t.Fatalf("%s: stripes cover %d ids, tables have %d", desc, len(owner), len(ents))
+		}
+	}
 	// And through the SQL surface.
 	sess := db.NewSession()
-	res, err := sess.Exec("SELECT COUNT(*) FROM lv WHERE class = 1")
+	res, err := sess.Exec(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE class = 1", name))
 	if err != nil {
 		t.Fatalf("%s: SQL count: %v", desc, err)
 	}
@@ -332,7 +384,7 @@ func TestCrashMatrixWALTruncation(t *testing.T) {
 			t.Fatalf("%s: recovery failed: %v", desc, err)
 		}
 		assertPrefixConsistent(t, rdb, ops, 0, desc)
-		assertViewConsistent(t, rdb, desc)
+		assertViewsConsistent(t, rdb, desc)
 		if err := rdb.Close(); err != nil {
 			t.Fatalf("%s: close after recovery: %v", desc, err)
 		}
@@ -416,7 +468,7 @@ func TestFaultInjectionCrashPoints(t *testing.T) {
 				t.Fatalf("%s: recovery failed: %v", desc, rerr)
 			}
 			assertPrefixConsistent(t, rdb, ops, acked, desc)
-			assertViewConsistent(t, rdb, desc)
+			assertViewsConsistent(t, rdb, desc)
 			rdb.Close()
 			points++
 		}
@@ -555,5 +607,5 @@ func TestCheckpointDuringConcurrentReadsAndIngest(t *testing.T) {
 	if len(exs) != 10+newEntities {
 		t.Fatalf("recovered %d examples, want %d", len(exs), 10+newEntities)
 	}
-	assertViewConsistent(t, rdb, "post-concurrency")
+	assertViewConsistent(t, rdb, "lv", "post-concurrency")
 }

@@ -155,12 +155,13 @@ type OpenOptions struct {
 	// (default the real filesystem). The crash-safety tests
 	// interpose internal/storage/faultfs here.
 	VFS storage.VFS
-	// DefaultPartitions stripes every MainMemory Hazy-strategy view
-	// declared WITHOUT an explicit PARTITIONS clause into this many
-	// hash partitions (parallel reorganization and rescans across a
-	// worker pool). 0 or 1 leaves such views unstriped. The resolved
-	// count is persisted with the view's declaration, so reopening
-	// without the option keeps existing views striped as declared.
+	// DefaultPartitions stripes every Hazy-strategy view declared
+	// WITHOUT an explicit PARTITIONS clause — whatever its
+	// architecture — into this many hash partitions (parallel
+	// reorganization and rescans across a worker pool). 0 or 1 leaves
+	// such views unstriped. The resolved count is persisted with the
+	// view's declaration, so reopening without the option keeps
+	// existing views striped as declared.
 	DefaultPartitions int
 	// MaintWorkers sizes the catalog's shared maintenance pool — the
 	// single scheduler every attached engine's batches and every
@@ -689,8 +690,11 @@ type ViewSpec struct {
 	// Skiing over one shared model — so reorganization, batch
 	// maintenance, and rescans run in parallel across a worker pool
 	// (the SQL clause PARTITIONS n). 0 falls back to the database's
-	// DefaultPartitions, then to unstriped. Values above 1 require the
-	// MainMemory architecture and the Hazy strategy.
+	// DefaultPartitions, then to unstriped. Every architecture
+	// stripes — main-memory entry slices, per-stripe on-disk B+-tree
+	// generations, or the hybrid's disk-plus-ε-map — but striping
+	// requires the Hazy strategy (NAIVE keeps no eps clustering for
+	// the stripes to maintain).
 	Partitions int
 }
 
@@ -799,11 +803,11 @@ func (db *DB) buildView(spec ViewSpec, et *EntityTable, xt *ExampleTable) (*Clas
 	// Striping: an unset PARTITIONS picks up the database default, but
 	// only where striping applies; the resolved count persists with
 	// the declaration so reopens are stable.
-	if spec.Partitions == 0 && spec.Arch == core.MainMemory && spec.Strategy == core.HazyStrategy {
+	if spec.Partitions == 0 && spec.Strategy == core.HazyStrategy {
 		spec.Partitions = db.defaultParts
 	}
-	if spec.Partitions > 1 && (spec.Arch != core.MainMemory || spec.Strategy != core.HazyStrategy) {
-		return nil, fmt.Errorf("hazy: view %q: PARTITIONS %d requires ARCHITECTURE MM and STRATEGY HAZY", spec.Name, spec.Partitions)
+	if spec.Partitions > 1 && spec.Strategy != core.HazyStrategy {
+		return nil, fmt.Errorf("hazy: view %q: PARTITIONS %d requires STRATEGY HAZY (the NAIVE strategy keeps no eps clustering for the stripes to maintain)", spec.Name, spec.Partitions)
 	}
 
 	// Corpus pass: compute statistics, then feature vectors.
@@ -1052,7 +1056,7 @@ func (db *DB) AttachEngine(view string, opts EngineOptions) (*engine.Engine, err
 		return nil, fmt.Errorf("hazy: no view %q", view)
 	}
 	if _, ok := cv.view.(core.Snapshotter); !ok {
-		return nil, fmt.Errorf("hazy: view %q (%T) does not support snapshots; the engine requires the MainMemory architecture", cv.name, cv.view)
+		return nil, fmt.Errorf("hazy: view %q (%T) does not support snapshots, which the engine requires", cv.name, cv.view)
 	}
 	for name := range db.engines {
 		other := db.views[name]

@@ -147,6 +147,41 @@ func (dt *diskTable) Insert(id int64, eps float64, class int, f vector.Vector) e
 	return nil
 }
 
+// BulkInsert appends the initial entity set (eps = 0, class =
+// classOf(f)) through the heap's page-batched bulk loader, without
+// maintaining the B+-tree: callers must Rebuild before serving
+// clustered reads — the striped build path does so immediately, which
+// rewrites the tree from scratch anyway, so per-record tree descents
+// during the load would be pure waste.
+func (dt *diskTable) BulkInsert(entities []Entity, classOf func(f vector.Vector) int) error {
+	if dt.n > 0 {
+		return fmt.Errorf("core: bulk insert into non-empty table (%d records)", dt.n)
+	}
+	for _, e := range entities {
+		if _, dup := dt.byID[e.ID]; dup {
+			return fmt.Errorf("core: duplicate entity %d", e.ID)
+		}
+		dt.byID[e.ID] = storage.RID{}
+	}
+	i := 0
+	rids, err := dt.heap.BulkLoad(func() ([]byte, error) {
+		if i == len(entities) {
+			return nil, nil
+		}
+		e := entities[i]
+		i++
+		return encodeRecord(e.ID, 0, classOf(e.F), e.F), nil
+	})
+	if err != nil {
+		return err
+	}
+	for j, e := range entities {
+		dt.byID[e.ID] = rids[j]
+	}
+	dt.n += len(entities)
+	return nil
+}
+
 // Get reads the record for id.
 func (dt *diskTable) Get(id int64) (eps float64, class int, f vector.Vector, err error) {
 	rid, ok := dt.byID[id]

@@ -307,6 +307,7 @@ func (v *DiskView) Stats() Stats {
 	if v.strategy == HazyStrategy {
 		s.Reorgs = v.sk.Reorgs()
 		s.IncSteps = v.sk.IncSteps()
+		s.LastReorgNs = v.sk.S().Nanoseconds()
 		s.LowWater, s.HighWater = v.wm.Band()
 		if n, err := v.dt.CountAbove(s.LowWater); err == nil {
 			above, err2 := v.dt.CountAbove(math.Nextafter(s.HighWater, math.Inf(1)))

@@ -203,11 +203,15 @@ func (v *DiskView) EpsOf(id int64) (float64, error) {
 }
 
 // diskCursor drives a B+-tree cursor over [lo, hi], resolving each
-// row's label per the view's mode: eager reads the maintained class
-// byte; lazy tests the watermarks and only decodes the feature vector
-// for rows inside the band, where the current model must decide.
+// row's label through a LabelResolver: nil reads the maintained class
+// byte (eager); a lazy resolver tests the watermarks and only decodes
+// the feature vector for rows inside the band, where the current
+// model must decide. It serves both the unstriped DiskView and the
+// per-stripe disk stores, neither of which it knows about — just a
+// table and a policy.
 type diskCursor struct {
-	v   *DiskView
+	dt  *diskTable
+	res *LabelResolver
 	cur *btree.Cursor
 
 	// bulk-fill scratch, sized to the batch request on first use
@@ -215,12 +219,24 @@ type diskCursor struct {
 	rids []storage.RID
 }
 
+// cursor opens a resolver-driven cursor over the clustered index.
+func (dt *diskTable) cursor(lo, hi float64, res *LabelResolver) (RowCursor, error) {
+	if dt.tree == nil {
+		return nil, errNotClustered
+	}
+	cur, err := dt.tree.NewCursor(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &diskCursor{dt: dt, res: res, cur: cur}, nil
+}
+
 func (c *diskCursor) Next() (SnapEntry, bool, error) {
 	k, rid, ok, err := c.cur.Next()
 	if err != nil || !ok {
 		return SnapEntry{}, false, err
 	}
-	label, err := c.v.rowLabel(k, rid)
+	label, err := c.rowLabel(k, rid)
 	if err != nil {
 		return SnapEntry{}, false, err
 	}
@@ -239,7 +255,7 @@ func (c *diskCursor) NextBatch(dst []SnapEntry) (int, error) {
 		return 0, err
 	}
 	for k := 0; k < n; k++ {
-		label, err := c.v.rowLabel(c.ks[k], c.rids[k])
+		label, err := c.rowLabel(c.ks[k], c.rids[k])
 		if err != nil {
 			return 0, err
 		}
@@ -253,28 +269,40 @@ func (c *diskCursor) Close() { c.cur.Close() }
 // rowLabel resolves one indexed row's label without mutating
 // maintenance state (no Skiing waste accrual — the streaming read
 // path leaves reorganization scheduling to writes and legacy reads).
-func (v *DiskView) rowLabel(k btree.Key, rid storage.RID) (int, error) {
-	if v.opts.Mode == Lazy {
-		if label, certain := v.wm.Test(k.Eps); certain {
-			return label, nil
-		}
-		var label int
-		err := v.dt.heap.View(rid, func(rec []byte) error {
-			_, _, _, f, err := decodeRecord(rec)
-			if err != nil {
-				return err
-			}
-			label = v.trainer.Model().Predict(f)
+func (c *diskCursor) rowLabel(k btree.Key, rid storage.RID) (int, error) {
+	if c.res == nil {
+		var class int
+		err := c.dt.heap.View(rid, func(rec []byte) error {
+			class = decodeClass(rec[recClassOff])
 			return nil
 		})
-		return label, err
+		return class, err
 	}
+	if label, certain := c.res.Test(k.Eps); certain {
+		return label, nil
+	}
+	// Predict inside the View closure: the decoded vector aliases the
+	// pinned page and must not outlive the pin.
 	var label int
-	err := v.dt.heap.View(rid, func(rec []byte) error {
-		label = decodeClass(rec[recClassOff])
+	err := c.dt.heap.View(rid, func(rec []byte) error {
+		_, _, _, f, err := decodeRecord(rec)
+		if err != nil {
+			return err
+		}
+		label = c.res.Predict(f)
 		return nil
 	})
 	return label, err
+}
+
+// lazyResolver builds the lazy-mode label policy from a view's
+// watermark and current model; eager mode resolves to nil (the
+// maintained class byte is exact).
+func lazyResolver(mode Mode, wm *Watermark, cur *learn.Model) *LabelResolver {
+	if mode != Lazy {
+		return nil
+	}
+	return &LabelResolver{Test: wm.Test, Predict: cur.Predict}
 }
 
 // ScanEps streams the indexed rows with eps ∈ [lo, hi] in key order.
@@ -282,11 +310,7 @@ func (v *DiskView) ScanEps(lo, hi float64) (RowCursor, error) {
 	if v.strategy != HazyStrategy {
 		return nil, errNotClustered
 	}
-	cur, err := v.dt.tree.NewCursor(lo, hi)
-	if err != nil {
-		return nil, err
-	}
-	return &diskCursor{v: v, cur: cur}, nil
+	return v.dt.cursor(lo, hi, lazyResolver(v.opts.Mode, v.wm, v.trainer.Model()))
 }
 
 // GetEps reads just the eps field of id's record.

@@ -2,29 +2,71 @@ package core
 
 import "fmt"
 
-// New constructs a view of the requested architecture and strategy.
-// dir is used only by the on-disk and hybrid architectures (their
-// page files live under it); poolPages sizes their buffer pool.
-// opts.Partitions > 1 selects the partition-striped main-memory
-// layout (Hazy strategy only).
-func New(arch Arch, strategy Strategy, dir string, poolPages int, entities []Entity, opts Options) (View, error) {
-	if opts.Partitions > 1 {
-		if arch != MainMemory || strategy != HazyStrategy {
-			return nil, fmt.Errorf("core: striping (PARTITIONS %d) requires the MainMemory architecture and the Hazy strategy", opts.Partitions)
-		}
-		return NewStriped(entities, opts.Partitions, opts)
-	}
-	switch arch {
-	case MainMemory:
-		return NewMemView(entities, strategy, opts), nil
-	case OnDisk:
-		return NewDiskView(dir, poolPages, entities, strategy, opts)
-	case HybridArch:
-		if strategy != HazyStrategy {
-			return nil, fmt.Errorf("core: the hybrid architecture requires the Hazy strategy")
-		}
+// viewKey identifies one point in the layout space the factory routes
+// over: physical architecture × maintenance strategy × whether the
+// view is partition-striped.
+type viewKey struct {
+	arch     Arch
+	strategy Strategy
+	striped  bool
+}
+
+// builder constructs a view for one supported layout combination.
+type builder func(dir string, poolPages int, entities []Entity, opts Options) (View, error)
+
+// layouts is the capability table: every (architecture, strategy,
+// striped) combination the engine supports, mapped to its
+// constructor. A combination absent from the table is unsupported and
+// New explains why instead of guessing — the two structural holes are
+// striping without eps clustering (the stripes would have nothing to
+// cluster or reorganize independently) and the hybrid architecture
+// without the Hazy strategy (its ε-map and boundary buffer are
+// summaries of the eps clustering).
+var layouts = map[viewKey]builder{
+	{MainMemory, HazyStrategy, false}: func(_ string, _ int, entities []Entity, opts Options) (View, error) {
+		return NewMemView(entities, HazyStrategy, opts), nil
+	},
+	{MainMemory, Naive, false}: func(_ string, _ int, entities []Entity, opts Options) (View, error) {
+		return NewMemView(entities, Naive, opts), nil
+	},
+	{OnDisk, HazyStrategy, false}: func(dir string, poolPages int, entities []Entity, opts Options) (View, error) {
+		return NewDiskView(dir, poolPages, entities, HazyStrategy, opts)
+	},
+	{OnDisk, Naive, false}: func(dir string, poolPages int, entities []Entity, opts Options) (View, error) {
+		return NewDiskView(dir, poolPages, entities, Naive, opts)
+	},
+	{HybridArch, HazyStrategy, false}: func(dir string, poolPages int, entities []Entity, opts Options) (View, error) {
 		return NewHybridView(dir, poolPages, entities, opts)
+	},
+	{MainMemory, HazyStrategy, true}: func(_ string, _ int, entities []Entity, opts Options) (View, error) {
+		return NewStriped(entities, opts.Partitions, opts)
+	},
+	{OnDisk, HazyStrategy, true}: func(dir string, poolPages int, entities []Entity, opts Options) (View, error) {
+		return NewStripedDisk(dir, poolPages, entities, opts.Partitions, opts)
+	},
+	{HybridArch, HazyStrategy, true}: func(dir string, poolPages int, entities []Entity, opts Options) (View, error) {
+		return NewStripedHybrid(dir, poolPages, entities, opts.Partitions, opts)
+	},
+}
+
+// New constructs a view of the requested architecture and strategy
+// from the capability table. dir is used only by the on-disk and
+// hybrid architectures (their page files live under it; striped
+// layouts keep one subdirectory per stripe); poolPages sizes their
+// buffer pool (split across stripes when striped). opts.Partitions >
+// 1 selects the partition-striped layout of the same architecture —
+// every architecture stripes under the Hazy strategy.
+func New(arch Arch, strategy Strategy, dir string, poolPages int, entities []Entity, opts Options) (View, error) {
+	key := viewKey{arch: arch, strategy: strategy, striped: opts.Partitions > 1}
+	if build, ok := layouts[key]; ok {
+		return build(dir, poolPages, entities, opts)
+	}
+	switch {
+	case key.striped && strategy != HazyStrategy:
+		return nil, fmt.Errorf("core: striping (PARTITIONS %d) requires the Hazy strategy: the %s strategy keeps no eps clustering for the stripes to maintain", opts.Partitions, strategy)
+	case arch == HybridArch && strategy != HazyStrategy:
+		return nil, fmt.Errorf("core: the hybrid architecture requires the Hazy strategy (its ε-map and boundary buffer summarize the eps clustering)")
 	default:
-		return nil, fmt.Errorf("core: unknown architecture %d", arch)
+		return nil, fmt.Errorf("core: unsupported layout: architecture %s, strategy %s, partitions %d", arch, strategy, opts.Partitions)
 	}
 }

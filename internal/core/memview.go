@@ -348,6 +348,7 @@ func (v *MemView) Stats() Stats {
 	if v.strategy == HazyStrategy {
 		s.Reorgs = v.sk.Reorgs()
 		s.IncSteps = v.sk.IncSteps()
+		s.LastReorgNs = v.sk.S().Nanoseconds()
 		s.LowWater, s.HighWater = v.wm.Band()
 		lo, hi := v.band(s.LowWater, s.HighWater)
 		s.BandTuples = hi - lo

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"time"
@@ -9,20 +11,30 @@ import (
 	"hazy/internal/learn"
 	"hazy/internal/obs"
 	"hazy/internal/sched"
+	"hazy/internal/storage"
 	"hazy/internal/vector"
 )
 
-// StripedView is the partition-striped main-memory layout: the entity
-// set is hash-partitioned into P independent stripes, each with its
-// own eps-clustered entries slice, watermark pair, and Skiing
-// accumulator, while the model stays global (trained once, shared by
-// every stripe). Reorganization, band sweeps, inserts, full rescans,
-// and snapshot export all scatter across the stripes on the shared
-// maintenance pool (internal/sched), so the reorganization cost S —
-// the quantity the Skiing strategy amortizes against — scales with
-// the stripe size n/P instead of the view size n, and a multi-core
-// host reorganizes P stripes concurrently while sharing one
-// parallelism budget with every other view's maintenance.
+// StripedView is the partition-striped layout, generic over the
+// paper's architecture spectrum: the entity set is hash-partitioned
+// into P independent stripes, each with its own eps-clustered
+// StripeStore, watermark pair, and Skiing accumulator, while the
+// model stays global (trained once, shared by every stripe). The
+// store decides where the stripe physically lives — main-memory
+// entry slices, per-stripe on-disk B+-tree generations behind private
+// buffer pools, or the hybrid's disk-plus-ε-map — and this layer owns
+// everything else: reorganization policy, eager sweeps, the lazy
+// waste discipline, and the scatter/gather read paths.
+//
+// Reorganization, band sweeps, inserts, full rescans, and snapshot
+// export all scatter across the stripes on the shared maintenance
+// pool (internal/sched), so the reorganization cost S — the quantity
+// the Skiing strategy amortizes against — scales with the stripe size
+// n/P instead of the view size n, and a multi-core host reorganizes P
+// stripes concurrently while sharing one parallelism budget with
+// every other view's maintenance. For disk-resident stripes the same
+// factor bounds the write stall: one reorganization event rewrites
+// n/P records, not n.
 //
 // Correctness rests on the watermark guarantee holding per stripe:
 // each stripe's Watermark carries its own stored model (the model of
@@ -33,19 +45,20 @@ import (
 // only eps values (taken against per-stripe stored models) may differ
 // once stripes reorganize at different times.
 //
-// Unlike an unstriped MemView, a batch observes only the batch-final
+// Unlike an unstriped view, a batch observes only the batch-final
 // model into each stripe's watermarks. That is sound because
 // intermediate models inside a batch never stamp labels and never
 // serve reads — the extrema of Eq. (2) only need to cover every model
 // that did either — and it keeps the per-stripe observation cost at
 // one drift norm per batch instead of one per example.
 //
-// Like MemView, a StripedView requires external serialization between
-// writers and readers (SafeView, the serving engine, or
-// single-threaded use); every parallel section is bounded by the call
-// that opened it (the pool's scatter barrier).
+// Like the unstriped layouts, a StripedView requires external
+// serialization between writers and readers (SafeView, the serving
+// engine, or single-threaded use); every parallel section is bounded
+// by the call that opened it (the pool's scatter barrier).
 type StripedView struct {
 	opts    Options
+	arch    Arch
 	trainer *learn.SGD // global model, shared by all stripes
 	stripes []*stripe
 	pool    *sched.Pool
@@ -53,13 +66,12 @@ type StripedView struct {
 }
 
 // stripe is one hash partition's maintenance state: a private
-// eps-clustered entries slice with its own watermarks and Skiing
-// accumulator. All mutation happens either on the caller's goroutine
-// or on a worker-pool goroutine that owns the stripe for the duration
-// of one parallel section; stripes never share mutable state.
+// eps-clustered store with its own watermarks and Skiing accumulator.
+// All mutation happens either on the caller's goroutine or on a
+// worker-pool goroutine that owns the stripe for the duration of one
+// parallel section; stripes never share mutable state.
 type stripe struct {
-	entries      []*memEntry
-	byID         map[int64]*memEntry
+	store        StripeStore
 	wm           *Watermark
 	sk           *Skiing
 	met          *viewMetrics
@@ -73,16 +85,68 @@ func stripeOf(id int64, n int) int {
 	return int((h >> 32) % uint64(n))
 }
 
+// stripeDir is the per-stripe subdirectory for disk-resident layouts.
+func stripeDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("stripe-%03d", i))
+}
+
+// stripePoolPages splits a view's buffer-pool budget across the
+// stripes' private pools. 0 keeps each stripe on the store default; a
+// small floor keeps tiny shares workable.
+func stripePoolPages(poolPages, partitions int) int {
+	if poolPages <= 0 {
+		return 0
+	}
+	per := poolPages / partitions
+	if per < 16 {
+		per = 16
+	}
+	return per
+}
+
 // NewStriped builds a partition-striped main-memory view with the
 // Hazy strategy. partitions must be ≥ 1; each stripe is clustered by
 // its own initial reorganization, in parallel.
 func NewStriped(entities []Entity, partitions int, opts Options) (*StripedView, error) {
+	return newStripedView(entities, partitions, opts, MainMemory,
+		func(int) (StripeStore, error) { return newMemStripeStore(), nil })
+}
+
+// NewStripedDisk builds a partition-striped on-disk view with the
+// Hazy strategy: each stripe keeps its own clustered generation file
+// (heap + B+-tree) in a subdirectory of dir behind a private share of
+// the poolPages buffer-pool budget, so per-stripe reorganizations
+// rewrite n/P records with batched page IO and no cross-stripe page
+// or latch contention.
+func NewStripedDisk(dir string, poolPages int, entities []Entity, partitions int, opts Options) (*StripedView, error) {
+	per := stripePoolPages(poolPages, partitions)
+	return newStripedView(entities, partitions, opts, OnDisk,
+		func(i int) (StripeStore, error) { return newDiskStripeStore(stripeDir(dir, i), per) })
+}
+
+// NewStripedHybrid builds a partition-striped hybrid view (§3.5.2):
+// the striped on-disk layout plus a per-stripe ε-map and boundary
+// buffer, rebuilt after every per-stripe reorganization.
+func NewStripedHybrid(dir string, poolPages int, entities []Entity, partitions int, opts Options) (*StripedView, error) {
+	opts = opts.withDefaults()
+	per := stripePoolPages(poolPages, partitions)
+	return newStripedView(entities, partitions, opts, HybridArch,
+		func(i int) (StripeStore, error) {
+			return newHybridStripeStore(stripeDir(dir, i), per, opts.BufferFrac)
+		})
+}
+
+// newStripedView routes the entity set to its stripes, builds one
+// store per stripe via newStore, and runs the initial clustering
+// reorganizations in parallel on the shared pool.
+func newStripedView(entities []Entity, partitions int, opts Options, arch Arch, newStore func(i int) (StripeStore, error)) (*StripedView, error) {
 	if partitions < 1 {
 		return nil, fmt.Errorf("core: partitions must be >= 1, got %d", partitions)
 	}
 	opts = opts.withDefaults()
 	v := &StripedView{
 		opts:    opts,
+		arch:    arch,
 		trainer: learn.NewSGD(opts.SGD),
 		stripes: make([]*stripe, partitions),
 		pool:    opts.Pool,
@@ -94,43 +158,83 @@ func NewStriped(entities []Entity, partitions int, opts Options) (*StripedView, 
 		v.trainer.Train(ex.F, ex.Label)
 	}
 	for i := range v.stripes {
+		store, err := newStore(i)
+		if err != nil {
+			v.Close()
+			return nil, err
+		}
 		v.stripes[i] = &stripe{
-			byID: map[int64]*memEntry{},
-			wm:   NewWatermark(opts.Norm),
-			sk:   NewSkiing(opts.Alpha),
+			store: store,
+			wm:    NewWatermark(opts.Norm),
+			sk:    NewSkiing(opts.Alpha),
 			met: newViewMetrics(opts.Metrics,
 				obs.L("view", opts.MetricsName, "stripe", strconv.Itoa(i))...),
 		}
 	}
+	parts := make([][]Entity, partitions)
 	for _, e := range entities {
-		st := v.stripes[stripeOf(e.ID, partitions)]
-		if _, dup := st.byID[e.ID]; dup {
-			return nil, fmt.Errorf("core: duplicate entity %d", e.ID)
-		}
-		ent := &memEntry{id: e.ID, f: e.F}
-		st.entries = append(st.entries, ent)
-		st.byID[e.ID] = ent
+		s := stripeOf(e.ID, partitions)
+		parts[s] = append(parts[s], e)
 	}
 	cur := v.trainer.Model()
-	v.forStripes(func(_ int, st *stripe) {
+	err := v.forStripes(func(i int, st *stripe) error {
 		q := st.wm.Q()
 		var m float64
-		for _, ent := range st.entries {
-			if n := ent.f.Norm(q); n > m {
+		for _, e := range parts[i] {
+			if n := e.F.Norm(q); n > m {
 				m = n
 			}
 		}
 		st.wm.M = m
-		st.reorganize(cur)
+		if err := st.store.Load(parts[i], cur.Predict); err != nil {
+			return err
+		}
+		return st.reorganize(cur)
 	})
+	if err != nil {
+		v.Close()
+		return nil, err
+	}
 	return v, nil
 }
 
 // Stripes returns the partition count.
 func (v *StripedView) Stripes() int { return len(v.stripes) }
 
+// Arch returns the physical architecture the stripes are stored in.
+func (v *StripedView) Arch() Arch { return v.arch }
+
 // Model returns the shared model.
 func (v *StripedView) Model() *learn.Model { return v.trainer.Model() }
+
+// Close releases every stripe's backing resources (a no-op for the
+// main-memory layout).
+func (v *StripedView) Close() error {
+	var first error
+	for _, st := range v.stripes {
+		if st == nil || st.store == nil {
+			continue
+		}
+		if err := st.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// IOStats aggregates physical I/O counters across disk-resident
+// stripes (zero for the main-memory layout).
+func (v *StripedView) IOStats() storage.IOStats {
+	var total storage.IOStats
+	for _, st := range v.stripes {
+		if io, ok := st.store.(interface{ IOStats() storage.IOStats }); ok {
+			s := io.IOStats()
+			total.PhysicalReads += s.PhysicalReads
+			total.PhysicalWrites += s.PhysicalWrites
+		}
+	}
+	return total
+}
 
 // forStripes runs fn once per stripe as a scatter on the shared
 // maintenance pool and waits for all of them — the single gather
@@ -142,66 +246,57 @@ func (v *StripedView) Model() *learn.Model { return v.trainer.Model() }
 // first panic on this caller (as a *sched.TaskPanic) only after every
 // stripe task has finished, so no stripe is mid-mutation when the
 // caller unwinds. fn receives the stripe's index so call sites can
-// write into per-stripe output slots directly.
-func (v *StripedView) forStripes(fn func(i int, st *stripe)) {
-	v.pool.RunAll(len(v.stripes), func(i int) { fn(i, v.stripes[i]) })
+// write into per-stripe output slots directly; the first non-nil
+// error (in stripe order) is returned after every stripe finished.
+func (v *StripedView) forStripes(fn func(i int, st *stripe) error) error {
+	errs := make([]error, len(v.stripes))
+	v.pool.RunAll(len(v.stripes), func(i int) { errs[i] = fn(i, v.stripes[i]) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // reorganize re-clusters one stripe on eps under cur, resets its
 // watermarks, and records the measured per-stripe cost S.
-func (st *stripe) reorganize(cur *learn.Model) {
+func (st *stripe) reorganize(cur *learn.Model) error {
 	start := time.Now()
 	st.wm.Reset(cur, st.wm.M)
 	st.met.observeWMReset()
-	for _, ent := range st.entries {
-		ent.eps = st.wm.Eps(ent.f)
-		ent.label = int8(learn.Sign(ent.eps))
+	if err := st.store.Rebuild(st.wm.Eps); err != nil {
+		return err
 	}
-	sort.Slice(st.entries, func(a, b int) bool {
-		ea, eb := st.entries[a], st.entries[b]
-		if ea.eps != eb.eps {
-			return ea.eps < eb.eps
-		}
-		return ea.id < eb.id
-	})
 	elapsed := time.Since(start)
 	st.sk.DidReorganize(elapsed)
 	st.met.observeReorg(elapsed)
-}
-
-// band returns the half-open index interval [lo, hi) of stripe
-// entries with eps ∈ [lw, hw].
-func (st *stripe) band(lw, hw float64) (lo, hi int) {
-	lo = sort.Search(len(st.entries), func(i int) bool { return st.entries[i].eps >= lw })
-	hi = sort.Search(len(st.entries), func(i int) bool { return st.entries[i].eps > hw })
-	return lo, hi
+	return nil
 }
 
 // maintain folds the batch-final model into one stripe's watermarks
 // and runs its reorganize-or-sweep decision (the eager per-batch
 // maintenance step).
-func (st *stripe) maintain(cur *learn.Model, reorg ReorgPolicy, lazy bool) {
+func (st *stripe) maintain(cur *learn.Model, reorg ReorgPolicy, lazy bool) error {
 	lw, hw := st.wm.Observe(cur)
 	if reorg == ReorgAlways {
-		st.reorganize(cur)
-		return
+		return st.reorganize(cur)
 	}
 	if lazy {
-		return
+		return nil
 	}
 	if reorg == ReorgSkiing && st.sk.ShouldReorganize() {
-		st.reorganize(cur)
-		return
+		return st.reorganize(cur)
 	}
 	start := time.Now()
-	lo, hi := st.band(lw, hw)
-	for i := lo; i < hi; i++ {
-		ent := st.entries[i]
-		ent.label = int8(cur.Predict(ent.f))
+	n, err := st.store.SweepBand(lw, hw, cur.Predict)
+	if err != nil {
+		return err
 	}
-	st.reclassified += int64(hi - lo)
+	st.reclassified += int64(n)
 	st.sk.AddCost(time.Since(start))
-	st.met.observeSweep(hi - lo)
+	st.met.observeSweep(n)
+	return nil
 }
 
 // Update folds in one training example — a batch of one.
@@ -224,33 +319,20 @@ func (v *StripedView) UpdateBatch(examples []learn.Example) error {
 	}
 	cur := v.trainer.Model()
 	lazy := v.opts.Mode == Lazy
-	v.forStripes(func(_ int, st *stripe) {
-		st.maintain(cur, v.opts.Reorg, lazy)
+	return v.forStripes(func(_ int, st *stripe) error {
+		return st.maintain(cur, v.opts.Reorg, lazy)
 	})
-	return nil
 }
 
 // insertOne classifies and places one entity into its stripe's
 // clustered position (the caller has already routed e to st).
 func (st *stripe) insertOne(e Entity, cur *learn.Model) error {
-	if _, dup := st.byID[e.ID]; dup {
+	if st.store.Has(e.ID) {
 		return fmt.Errorf("core: duplicate entity %d", e.ID)
 	}
 	st.wm.ObserveEntity(e.F)
 	st.wm.Observe(cur)
-	ent := &memEntry{id: e.ID, f: e.F, eps: st.wm.Eps(e.F), label: int8(cur.Predict(e.F))}
-	pos := sort.Search(len(st.entries), func(i int) bool {
-		o := st.entries[i]
-		if o.eps != ent.eps {
-			return o.eps > ent.eps
-		}
-		return o.id > ent.id
-	})
-	st.entries = append(st.entries, nil)
-	copy(st.entries[pos+1:], st.entries[pos:])
-	st.entries[pos] = ent
-	st.byID[e.ID] = ent
-	return nil
+	return st.store.Insert(e.ID, st.wm.Eps(e.F), cur.Predict(e.F), e.F)
 }
 
 // Insert adds a new entity, classified under the current model, to
@@ -272,82 +354,128 @@ func (v *StripedView) InsertBatch(entities []Entity) []error {
 		byStripe[s] = append(byStripe[s], i)
 	}
 	cur := v.trainer.Model()
-	v.forStripes(func(s int, st *stripe) {
+	v.forStripes(func(s int, st *stripe) error {
 		for _, i := range byStripe[s] {
 			errs[i] = st.insertOne(entities[i], cur)
 		}
+		return nil
 	})
 	return errs
 }
 
-// Label answers a Single Entity read.
+// Label answers a Single Entity read with the layout-generic form of
+// the App. B.4 lookup: the stored eps (which the hybrid store serves
+// from its ε-map) against the stripe's watermarks first; inside the
+// band, eager mode reads the maintained class and lazy mode
+// classifies the feature vector (which the hybrid store serves from
+// its boundary buffer before touching disk) under the current model.
 func (v *StripedView) Label(id int64) (int, error) {
 	st := v.stripes[stripeOf(id, len(v.stripes))]
-	ent, ok := st.byID[id]
-	if !ok {
-		return 0, fmt.Errorf("core: no entity %d", id)
+	eps, err := st.store.EpsOf(id)
+	if err != nil {
+		return 0, err
 	}
-	if v.opts.Mode == Eager {
-		return int(ent.label), nil
-	}
-	if label, certain := st.wm.Test(ent.eps); certain {
+	if label, certain := st.wm.Test(eps); certain {
 		return label, nil
 	}
-	return v.trainer.Model().Predict(ent.f), nil
+	if v.opts.Mode == Eager {
+		return st.store.Class(id)
+	}
+	f, err := st.store.FeatureOf(id)
+	if err != nil {
+		return 0, err
+	}
+	return v.trainer.Model().Predict(f), nil
 }
 
 // members drives an All Members read: scatter to the stripes in
 // parallel (each collecting into its own slice — no shared state),
 // gather in stripe order. Lazy mode accrues each stripe's waste into
 // that stripe's Skiing accumulator and may reorganize the stripe,
-// which is why lazy Members needs the writer's lock, exactly like
-// MemView (SafeView provides it).
+// which is why lazy Members needs the writer's lock, exactly like the
+// unstriped layouts (SafeView provides it).
 func (v *StripedView) members(fn func(id int64)) error {
 	cur := v.trainer.Model()
 	lazy := v.opts.Mode == Lazy
 	out := make([][]int64, len(v.stripes))
-	v.forStripes(func(i int, st *stripe) {
+	err := v.forStripes(func(i int, st *stripe) error {
 		ids := &out[i]
 		lw, hw := st.wm.Band()
-		lo, hi := st.band(lw, hw)
 		if !lazy {
 			// Eager: labels are current; all positives live at eps ≥ lw.
-			for i := lo; i < hi; i++ {
-				if st.entries[i].label > 0 {
-					*ids = append(*ids, st.entries[i].id)
+			// Band rows read their maintained class; above high water
+			// the ids come straight from the clustering.
+			c, err := st.store.Cursor(lw, hw, nil)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			for {
+				e, ok, err := c.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if e.Label > 0 {
+					*ids = append(*ids, e.ID)
 				}
 			}
-			for i := hi; i < len(st.entries); i++ {
-				*ids = append(*ids, st.entries[i].id)
-			}
-			return
+			return st.store.ScanKeysAbove(hw, func(id int64) error {
+				*ids = append(*ids, id)
+				return nil
+			})
 		}
 		// Lazy (§3.4): everything above high water is a member; the
 		// band is classified against the current model; waste accrues
 		// toward this stripe's reorganization.
 		start := time.Now()
-		nPos := len(st.entries) - hi
-		for i := hi; i < len(st.entries); i++ {
-			*ids = append(*ids, st.entries[i].id)
+		nPos, nRead, band := 0, 0, 0
+		if err := st.store.ScanKeysAbove(hw, func(id int64) error {
+			*ids = append(*ids, id)
+			nPos++
+			nRead++
+			return nil
+		}); err != nil {
+			return err
 		}
-		for i := lo; i < hi; i++ {
-			if cur.Predict(st.entries[i].f) > 0 {
-				*ids = append(*ids, st.entries[i].id)
+		res := &LabelResolver{Test: st.wm.Test, Predict: cur.Predict}
+		c, err := st.store.Cursor(lw, hw, res)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		for {
+			e, ok, err := c.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			nRead++
+			band++
+			if e.Label > 0 {
+				*ids = append(*ids, e.ID)
 				nPos++
 			}
 		}
-		st.reclassified += int64(hi - lo)
-		st.met.observeSweep(hi - lo)
-		nRead := len(st.entries) - lo
+		st.reclassified += int64(band)
+		st.met.observeSweep(band)
 		elapsed := time.Since(start)
 		if nRead > 0 {
 			waste := time.Duration(float64(elapsed) * float64(nRead-nPos) / float64(nRead))
 			st.sk.AddWaste(waste)
 		}
 		if v.opts.Reorg == ReorgSkiing && st.sk.ShouldReorganize() {
-			st.reorganize(cur)
+			return st.reorganize(cur)
 		}
+		return nil
 	})
+	if err != nil {
+		return err
+	}
 	for _, ids := range out {
 		for _, id := range ids {
 			fn(id)
@@ -378,8 +506,7 @@ func (v *StripedView) Retrain(examples []learn.Example) error {
 		v.trainer.Train(ex.F, ex.Label)
 	}
 	cur := v.trainer.Model()
-	v.forStripes(func(_ int, st *stripe) { st.reorganize(cur) })
-	return nil
+	return v.forStripes(func(_ int, st *stripe) error { return st.reorganize(cur) })
 }
 
 // MostUncertain returns up to k entity ids nearest the decision
@@ -392,26 +519,14 @@ func (v *StripedView) MostUncertain(k int) ([]int64, error) {
 		return nil, nil
 	}
 	cand := make([][]SnapEntry, len(v.stripes))
-	v.forStripes(func(i int, st *stripe) {
-		out := &cand[i]
-		n := len(st.entries)
-		hi := sort.Search(n, func(i int) bool { return st.entries[i].eps >= 0 })
-		lo := hi - 1
-		for len(*out) < k && (lo >= 0 || hi < n) {
-			var pick *memEntry
-			switch {
-			case lo < 0:
-				pick, hi = st.entries[hi], hi+1
-			case hi >= n:
-				pick, lo = st.entries[lo], lo-1
-			case -st.entries[lo].eps <= st.entries[hi].eps:
-				pick, lo = st.entries[lo], lo-1
-			default:
-				pick, hi = st.entries[hi], hi+1
-			}
-			*out = append(*out, SnapEntry{ID: pick.id, Eps: pick.eps})
-		}
+	err := v.forStripes(func(i int, st *stripe) error {
+		var err error
+		cand[i], err = st.store.NearestZero(k)
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	var all []SnapEntry
 	for _, c := range cand {
 		all = append(all, c...)
@@ -445,28 +560,49 @@ func (v *StripedView) MostUncertain(k int) ([]int64, error) {
 
 // Stats aggregates maintenance counters across the stripes. LowWater
 // and HighWater report the widest band over any stripe (the
-// conservative envelope).
+// conservative envelope); LastReorgNs reports the slowest stripe's
+// most recent reorganization — the write stall one reorganization
+// event imposes, which striping bounds at n/P records.
 func (v *StripedView) Stats() Stats {
 	s := v.stats
 	for i, st := range v.stripes {
 		s.Reorgs += st.sk.Reorgs()
 		s.IncSteps += st.sk.IncSteps()
 		s.Reclassified += st.reclassified
+		if n, err := st.store.CountRange(st.wm.Band()); err == nil {
+			s.BandTuples += n
+		}
 		lw, hw := st.wm.Band()
-		lo, hi := st.band(lw, hw)
-		s.BandTuples += hi - lo
 		if i == 0 || lw < s.LowWater {
 			s.LowWater = lw
 		}
 		if i == 0 || hw > s.HighWater {
 			s.HighWater = hw
 		}
+		if ns := st.sk.S().Nanoseconds(); ns > s.LastReorgNs {
+			s.LastReorgNs = ns
+		}
 	}
 	return s
 }
 
+// StripeStats returns one stripe's maintenance counters.
+func (v *StripedView) StripeStats(i int) Stats {
+	st := v.stripes[i]
+	var s Stats
+	s.Reorgs = st.sk.Reorgs()
+	s.IncSteps = st.sk.IncSteps()
+	s.Reclassified = st.reclassified
+	s.LowWater, s.HighWater = st.wm.Band()
+	if n, err := st.store.CountRange(s.LowWater, s.HighWater); err == nil {
+		s.BandTuples = n
+	}
+	s.LastReorgNs = st.sk.S().Nanoseconds()
+	return s
+}
+
 // Snapshot exports the composed immutable snapshot: every stripe
-// resolves its slice in parallel (exact labels, eps-ascending — the
+// resolves its rows in parallel (exact labels, eps-ascending — the
 // stripe is already clustered), then the P sorted slices k-way merge
 // into one globally (eps, id)-ordered entry list. One barrier, one
 // publishable object.
@@ -474,21 +610,34 @@ func (v *StripedView) Snapshot() (*Snapshot, error) {
 	cur := v.trainer.Model()
 	lazy := v.opts.Mode == Lazy
 	parts := make([][]SnapEntry, len(v.stripes))
-	v.forStripes(func(p int, st *stripe) {
-		out := make([]SnapEntry, len(st.entries))
-		for i, ent := range st.entries {
-			label := ent.label
-			if lazy {
-				if l, certain := st.wm.Test(ent.eps); certain {
-					label = int8(l)
-				} else {
-					label = int8(cur.Predict(ent.f))
-				}
+	err := v.forStripes(func(p int, st *stripe) error {
+		var res *LabelResolver
+		if lazy {
+			res = &LabelResolver{Test: st.wm.Test, Predict: cur.Predict}
+		}
+		c, err := st.store.Cursor(math.Inf(-1), math.Inf(1), res)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		out := make([]SnapEntry, 0, st.store.Len())
+		buf := make([]SnapEntry, 512)
+		for {
+			n, err := c.NextBatch(buf)
+			if err != nil {
+				return err
 			}
-			out[i] = SnapEntry{ID: ent.id, Eps: ent.eps, Label: label}
+			if n == 0 {
+				break
+			}
+			out = append(out, buf[:n]...)
 		}
 		parts[p] = out
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -545,64 +694,8 @@ func (v *StripedView) Clustered() bool { return true }
 // EpsOf returns the entity's eps under its stripe's stored model.
 func (v *StripedView) EpsOf(id int64) (float64, error) {
 	st := v.stripes[stripeOf(id, len(v.stripes))]
-	ent, ok := st.byID[id]
-	if !ok {
-		return 0, fmt.Errorf("core: no entity %d", id)
-	}
-	return ent.eps, nil
+	return st.store.EpsOf(id)
 }
-
-// stripeCursor walks one stripe's band, resolving labels the way
-// Label does, without mutating maintenance state.
-type stripeCursor struct {
-	st     *stripe
-	cur    *learn.Model
-	lazy   bool
-	i, end int
-}
-
-func (c *stripeCursor) Next() (SnapEntry, bool, error) {
-	if c.i >= c.end {
-		return SnapEntry{}, false, nil
-	}
-	ent := c.st.entries[c.i]
-	c.i++
-	label := int(ent.label)
-	if c.lazy {
-		if l, certain := c.st.wm.Test(ent.eps); certain {
-			label = l
-		} else {
-			label = c.cur.Predict(ent.f)
-		}
-	}
-	return SnapEntry{ID: ent.id, Eps: ent.eps, Label: int8(label)}, true, nil
-}
-
-func (c *stripeCursor) NextBatch(dst []SnapEntry) (int, error) {
-	n := len(dst)
-	if rest := c.end - c.i; rest < n {
-		n = rest
-	}
-	if n <= 0 {
-		return 0, nil
-	}
-	for k := 0; k < n; k++ {
-		ent := c.st.entries[c.i+k]
-		label := int(ent.label)
-		if c.lazy {
-			if l, certain := c.st.wm.Test(ent.eps); certain {
-				label = l
-			} else {
-				label = c.cur.Predict(ent.f)
-			}
-		}
-		dst[k] = SnapEntry{ID: ent.id, Eps: ent.eps, Label: int8(label)}
-	}
-	c.i += n
-	return n, nil
-}
-
-func (c *stripeCursor) Close() {}
 
 // ScanEpsStripe streams one stripe's rows with eps ∈ [lo, hi], eps-
 // ascending — the scatter half of a scatter-gather read; the exec
@@ -612,8 +705,11 @@ func (v *StripedView) ScanEpsStripe(i int, lo, hi float64) (RowCursor, error) {
 		return nil, fmt.Errorf("core: no stripe %d", i)
 	}
 	st := v.stripes[i]
-	a, b := st.band(lo, hi)
-	return &stripeCursor{st: st, cur: v.trainer.Model(), lazy: v.opts.Mode == Lazy, i: a, end: b}, nil
+	var res *LabelResolver
+	if v.opts.Mode == Lazy {
+		res = &LabelResolver{Test: st.wm.Test, Predict: v.trainer.Model().Predict}
+	}
+	return st.store.Cursor(lo, hi, res)
 }
 
 // mergeRowCursor gathers P eps-ascending cursors into one (eps, id)-

@@ -47,11 +47,12 @@ func TestForStripesPanicPropagates(t *testing.T) {
 			t.Fatalf("CountMembers after panic = %d, %v; want all 64 entities", n, err)
 		}
 	}()
-	v.forStripes(func(i int, st *stripe) {
+	v.forStripes(func(i int, st *stripe) error {
 		defer ran.Add(1)
 		if i == 3 {
 			panic("stripe exploded")
 		}
+		return nil
 	})
 	t.Fatal("unreachable: forStripes should have panicked")
 }
@@ -68,5 +69,5 @@ func TestForStripesSingleStripePanic(t *testing.T) {
 			t.Fatal("single-stripe panic did not propagate")
 		}
 	}()
-	v.forStripes(func(i int, st *stripe) { panic("solo") })
+	v.forStripes(func(i int, st *stripe) error { panic("solo") })
 }

@@ -31,102 +31,123 @@ func drainScan(t *testing.T, v EpsIndexed, lo, hi float64) []SnapEntry {
 	}
 }
 
-// TestStripedEquivalence is the striping invariant: a StripedView fed
-// a randomized workload of update batches and inserts reports exactly
-// the labels and member sets of an unstriped MemView fed the same
-// workload — the model is shared and exact, so stripe boundaries must
-// never show through the logical contents. Checked in both modes and
-// under every reorg policy (Skiing reorganizes stripes at
-// timing-dependent moments, which may change per-stripe eps values
-// but never labels).
-func TestStripedEquivalence(t *testing.T) {
-	for _, mode := range []Mode{Eager, Lazy} {
-		for _, reorg := range []ReorgPolicy{ReorgSkiing, ReorgNever, ReorgAlways} {
-			t.Run(fmt.Sprintf("%s/%s", mode, reorg), func(t *testing.T) {
-				r := rand.New(rand.NewSource(7))
-				entities := testEntities(r, 400)
-				opts := Options{Mode: mode, Reorg: reorg, Norm: math.Inf(1),
-					SGD: learn.SGDConfig{Eta0: 0.3}, Warm: trainingStream(r, 20)}
-				single := NewMemView(entities, HazyStrategy, opts)
-				striped, err := NewStriped(entities, 4, opts)
-				if err != nil {
-					t.Fatal(err)
-				}
-				nextID := int64(len(entities))
-				check := func(step int) {
-					t.Helper()
-					sm, _ := single.Members()
-					tm, _ := striped.Members()
-					if got, want := sortedIDs(tm), sortedIDs(sm); !equalIDs(got, want) {
-						t.Fatalf("step %d: members diverge: striped %d ids, single %d ids", step, len(got), len(want))
-					}
-					sc, _ := single.CountMembers()
-					tc, _ := striped.CountMembers()
-					if sc != tc {
-						t.Fatalf("step %d: counts diverge: striped %d, single %d", step, tc, sc)
-					}
-					for id := int64(0); id < nextID; id += 7 {
-						sl, serr := single.Label(id)
-						tl, terr := striped.Label(id)
-						if (serr == nil) != (terr == nil) || sl != tl {
-							t.Fatalf("step %d: Label(%d) diverges: striped (%d,%v) single (%d,%v)", step, id, tl, terr, sl, serr)
-						}
-					}
-				}
-				for step := 0; step < 30; step++ {
-					switch r.Intn(3) {
-					case 0: // one update
-						ex := trainingStream(r, 1)
-						if err := ApplyBatch(single, ex); err != nil {
-							t.Fatal(err)
-						}
-						if err := ApplyBatch(striped, ex); err != nil {
-							t.Fatal(err)
-						}
-					case 1: // a batch
-						exs := trainingStream(r, 1+r.Intn(16))
-						if err := ApplyBatch(single, exs); err != nil {
-							t.Fatal(err)
-						}
-						if err := ApplyBatch(striped, exs); err != nil {
-							t.Fatal(err)
-						}
-					default: // inserts
-						for n := 1 + r.Intn(4); n > 0; n-- {
-							e := Entity{ID: nextID, F: vector.NewDense([]float64{r.Float64() * 2, r.Float64() * 2})}
-							nextID++
-							if err := single.Insert(e); err != nil {
-								t.Fatal(err)
-							}
-							if err := striped.Insert(e); err != nil {
-								t.Fatal(err)
-							}
-						}
-					}
-					check(step)
-				}
+// newStripedForTest builds a 4-stripe view of the given architecture
+// (disk-resident layouts under a test tempdir with a small pool).
+func newStripedForTest(t *testing.T, arch Arch, entities []Entity, opts Options) *StripedView {
+	t.Helper()
+	var v *StripedView
+	var err error
+	switch arch {
+	case MainMemory:
+		v, err = NewStriped(entities, 4, opts)
+	case OnDisk:
+		v, err = NewStripedDisk(t.TempDir(), 128, entities, 4, opts)
+	case HybridArch:
+		v, err = NewStripedHybrid(t.TempDir(), 128, entities, 4, opts)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { v.Close() })
+	return v
+}
 
-				// Snapshots agree on the logical contents too.
-				ss, err := single.Snapshot()
-				if err != nil {
-					t.Fatal(err)
-				}
-				ts, err := striped.Snapshot()
-				if err != nil {
-					t.Fatal(err)
-				}
-				if ss.CountMembers() != ts.CountMembers() || ss.Len() != ts.Len() {
-					t.Fatalf("snapshots diverge: striped (%d, %d) single (%d, %d)",
-						ts.Len(), ts.CountMembers(), ss.Len(), ss.CountMembers())
-				}
-				for id := int64(0); id < nextID; id++ {
-					sl, _ := ss.Label(id)
-					tl, _ := ts.Label(id)
-					if sl != tl {
-						t.Fatalf("snapshot Label(%d) diverges: striped %d single %d", id, tl, sl)
+// TestStripedEquivalence is the striping invariant, asserted for
+// every physical layout: a StripedView — main-memory, on-disk, or
+// hybrid — fed a randomized workload of update batches and inserts
+// reports exactly the labels and member sets of an unstriped
+// main-memory view fed the same workload. The model is shared and
+// exact, so neither stripe boundaries nor the storage layout may show
+// through the logical contents. Checked in both modes and under every
+// reorg policy (Skiing reorganizes stripes at timing-dependent
+// moments, which may change per-stripe eps values but never labels).
+func TestStripedEquivalence(t *testing.T) {
+	for _, arch := range []Arch{MainMemory, OnDisk, HybridArch} {
+		for _, mode := range []Mode{Eager, Lazy} {
+			for _, reorg := range []ReorgPolicy{ReorgSkiing, ReorgNever, ReorgAlways} {
+				t.Run(fmt.Sprintf("%s/%s/%s", arch, mode, reorg), func(t *testing.T) {
+					r := rand.New(rand.NewSource(7))
+					entities := testEntities(r, 400)
+					opts := Options{Mode: mode, Reorg: reorg, Norm: math.Inf(1),
+						SGD: learn.SGDConfig{Eta0: 0.3}, Warm: trainingStream(r, 20)}
+					single := NewMemView(entities, HazyStrategy, opts)
+					striped := newStripedForTest(t, arch, entities, opts)
+					nextID := int64(len(entities))
+					check := func(step int) {
+						t.Helper()
+						sm, _ := single.Members()
+						tm, _ := striped.Members()
+						if got, want := sortedIDs(tm), sortedIDs(sm); !equalIDs(got, want) {
+							t.Fatalf("step %d: members diverge: striped %d ids, single %d ids", step, len(got), len(want))
+						}
+						sc, _ := single.CountMembers()
+						tc, _ := striped.CountMembers()
+						if sc != tc {
+							t.Fatalf("step %d: counts diverge: striped %d, single %d", step, tc, sc)
+						}
+						for id := int64(0); id < nextID; id += 7 {
+							sl, serr := single.Label(id)
+							tl, terr := striped.Label(id)
+							if (serr == nil) != (terr == nil) || sl != tl {
+								t.Fatalf("step %d: Label(%d) diverges: striped (%d,%v) single (%d,%v)", step, id, tl, terr, sl, serr)
+							}
+						}
 					}
-				}
-			})
+					for step := 0; step < 30; step++ {
+						switch r.Intn(3) {
+						case 0: // one update
+							ex := trainingStream(r, 1)
+							if err := ApplyBatch(single, ex); err != nil {
+								t.Fatal(err)
+							}
+							if err := ApplyBatch(striped, ex); err != nil {
+								t.Fatal(err)
+							}
+						case 1: // a batch
+							exs := trainingStream(r, 1+r.Intn(16))
+							if err := ApplyBatch(single, exs); err != nil {
+								t.Fatal(err)
+							}
+							if err := ApplyBatch(striped, exs); err != nil {
+								t.Fatal(err)
+							}
+						default: // inserts
+							for n := 1 + r.Intn(4); n > 0; n-- {
+								e := Entity{ID: nextID, F: vector.NewDense([]float64{r.Float64() * 2, r.Float64() * 2})}
+								nextID++
+								if err := single.Insert(e); err != nil {
+									t.Fatal(err)
+								}
+								if err := striped.Insert(e); err != nil {
+									t.Fatal(err)
+								}
+							}
+						}
+						check(step)
+					}
+
+					// Snapshots agree on the logical contents too.
+					ss, err := single.Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					ts, err := striped.Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ss.CountMembers() != ts.CountMembers() || ss.Len() != ts.Len() {
+						t.Fatalf("snapshots diverge: striped (%d, %d) single (%d, %d)",
+							ts.Len(), ts.CountMembers(), ss.Len(), ss.CountMembers())
+					}
+					for id := int64(0); id < nextID; id++ {
+						sl, _ := ss.Label(id)
+						tl, _ := ts.Label(id)
+						if sl != tl {
+							t.Fatalf("snapshot Label(%d) diverges: striped %d single %d", id, tl, sl)
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,96 @@
+package core
+
+import "hazy/internal/vector"
+
+// StripeStore is the physical layout of one stripe of a partition-
+// striped view. The StripedView above it owns everything the paper's
+// maintenance logic needs regardless of layout — the shared model, the
+// per-stripe Watermark and Skiing accumulator, and the eager/lazy
+// policy decisions — while the store owns the eps-clustered entity
+// records themselves. One implementation exists per architecture:
+//
+//   - memStripeStore: the main-memory entries slice (Hazy-MM, §3.5.1),
+//   - diskStripeStore: a per-stripe generation file of heap pages with
+//     a clustered B+-tree on (eps, id) behind its own buffer pool
+//     (Hazy-OD), and
+//   - hybridStripeStore: the disk store plus the §3.5.2 in-memory
+//     summaries (ε-map and boundary buffer).
+//
+// A store is single-writer: every mutating call happens either on the
+// view caller's goroutine or on the pool worker that owns the stripe
+// for one parallel section. Stores never share mutable state across
+// stripes, which is what makes the scatter safe.
+type StripeStore interface {
+	// Len returns the number of stored entities.
+	Len() int
+	// Has reports whether id is stored (no IO beyond the id index).
+	Has(id int64) bool
+	// Load bulk-inserts the initial entity set in arrival order with
+	// eps = 0 and class = classOf(f). The caller always follows Load
+	// with Rebuild (the initial clustering), so implementations may
+	// defer index construction to it.
+	Load(entities []Entity, classOf func(f vector.Vector) int) error
+	// Insert places one new, already-classified entity at its
+	// clustered position: eps is taken under the stripe's stored
+	// model, class under the current model.
+	Insert(id int64, eps float64, class int, f vector.Vector) error
+	// EpsOf returns id's stored eps (the clustering key under the
+	// stripe's stored model).
+	EpsOf(id int64) (float64, error)
+	// Class returns id's maintained class.
+	Class(id int64) (int, error)
+	// FeatureOf returns id's feature vector; callers may retain it.
+	FeatureOf(id int64) (vector.Vector, error)
+	// Rebuild reclusters the stripe: every record's eps is recomputed
+	// with epsOf, records are rewritten in (eps, id) order, and class
+	// becomes sign(eps) — the physical reorganization step whose
+	// measured duration seeds the Skiing cost S.
+	Rebuild(epsOf func(f vector.Vector) float64) error
+	// SweepBand reclassifies the records with eps ∈ [lo, hi] under
+	// predict (the eager incremental step) and returns how many
+	// records it examined.
+	SweepBand(lo, hi float64, predict func(f vector.Vector) int) (int, error)
+	// ScanKeysAbove visits the ids with eps > hi, without touching
+	// feature vectors — the All Members fast path above high water.
+	ScanKeysAbove(hi float64, fn func(id int64) error) error
+	// CountRange returns the number of records with eps ∈ [lo, hi].
+	CountRange(lo, hi float64) (int, error)
+	// NearestZero returns up to k entries ordered by |eps|, negative
+	// side first on ties (labels are not resolved).
+	NearestZero(k int) ([]SnapEntry, error)
+	// Cursor streams the records with eps ∈ [lo, hi] in (eps, id)
+	// order, resolving each row's label through res (nil means the
+	// maintained class is exact — the eager fast path). The cursor
+	// must not mutate maintenance state.
+	Cursor(lo, hi float64, res *LabelResolver) (RowCursor, error)
+	// Close releases any backing resources (page files, pools).
+	Close() error
+}
+
+// LabelResolver resolves a stored row's serving label without
+// mutating maintenance state — the lazy-mode read discipline shared
+// by every layout: Test applies the watermark certainty check to the
+// stored eps, and Predict classifies against the current model when
+// the row lies inside the band. Layouts use it to defer feature-
+// vector decoding to exactly the uncertain rows (the on-disk cursor
+// never touches the heap for rows outside the band).
+type LabelResolver struct {
+	Test    func(eps float64) (label int, certain bool)
+	Predict func(f vector.Vector) int
+}
+
+// resolve labels one row given its stored eps, maintained class, and
+// a lazily-evaluated feature accessor.
+func (r *LabelResolver) resolve(eps float64, class func() (int, error), f func() (vector.Vector, error)) (int, error) {
+	if r == nil {
+		return class()
+	}
+	if label, certain := r.Test(eps); certain {
+		return label, nil
+	}
+	fv, err := f()
+	if err != nil {
+		return 0, err
+	}
+	return r.Predict(fv), nil
+}

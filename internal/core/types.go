@@ -189,8 +189,10 @@ type Options struct {
 	// maintained stripes (per-stripe clustering, watermarks, and
 	// Skiing, one shared model) so reorganization and rescans run in
 	// parallel across a worker pool. 0 or 1 means unstriped; values
-	// above 1 require the MainMemory architecture and the Hazy
-	// strategy.
+	// above 1 compose with every architecture (main-memory entry
+	// arrays, per-stripe on-disk clustered trees, per-stripe hybrid
+	// ε-maps) but require the Hazy strategy — the naive strategy
+	// keeps no eps clustering for the stripes to maintain.
 	Partitions int
 	// Metrics, when non-nil, registers per-view maintenance collectors
 	// (reorg count + duration, band-sweep sizes, watermark resets) on
@@ -239,6 +241,12 @@ type Stats struct {
 	// EpsMapBytes and BufferBytes report the hybrid's memory
 	// footprint (Figure 6(A)).
 	EpsMapBytes, BufferBytes int64
+	// LastReorgNs is the measured cost S of the most recent
+	// reorganization, in nanoseconds. For striped views it reports
+	// the slowest single stripe's last reorganization — the write
+	// stall one reorganization event imposes, which striping bounds
+	// at n/P records instead of n.
+	LastReorgNs int64
 }
 
 // View is a maintained classification view V(id, class). All

@@ -148,7 +148,7 @@ func TestReplicationEquivalence(t *testing.T) {
 		t.Fatalf("workload: %d/%d acked, %v", acked, len(ops), err)
 	}
 	assertEquivalent(t, prim, rep1, "phase 1 (streamed history)")
-	assertViewConsistent(t, rep1, "replica 1 view")
+	assertViewsConsistent(t, rep1, "replica 1 view")
 
 	// The replica rejects every mutation surface with a clear error.
 	if _, err := rep1.NewSession().Exec("INSERT INTO feedback VALUES (99, 1)"); err == nil ||

@@ -107,19 +107,117 @@ func TestStripedViewViaSQL(t *testing.T) {
 	}
 }
 
-// TestStripedRequiresMMHazy pins the declaration constraint.
-func TestStripedRequiresMMHazy(t *testing.T) {
+// TestStripedRequiresHazy pins the declaration constraint: striping
+// composes with every architecture but needs the eps clustering, so
+// only STRATEGY NAIVE rejects a PARTITIONS clause.
+func TestStripedRequiresHazy(t *testing.T) {
 	s := newSession(t)
 	mustExec(t, s, "CREATE TABLE rp (id BIGINT, title TEXT) KEY id")
 	mustExec(t, s, "CREATE TABLE rf (id BIGINT, label BIGINT) KEY id")
 	mustExec(t, s, "INSERT INTO rp VALUES (1, 'query optimizer join index')")
-	for _, bad := range []string{
-		`CREATE CLASSIFICATION VIEW x KEY id ENTITIES FROM rp EXAMPLES FROM rf ARCHITECTURE OD PARTITIONS 2`,
-		`CREATE CLASSIFICATION VIEW x KEY id ENTITIES FROM rp EXAMPLES FROM rf STRATEGY NAIVE PARTITIONS 2`,
-	} {
-		if _, err := s.Exec(bad); err == nil || !strings.Contains(err.Error(), "PARTITIONS") {
-			t.Fatalf("%s: err = %v, want PARTITIONS constraint error", bad, err)
+	bad := `CREATE CLASSIFICATION VIEW x KEY id ENTITIES FROM rp EXAMPLES FROM rf STRATEGY NAIVE PARTITIONS 2`
+	if _, err := s.Exec(bad); err == nil || !strings.Contains(err.Error(), "PARTITIONS") {
+		t.Fatalf("%s: err = %v, want PARTITIONS constraint error", bad, err)
+	}
+	// Every architecture stripes under the Hazy strategy.
+	for i, arch := range []string{"MM", "OD", "HYBRID"} {
+		stmt := fmt.Sprintf(`CREATE CLASSIFICATION VIEW ok%d KEY id
+			ENTITIES FROM rp KEY id EXAMPLES FROM rf KEY id LABEL label
+			ARCHITECTURE %s PARTITIONS 2`, i, arch)
+		mustExec(t, s, stmt)
+		cv, err := s.DB().View(fmt.Sprintf("ok%d", i))
+		if err != nil {
+			t.Fatal(err)
 		}
+		sv, ok := cv.Core().(*core.StripedView)
+		if !ok || sv.Stripes() != 2 {
+			t.Fatalf("ARCHITECTURE %s PARTITIONS 2: core = %T, want 2-stripe *core.StripedView", arch, cv.Core())
+		}
+	}
+}
+
+// TestStripedDiskHybridViaSQL cross-checks the disk-resident striped
+// layouts against the unstriped main-memory twin through the SQL
+// surface, pins the scatter-gather plan, and reopens the database to
+// prove the striped on-disk declaration (stripe subdirectories and
+// all) rides the manifest.
+func TestStripedDiskHybridViaSQL(t *testing.T) {
+	for _, arch := range []string{"OD", "HYBRID"} {
+		t.Run(arch, func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := db.NewSession()
+			mustExec(t, s, "CREATE TABLE dp (id BIGINT, title TEXT) KEY id")
+			mustExec(t, s, "CREATE TABLE dp2 (id BIGINT, title TEXT) KEY id")
+			mustExec(t, s, "CREATE TABLE df (id BIGINT, label BIGINT) KEY id")
+			mustExec(t, s, "CREATE TABLE df2 (id BIGINT, label BIGINT) KEY id")
+			r := rand.New(rand.NewSource(47))
+			for id := int64(0); id < 60; id++ {
+				line := title(r, id%2 == 0)
+				mustExec(t, s, fmt.Sprintf("INSERT INTO dp VALUES (%d, '%s')", id, line))
+				mustExec(t, s, fmt.Sprintf("INSERT INTO dp2 VALUES (%d, '%s')", id, line))
+			}
+			mustExec(t, s, `CREATE CLASSIFICATION VIEW flat KEY id
+				ENTITIES FROM dp KEY id EXAMPLES FROM df KEY id LABEL label
+				FEATURE FUNCTION tf_bag_of_words USING SVM`)
+			mustExec(t, s, fmt.Sprintf(`CREATE CLASSIFICATION VIEW banded KEY id
+				ENTITIES FROM dp2 KEY id EXAMPLES FROM df2 KEY id LABEL label
+				FEATURE FUNCTION tf_bag_of_words USING SVM
+				ARCHITECTURE %s PARTITIONS 3`, arch))
+			for id := int64(0); id < 12; id++ {
+				label := 1 - 2*(id%2)
+				mustExec(t, s, fmt.Sprintf("INSERT INTO df VALUES (%d, %d)", id, label))
+				mustExec(t, s, fmt.Sprintf("INSERT INTO df2 VALUES (%d, %d)", id, label))
+			}
+
+			same := func(stmt string) {
+				t.Helper()
+				a := mustExec(t, s, strings.ReplaceAll(stmt, "$V", "flat"))
+				b := mustExec(t, s, strings.ReplaceAll(stmt, "$V", "banded"))
+				if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+					t.Fatalf("%s diverges:\nflat   %v\nbanded %v", stmt, a.Rows, b.Rows)
+				}
+			}
+			queries := []string{
+				"SELECT COUNT(*) FROM $V WHERE class = 1",
+				"SELECT id FROM $V WHERE class = 1",
+				"SELECT id, class FROM $V ORDER BY id DESC LIMIT 10",
+				"SELECT class FROM $V WHERE id = 17",
+				"SELECT COUNT(*) FROM $V WHERE eps >= -100.0 AND eps <= 100.0",
+			}
+			for _, q := range queries {
+				same(q)
+			}
+			plan := fmt.Sprint(mustExec(t, s, "EXPLAIN SELECT id FROM banded WHERE eps >= -1.0 AND eps <= 1.0").Rows)
+			if !strings.Contains(plan, "EpsMergeScan(banded, live") || !strings.Contains(plan, "stripes=3") {
+				t.Fatalf("live striped %s plan = %s", arch, plan)
+			}
+
+			want := mustExec(t, s, "SELECT id FROM banded WHERE class = 1")
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db2.Close()
+			cv, err := db2.View("banded")
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv, ok := cv.Core().(*core.StripedView)
+			if !ok || sv.Stripes() != 3 {
+				t.Fatalf("reopened banded core = %T, want 3-stripe *core.StripedView", cv.Core())
+			}
+			got := mustExec(t, db2.NewSession(), "SELECT id FROM banded WHERE class = 1")
+			if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+				t.Fatalf("members after reopen: %v, want %v", got.Rows, want.Rows)
+			}
+		})
 	}
 }
 
